@@ -1,0 +1,79 @@
+"""Ablation benchmarks for the local PASS design choices.
+
+Two knobs DESIGN.md calls out get measured head-to-head here:
+
+* the attribute index (queries fall back to full scans without it),
+* the storage backend (in-memory vs durable SQLite).
+
+Run with:  pytest benchmarks/bench_ablation_store.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AttributeEquals, PassStore, Query
+from repro.sensors.workloads import TrafficWorkload
+from repro.storage import MemoryBackend, SQLiteBackend
+
+
+@pytest.fixture(scope="module")
+def workload_sets():
+    workload = TrafficWorkload(seed=81, cities=("london", "boston"), stations_per_city=4)
+    raw, derived = workload.all_sets(hours=3.0)
+    return raw + derived
+
+
+def _populate(store, tuple_sets):
+    for tuple_set in tuple_sets:
+        store.ingest(tuple_set)
+    return store
+
+
+@pytest.mark.parametrize("indexed", ["indexed", "scan-only"], ids=str)
+def test_query_with_and_without_attribute_index(benchmark, workload_sets, indexed):
+    """Equality query answered from the inverted index vs by scanning every record."""
+    if indexed == "indexed":
+        store = _populate(PassStore(), workload_sets)
+    else:
+        # Restrict the index to an attribute the query does not use, forcing
+        # the store onto its scan path.
+        store = _populate(PassStore(indexed_attributes=["never_used"]), workload_sets)
+    query = Query(AttributeEquals("city", "london"))
+    results = benchmark(store.query, query)
+    assert results
+
+
+@pytest.mark.parametrize("backend_kind", ["memory", "sqlite"], ids=str)
+def test_ingest_backend_ablation(benchmark, workload_sets, backend_kind, tmp_path_factory):
+    """Ingest cost on the volatile backend vs the durable SQLite backend."""
+
+    def ingest_all():
+        if backend_kind == "memory":
+            backend = MemoryBackend()
+        else:
+            directory = tmp_path_factory.mktemp("ablation")
+            backend = SQLiteBackend(directory / "store.db")
+        store = _populate(PassStore(backend=backend), workload_sets)
+        count = len(store)
+        backend.close()
+        return count
+
+    count = benchmark.pedantic(ingest_all, rounds=3, iterations=1)
+    assert count == len({ts.pname for ts in workload_sets})
+
+
+@pytest.mark.parametrize("strategy", ["naive", "labelled"], ids=str)
+def test_taint_query_closure_ablation(benchmark, workload_sets, strategy):
+    """Descendant (taint) queries under the naive vs labelled closure strategy."""
+    store = _populate(PassStore(closure=strategy), workload_sets)
+    raw = [ts for ts in workload_sets if ts.provenance.is_raw()]
+
+    def taint_all():
+        total = 0
+        for tuple_set in raw:
+            total += len(store.descendants(tuple_set.pname))
+        return total
+
+    total = benchmark(taint_all)
+    assert total > 0

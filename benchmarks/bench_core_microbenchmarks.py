@@ -1,0 +1,99 @@
+"""Micro-benchmarks of the local PASS hot paths.
+
+These are the operations every experiment leans on: ingest, indexed
+attribute lookup, temporal lookup, transitive closure and taint
+analysis.  Unlike the ``bench_eN`` macro-benchmarks they use
+pytest-benchmark's normal repeated-measurement mode, so they are the
+numbers to watch when optimising the store itself.
+
+Run with:  pytest benchmarks/bench_core_microbenchmarks.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AttributeEquals, PassStore, Query, Timestamp
+from repro.core.closure import make_closure
+from repro.sensors.workloads import TrafficWorkload
+
+
+@pytest.fixture(scope="module")
+def workload_sets():
+    workload = TrafficWorkload(seed=71, cities=("london", "boston"), stations_per_city=4)
+    raw, derived = workload.all_sets(hours=3.0)
+    return raw + derived
+
+
+@pytest.fixture(scope="module")
+def populated(workload_sets):
+    store = PassStore()
+    for tuple_set in workload_sets:
+        store.ingest(tuple_set)
+    return store
+
+
+def test_ingest_throughput(benchmark, workload_sets):
+    """Tuple sets ingested per benchmark round (fresh store each round)."""
+
+    def ingest_all():
+        store = PassStore()
+        for tuple_set in workload_sets:
+            store.ingest(tuple_set)
+        return len(store)
+
+    count = benchmark(ingest_all)
+    assert count == len({ts.pname for ts in workload_sets})
+
+
+def test_attribute_query_latency(benchmark, populated):
+    """Indexed equality query over the whole store."""
+    query = Query(AttributeEquals("city", "london"))
+    results = benchmark(populated.query, query)
+    assert results
+
+
+def test_temporal_index_lookup(benchmark, populated):
+    """Window-overlap lookup on the temporal index."""
+    results = benchmark(
+        populated.temporal_index.overlapping, Timestamp(0.0), Timestamp(1800.0)
+    )
+    assert results
+
+
+def test_ancestor_closure_latency(benchmark, populated, workload_sets):
+    """Full ancestor set of the most derived data set."""
+    derived = [ts for ts in workload_sets if not ts.provenance.is_raw()]
+    target = derived[-1].pname
+    ancestors = benchmark(populated.ancestors, target)
+    assert ancestors
+
+
+def test_descendant_taint_latency(benchmark, populated, workload_sets):
+    """Taint query: all data derived from one raw window."""
+    raw = [ts for ts in workload_sets if ts.provenance.is_raw()]
+    target = raw[0].pname
+    descendants = benchmark(populated.descendants, target)
+    assert descendants
+
+
+@pytest.mark.parametrize("strategy", ["naive", "memoized", "labelled"])
+def test_closure_strategy_query_cost(benchmark, strategy):
+    """Ancestor queries over a 64-deep chain, per closure strategy (E3 ablation)."""
+    from repro.core import ProvenanceRecord
+
+    closure = make_closure(strategy)
+    nodes = [ProvenanceRecord({"n": i}).pname() for i in range(65)]
+    for node in nodes:
+        closure.add_node(node)
+    for index in range(64):
+        closure.add_edge(nodes[index + 1], nodes[index])
+
+    def query_all():
+        total = 0
+        for node in nodes:
+            total += len(closure.ancestors(node))
+        return total
+
+    total = benchmark(query_all)
+    assert total == 64 * 65 // 2

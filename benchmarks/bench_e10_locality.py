@@ -1,0 +1,16 @@
+"""Storage near the sensors: locale-aware vs location-oblivious placement (Section III-D).
+
+Regenerates experiment E10 (see DESIGN.md section 3 and EXPERIMENTS.md).
+Run with:  pytest benchmarks/bench_e10_locality.py --benchmark-only
+"""
+
+from repro.eval.experiments_distributed import run_e10
+
+
+def test_e10(run_experiment_benchmark):
+    result = run_experiment_benchmark(run_e10)
+    assert result.rows
+    locale = result.find_row(model="locale-aware-pass")
+    dht = result.find_row(model="dht")
+    assert locale["local_query_ms"] < dht["local_query_ms"]
+    assert locale["placement_km"] < dht["placement_km"]

@@ -1,0 +1,13 @@
+"""Crash recovery of provenance metadata (Section IV reliability criterion).
+
+Regenerates experiment E11 (see DESIGN.md section 3 and EXPERIMENTS.md).
+Run with:  pytest benchmarks/bench_e11_recovery.py --benchmark-only
+"""
+
+from repro.eval.experiments_distributed import run_e11
+
+
+def test_e11(run_experiment_benchmark):
+    result = run_experiment_benchmark(run_e11)
+    assert result.rows
+    assert all(row["consistent"] for row in result.row_dicts())

@@ -1,0 +1,15 @@
+"""The full design-space matrix: every architecture against every criterion (Section IV).
+
+Regenerates experiment E12 (see DESIGN.md section 3 and EXPERIMENTS.md).
+Run with:  pytest benchmarks/bench_e12_design_space.py --benchmark-only
+"""
+
+from repro.eval.experiments_distributed import run_e12
+
+
+def test_e12(run_experiment_benchmark):
+    result = run_experiment_benchmark(run_e12)
+    assert result.rows
+    rows = {row["model"]: row for row in result.row_dicts()}
+    assert len(rows) == 7
+    assert rows["soft-state"]["closure_ms"] == "unsupported"

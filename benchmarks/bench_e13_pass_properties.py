@@ -1,0 +1,13 @@
+"""The four PASS properties under a removal storm (Section V).
+
+Regenerates experiment E13 (see DESIGN.md section 3 and EXPERIMENTS.md).
+Run with:  pytest benchmarks/bench_e13_pass_properties.py --benchmark-only
+"""
+
+from repro.eval.experiments_core import run_e13
+
+
+def test_e13(run_experiment_benchmark):
+    result = run_experiment_benchmark(run_e13)
+    assert result.rows
+    assert all(row["violations"] == 0 for row in result.row_dicts())

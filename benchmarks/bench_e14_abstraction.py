@@ -1,0 +1,14 @@
+"""Provenance abstraction of tool lineage (Section V).
+
+Regenerates experiment E14 (see DESIGN.md section 3 and EXPERIMENTS.md).
+Run with:  pytest benchmarks/bench_e14_abstraction.py --benchmark-only
+"""
+
+from repro.eval.experiments_core import run_e14
+
+
+def test_e14(run_experiment_benchmark):
+    result = run_experiment_benchmark(run_e14)
+    assert result.rows
+    compressions = result.column("compression")
+    assert max(compressions) > 1.0

@@ -1,0 +1,17 @@
+"""Index granularity: per-tuple vs per-tuple-set indexing cost (Section II).
+
+Regenerates experiment E1 (see DESIGN.md section 3 and EXPERIMENTS.md).
+Run with:  pytest benchmarks/bench_e1_granularity.py --benchmark-only
+"""
+
+from repro.eval.experiments_core import run_e1
+
+
+def test_e1(run_experiment_benchmark):
+    result = run_experiment_benchmark(run_e1)
+    assert result.rows
+    rows = result.row_dicts()
+    for row in rows:
+        assert row["per_set_index_entries"] < row["per_tuple_index_entries"]
+    ratios = [row["entry_ratio"] for row in rows]
+    assert ratios == sorted(ratios)

@@ -1,0 +1,16 @@
+"""Naming: conventional filenames vs structured provenance names (Section II-A).
+
+Regenerates experiment E2 (see DESIGN.md section 3 and EXPERIMENTS.md).
+Run with:  pytest benchmarks/bench_e2_naming.py --benchmark-only
+"""
+
+from repro.eval.experiments_core import run_e2
+
+
+def test_e2(run_experiment_benchmark):
+    result = run_experiment_benchmark(run_e2)
+    assert result.rows
+    filename_rows = [row for row in result.row_dicts() if row["scheme"] == "filename"]
+    assert any(row["recall"] == 0.0 for row in filename_rows)
+    provenance_rows = [row for row in result.row_dicts() if row["scheme"] == "provenance"]
+    assert all(row["recall"] == 1.0 for row in provenance_rows)

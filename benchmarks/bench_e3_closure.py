@@ -1,0 +1,17 @@
+"""Transitive-closure strategies vs derivation depth (Section II-B).
+
+Regenerates experiment E3 (see DESIGN.md section 3 and EXPERIMENTS.md).
+Run with:  pytest benchmarks/bench_e3_closure.py --benchmark-only
+"""
+
+from repro.eval.experiments_core import run_e3
+
+
+def test_e3(run_experiment_benchmark):
+    result = run_experiment_benchmark(run_e3)
+    assert result.rows
+    rows = result.row_dicts()
+    deepest = max(row["depth"] for row in rows)
+    naive = next(r for r in rows if r["depth"] == deepest and r["strategy"] == "naive")
+    labelled = next(r for r in rows if r["depth"] == deepest and r["strategy"] == "labelled")
+    assert labelled["node_visits"] < naive["node_visits"]

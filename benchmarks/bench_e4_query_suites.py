@@ -1,0 +1,14 @@
+"""The Section III query suites (versioning, science, EMT) on a local PASS.
+
+Regenerates experiment E4 (see DESIGN.md section 3 and EXPERIMENTS.md).
+Run with:  pytest benchmarks/bench_e4_query_suites.py --benchmark-only
+"""
+
+from repro.eval.experiments_core import run_e4
+
+
+def test_e4(run_experiment_benchmark):
+    result = run_experiment_benchmark(run_e4)
+    assert result.rows
+    suites = {row["suite"] for row in result.row_dicts()}
+    assert suites == {"versioning", "science", "sensor/EMT"}

@@ -1,0 +1,15 @@
+"""Centralized warehouse: update saturation and dangling index links (Section IV-A).
+
+Regenerates experiment E5 (see DESIGN.md section 3 and EXPERIMENTS.md).
+Run with:  pytest benchmarks/bench_e5_centralized.py --benchmark-only
+"""
+
+from repro.eval.experiments_distributed import run_e5
+
+
+def test_e5(run_experiment_benchmark):
+    result = run_experiment_benchmark(run_e5)
+    assert result.rows
+    rows = result.row_dicts()
+    latencies = [row["value"] for row in rows if row["measure"] == "publish latency (ms)"]
+    assert latencies[-1] > latencies[0]

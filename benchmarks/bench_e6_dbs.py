@@ -1,0 +1,15 @@
+"""Distributed and federated databases on recursive queries (Section IV-B).
+
+Regenerates experiment E6 (see DESIGN.md section 3 and EXPERIMENTS.md).
+Run with:  pytest benchmarks/bench_e6_dbs.py --benchmark-only
+"""
+
+from repro.eval.experiments_distributed import run_e6
+
+
+def test_e6(run_experiment_benchmark):
+    result = run_experiment_benchmark(run_e6)
+    assert result.rows
+    rows = result.row_dicts()
+    closure_rows = [r for r in rows if r["operation"] == "ancestor closure" and r["model"] != "centralized"]
+    assert all(int(r["closure_rounds"]) >= 2 for r in closure_rows)

@@ -1,0 +1,15 @@
+"""Soft-state Grid index: refresh interval vs precision/recall (Section IV-B).
+
+Regenerates experiment E7 (see DESIGN.md section 3 and EXPERIMENTS.md).
+Run with:  pytest benchmarks/bench_e7_softstate.py --benchmark-only
+"""
+
+from repro.eval.experiments_distributed import run_e7
+
+
+def test_e7(run_experiment_benchmark):
+    result = run_experiment_benchmark(run_e7)
+    assert result.rows
+    recalls = result.column("recall")
+    assert recalls[0] >= recalls[-1]
+    assert all(row["closure_supported"] is False for row in result.row_dicts())

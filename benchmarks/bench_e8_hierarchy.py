@@ -1,0 +1,16 @@
+"""Hierarchical namespaces: the significance-ordering penalty (Section IV-B).
+
+Regenerates experiment E8 (see DESIGN.md section 3 and EXPERIMENTS.md).
+Run with:  pytest benchmarks/bench_e8_hierarchy.py --benchmark-only
+"""
+
+from repro.eval.experiments_distributed import run_e8
+
+
+def test_e8(run_experiment_benchmark):
+    result = run_experiment_benchmark(run_e8)
+    assert result.rows
+    rows = result.row_dicts()
+    primary = [r for r in rows if r["servers_contacted"] == 1]
+    broadcast = [r for r in rows if r["servers_contacted"] > 1]
+    assert primary and broadcast

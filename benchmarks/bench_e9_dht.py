@@ -1,0 +1,16 @@
+"""DHTs: update fan-out, updater scaling and placement blindness (Section IV-C).
+
+Regenerates experiment E9 (see DESIGN.md section 3 and EXPERIMENTS.md).
+Run with:  pytest benchmarks/bench_e9_dht.py --benchmark-only
+"""
+
+from repro.eval.experiments_distributed import run_e9
+
+
+def test_e9(run_experiment_benchmark):
+    result = run_experiment_benchmark(run_e9)
+    assert result.rows
+    rows = result.row_dicts()
+    dht_km = next(r["value"] for r in rows if r["measure"].startswith("placement") and r["setting"] == "dht")
+    locale_km = next(r["value"] for r in rows if r["measure"].startswith("placement") and r["setting"] == "locale-aware-pass")
+    assert dht_km > locale_km

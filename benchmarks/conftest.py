@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_eN_*.py`` file regenerates one experiment table from
+DESIGN.md / EXPERIMENTS.md.  The ``run_experiment_benchmark`` fixture
+times the experiment once (they are macro-benchmarks, not
+micro-benchmarks), writes the regenerated table under
+``benchmarks/results/`` and checks the claim-level assertions passed in
+by the caller.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.report import format_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def run_experiment_benchmark(benchmark):
+    """Run an experiment function once under pytest-benchmark and save its table."""
+
+    def runner(experiment_fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            experiment_fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        table = format_experiment(result)
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(table + "\n", encoding="utf-8")
+        print()
+        print(table)
+        return result
+
+    return runner

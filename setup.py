@@ -1,0 +1,4 @@
+"""Setup shim so legacy editable installs work in offline environments without the wheel package."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro -- Provenance-Aware Sensor Data Storage (PASS).
+
+A reproduction of *Provenance-Aware Sensor Data Storage* (Ledlie, Ng,
+Holland, Muniswamy-Reddy, Braun, Seltzer; NetDB/ICDE 2005): a local
+provenance-aware store for sensor tuple sets, the distributed
+architecture models the paper compares (centralized, distributed DB,
+federated, soft-state Grid services, hierarchical namespaces, DHT), and
+an evaluation harness that regenerates the paper's design-space
+comparison on synthetic sensor workloads.
+
+Typical use::
+
+    from repro import PassStore, TupleSetWindower, Agent
+    from repro.sensors.workloads import TrafficWorkload
+
+    workload = TrafficWorkload(seed=7)
+    store = PassStore()
+    for tuple_set in workload.tuple_sets(hours=1):
+        store.ingest(tuple_set)
+"""
+
+from repro.core import (
+    Agent,
+    Annotation,
+    GeoPoint,
+    PassStore,
+    PName,
+    ProvenanceGraph,
+    ProvenanceRecord,
+    Query,
+    SensorReading,
+    Timestamp,
+    TupleSet,
+    TupleSetWindower,
+    merge_provenance,
+)
+from repro.errors import PassError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "PassError",
+    "Agent",
+    "Annotation",
+    "GeoPoint",
+    "PName",
+    "PassStore",
+    "ProvenanceGraph",
+    "ProvenanceRecord",
+    "Query",
+    "SensorReading",
+    "Timestamp",
+    "TupleSet",
+    "TupleSetWindower",
+    "merge_provenance",
+]

@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover what a user wants from a terminal:
+
+* ``experiments`` -- run one or more of the E1-E14 experiments and print
+  their regenerated tables (optionally writing them to a file),
+* ``workload`` -- generate a synthetic workload, ingest it into a local
+  PASS and print a summary (sanity-checking a deployment's shape before
+  writing code against it),
+* ``query`` -- run a simple ``name=value`` attribute query against a
+  freshly generated workload, printing the matching provenance records.
+
+The CLI is intentionally a thin veneer over the library; everything it
+does is available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core import AttributeEquals, PassStore
+from repro.eval import format_experiment, run_all
+from repro.sensors.workloads import (
+    MedicalWorkload,
+    StructuralWorkload,
+    SupplyChainWorkload,
+    TrafficWorkload,
+    VolcanoWorkload,
+    WeatherWorkload,
+)
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = {
+    "traffic": TrafficWorkload,
+    "weather": WeatherWorkload,
+    "medical": MedicalWorkload,
+    "volcano": VolcanoWorkload,
+    "structural": StructuralWorkload,
+    "supply-chain": SupplyChainWorkload,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro`` CLI (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Provenance-Aware Sensor Data Storage (PASS) reproduction tools",
+    )
+    subcommands = parser.add_subparsers(dest="command", required=True)
+
+    experiments = subcommands.add_parser(
+        "experiments", help="run evaluation experiments (E1-E14) and print their tables"
+    )
+    experiments.add_argument(
+        "ids", nargs="*", default=None, help="experiment ids, e.g. E1 E12 (default: all)"
+    )
+    experiments.add_argument(
+        "--output", default=None, help="also write the report to this file"
+    )
+
+    workload = subcommands.add_parser(
+        "workload", help="generate a synthetic workload and summarise it"
+    )
+    workload.add_argument("domain", choices=sorted(_WORKLOADS), help="which domain to simulate")
+    workload.add_argument("--hours", type=float, default=1.0, help="simulated duration")
+    workload.add_argument("--seed", type=int, default=0, help="workload seed")
+
+    query = subcommands.add_parser(
+        "query", help="run an attribute query against a freshly generated workload"
+    )
+    query.add_argument("domain", choices=sorted(_WORKLOADS))
+    query.add_argument("predicate", help="attribute query of the form name=value")
+    query.add_argument("--hours", type=float, default=1.0)
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--limit", type=int, default=10, help="maximum records to print")
+    return parser
+
+
+def _build_store(domain: str, hours: float, seed: int):
+    workload = _WORKLOADS[domain](seed=seed)
+    raw, derived = workload.all_sets(hours=hours)
+    store = PassStore()
+    for tuple_set in raw + derived:
+        store.ingest(tuple_set)
+    return workload, store, raw, derived
+
+
+def _cmd_experiments(args, out) -> int:
+    ids = [i.upper() for i in args.ids] if args.ids else None
+    blocks = []
+    for result in run_all(ids):
+        block = format_experiment(result)
+        blocks.append(block)
+        print(block, file=out)
+        print(file=out)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(blocks) + "\n")
+    return 0
+
+
+def _cmd_workload(args, out) -> int:
+    workload, store, raw, derived = _build_store(args.domain, args.hours, args.seed)
+    facts = workload.describe()
+    print(f"domain:            {facts['domain']}", file=out)
+    print(f"networks:          {', '.join(facts['networks'])}", file=out)
+    print(f"sensors:           {facts['sensors']}", file=out)
+    print(f"simulated hours:   {args.hours}", file=out)
+    print(f"raw tuple sets:    {len(raw)}", file=out)
+    print(f"derived tuple sets:{len(derived)}", file=out)
+    print(f"readings:          {sum(len(ts) for ts in raw)}", file=out)
+    print(f"store size:        {len(store)} records", file=out)
+    print(f"derivation depth:  {max(store.graph.ancestry_depth_distribution() or {0: 0})}", file=out)
+    violations = store.verify_invariants()
+    print(f"invariants:        {'ok' if not violations else violations}", file=out)
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    if "=" not in args.predicate:
+        print("error: predicate must look like name=value", file=sys.stderr)
+        return 2
+    name, _, raw_value = args.predicate.partition("=")
+    value: object = raw_value
+    for caster in (int, float):
+        try:
+            value = caster(raw_value)
+            break
+        except ValueError:
+            continue
+    _, store, *_ = _build_store(args.domain, args.hours, args.seed)
+    matches = store.query(AttributeEquals(name, value))
+    print(f"{len(matches)} data sets match {name}={value!r}", file=out)
+    for pname in matches[: args.limit]:
+        record = store.get_record(pname)
+        summary = ", ".join(
+            f"{key}={record.get(key)}"
+            for key in ("domain", "network", "stage", "window_start")
+            if record.get(key) is not None
+        )
+        print(f"  {pname.short}  {summary}", file=out)
+    if len(matches) > args.limit:
+        print(f"  ... and {len(matches) - args.limit} more", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        return _cmd_experiments(args, out)
+    if args.command == "workload":
+        return _cmd_workload(args, out)
+    if args.command == "query":
+        return _cmd_query(args, out)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

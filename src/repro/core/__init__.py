@@ -1,0 +1,79 @@
+"""Core of the PASS reproduction: provenance, tuple sets, queries, the local store.
+
+The public names re-exported here are the ones examples and downstream
+code are expected to use; the submodules remain importable for the finer
+grained pieces (closure strategies, naming schemes, abstraction rules).
+"""
+
+from repro.core.abstraction import (
+    AbstractionEngine,
+    AgentAbstractionRule,
+    AttributeAbstractionRule,
+    DepthAbstractionRule,
+)
+from repro.core.attributes import GeoPoint, Timestamp
+from repro.core.closure import LabelledClosure, MemoizedClosure, NaiveClosure, make_closure
+from repro.core.graph import ProvenanceGraph
+from repro.core.naming import FilenameConvention, ProvenanceNaming
+from repro.core.pass_store import PassStore
+from repro.core.provenance import Agent, Annotation, PName, ProvenanceRecord, merge_provenance
+from repro.core.query import (
+    AgentIs,
+    AncestorOf,
+    And,
+    AnnotationMatches,
+    AttributeContains,
+    AttributeEquals,
+    AttributeExists,
+    AttributeIn,
+    AttributeRange,
+    DerivedFrom,
+    IsRaw,
+    NearLocation,
+    Not,
+    Or,
+    Query,
+    TRUE,
+)
+from repro.core.tupleset import SensorReading, TupleSet, TupleSetWindower
+
+__all__ = [
+    "GeoPoint",
+    "Timestamp",
+    "Agent",
+    "Annotation",
+    "PName",
+    "ProvenanceRecord",
+    "merge_provenance",
+    "SensorReading",
+    "TupleSet",
+    "TupleSetWindower",
+    "ProvenanceGraph",
+    "NaiveClosure",
+    "MemoizedClosure",
+    "LabelledClosure",
+    "make_closure",
+    "PassStore",
+    "FilenameConvention",
+    "ProvenanceNaming",
+    "AbstractionEngine",
+    "AttributeAbstractionRule",
+    "AgentAbstractionRule",
+    "DepthAbstractionRule",
+    "Query",
+    "TRUE",
+    "AttributeEquals",
+    "AttributeRange",
+    "AttributeContains",
+    "AttributeIn",
+    "AttributeExists",
+    "NearLocation",
+    "AgentIs",
+    "AnnotationMatches",
+    "IsRaw",
+    "And",
+    "Or",
+    "Not",
+    "DerivedFrom",
+    "AncestorOf",
+]

@@ -1,0 +1,264 @@
+"""Transitive-closure strategies for provenance queries.
+
+Section II-B of the paper: "the indexing structures in sensor data
+storage systems must provide for efficient lookups in many dimensions,
+as well as efficient recursive or transitive queries.  Simple relational
+or XML-based name-to-value schemes are not sufficient".
+
+This module implements three strategies with different cost profiles and
+a common interface, so the PASS store (and experiment E3) can swap them:
+
+* :class:`NaiveClosure` -- answer each query with a fresh BFS over the
+  provenance graph.  This is what a plain relational scheme would do
+  with repeated self-joins: cheap to maintain, expensive to query on
+  deep lineage.
+* :class:`MemoizedClosure` -- BFS, but cache per-node ancestor sets and
+  invalidate them when new edges arrive.  Good for read-heavy phases.
+* :class:`LabelledClosure` -- maintain full ancestor/descendant label
+  sets incrementally on edge insertion (a reachability-labelling
+  approach).  Queries are set lookups; updates pay the propagation cost.
+
+All strategies answer the same three questions: the ancestor set, the
+descendant set, and pairwise reachability.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Dict, Optional, Set
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.provenance import PName
+from repro.errors import UnknownEntityError
+
+__all__ = [
+    "ClosureStrategy",
+    "NaiveClosure",
+    "MemoizedClosure",
+    "LabelledClosure",
+    "make_closure",
+]
+
+
+class ClosureStrategy(ABC):
+    """Common interface of the transitive-closure strategies.
+
+    Each strategy is attached to one :class:`ProvenanceGraph`; edges must
+    be added through :meth:`add_edge` (or :meth:`add_record_edges`) so the
+    strategy can maintain whatever auxiliary state it needs.  The
+    ``operations`` counter tracks how many node visits / set updates the
+    strategy performed, which is what experiment E3 reports.
+    """
+
+    #: short machine-readable name used by benchmarks and reports
+    name = "abstract"
+
+    def __init__(self, graph: Optional[ProvenanceGraph] = None) -> None:
+        self.graph = graph if graph is not None else ProvenanceGraph()
+        self.operations = 0
+
+    # -- maintenance ----------------------------------------------------
+    def add_node(self, pname: PName) -> None:
+        """Register a node with the underlying graph and the strategy."""
+        self.graph.add_node(pname)
+
+    def add_edge(self, child: PName, parent: PName) -> None:
+        """Record a derivation edge (child derived from parent)."""
+        self.graph.add_edge(child, parent)
+        self._on_edge(child, parent)
+
+    def reset_counters(self) -> None:
+        """Zero the operation counter (benchmarks call this between phases)."""
+        self.operations = 0
+
+    # -- queries ---------------------------------------------------------
+    @abstractmethod
+    def ancestors(self, pname: PName) -> Set[PName]:
+        """All transitive ancestors of ``pname``."""
+
+    @abstractmethod
+    def descendants(self, pname: PName) -> Set[PName]:
+        """All transitive descendants of ``pname``."""
+
+    def reachable(self, ancestor: PName, descendant: PName) -> bool:
+        """True when ``descendant`` was (transitively) derived from ``ancestor``."""
+        return ancestor in self.ancestors(descendant)
+
+    # -- hooks -------------------------------------------------------------
+    def _on_edge(self, child: PName, parent: PName) -> None:
+        """Strategy-specific bookkeeping after an edge insertion."""
+
+
+class NaiveClosure(ClosureStrategy):
+    """Fresh BFS per query; no auxiliary state.
+
+    This models the "simple relational name-to-value scheme" the paper
+    says is not sufficient: every recursive query re-walks the lineage.
+    """
+
+    name = "naive"
+
+    def ancestors(self, pname: PName) -> Set[PName]:
+        return self._bfs(pname, up=True)
+
+    def descendants(self, pname: PName) -> Set[PName]:
+        return self._bfs(pname, up=False)
+
+    def _bfs(self, pname: PName, up: bool) -> Set[PName]:
+        if pname not in self.graph:
+            raise UnknownEntityError(f"unknown node {pname}")
+        step = self.graph.parents if up else self.graph.children
+        seen: Set[str] = set()
+        frontier = deque([pname])
+        while frontier:
+            node = frontier.popleft()
+            self.operations += 1
+            for neighbour in step(node):
+                if neighbour.digest not in seen:
+                    seen.add(neighbour.digest)
+                    frontier.append(neighbour)
+        return {PName(d) for d in seen}
+
+
+class MemoizedClosure(ClosureStrategy):
+    """BFS with per-node result caching, invalidated on edge insertion.
+
+    The cache maps a node to its full ancestor (or descendant) set.  A
+    new edge ``child -> parent`` can only change the ancestor sets of
+    ``child`` and its descendants, and the descendant sets of ``parent``
+    and its ancestors, so only those entries are dropped.
+    """
+
+    name = "memoized"
+
+    def __init__(self, graph: Optional[ProvenanceGraph] = None) -> None:
+        super().__init__(graph)
+        self._ancestor_cache: Dict[str, Set[str]] = {}
+        self._descendant_cache: Dict[str, Set[str]] = {}
+
+    def ancestors(self, pname: PName) -> Set[PName]:
+        return {PName(d) for d in self._cached(pname, up=True)}
+
+    def descendants(self, pname: PName) -> Set[PName]:
+        return {PName(d) for d in self._cached(pname, up=False)}
+
+    def _cached(self, pname: PName, up: bool) -> Set[str]:
+        if pname not in self.graph:
+            raise UnknownEntityError(f"unknown node {pname}")
+        cache = self._ancestor_cache if up else self._descendant_cache
+        hit = cache.get(pname.digest)
+        if hit is not None:
+            self.operations += 1
+            return hit
+        step = self.graph.parents if up else self.graph.children
+        seen: Set[str] = set()
+        frontier = deque([pname])
+        while frontier:
+            node = frontier.popleft()
+            self.operations += 1
+            for neighbour in step(node):
+                if neighbour.digest not in seen:
+                    seen.add(neighbour.digest)
+                    frontier.append(neighbour)
+        cache[pname.digest] = seen
+        return seen
+
+    def _on_edge(self, child: PName, parent: PName) -> None:
+        # Invalidate ancestor sets of the child and everything below it,
+        # and descendant sets of the parent and everything above it.
+        stale_down = {child.digest} | {p.digest for p in self.graph.descendants(child)}
+        stale_up = {parent.digest} | {p.digest for p in self.graph.ancestors(parent)}
+        for digest in stale_down:
+            self._ancestor_cache.pop(digest, None)
+        for digest in stale_up:
+            self._descendant_cache.pop(digest, None)
+
+
+class LabelledClosure(ClosureStrategy):
+    """Maintain complete ancestor/descendant label sets incrementally.
+
+    On inserting ``child -> parent`` the parent's ancestor label set
+    (plus the parent itself) is added to the child and to every
+    descendant of the child; symmetrically for descendant labels.
+    Queries then cost a dictionary lookup.  This is the kind of
+    structure the paper's research agenda asks for ("efficient support
+    for transitive closure queries").
+    """
+
+    name = "labelled"
+
+    def __init__(self, graph: Optional[ProvenanceGraph] = None) -> None:
+        super().__init__(graph)
+        self._ancestor_labels: Dict[str, Set[str]] = {}
+        self._descendant_labels: Dict[str, Set[str]] = {}
+        # If a pre-populated graph was supplied, build labels for it.
+        for node in self.graph.nodes():
+            self._ancestor_labels.setdefault(node.digest, set())
+            self._descendant_labels.setdefault(node.digest, set())
+        for child in self.graph.nodes():
+            for parent in self.graph.parents(child):
+                self._propagate(child.digest, parent.digest)
+
+    def add_node(self, pname: PName) -> None:
+        super().add_node(pname)
+        self._ancestor_labels.setdefault(pname.digest, set())
+        self._descendant_labels.setdefault(pname.digest, set())
+
+    def ancestors(self, pname: PName) -> Set[PName]:
+        if pname not in self.graph:
+            raise UnknownEntityError(f"unknown node {pname}")
+        self.operations += 1
+        return {PName(d) for d in self._ancestor_labels.get(pname.digest, set())}
+
+    def descendants(self, pname: PName) -> Set[PName]:
+        if pname not in self.graph:
+            raise UnknownEntityError(f"unknown node {pname}")
+        self.operations += 1
+        return {PName(d) for d in self._descendant_labels.get(pname.digest, set())}
+
+    def reachable(self, ancestor: PName, descendant: PName) -> bool:
+        if descendant not in self.graph or ancestor not in self.graph:
+            raise UnknownEntityError("unknown node in reachability query")
+        self.operations += 1
+        return ancestor.digest in self._ancestor_labels.get(descendant.digest, set())
+
+    def _on_edge(self, child: PName, parent: PName) -> None:
+        self._ancestor_labels.setdefault(child.digest, set())
+        self._descendant_labels.setdefault(child.digest, set())
+        self._ancestor_labels.setdefault(parent.digest, set())
+        self._descendant_labels.setdefault(parent.digest, set())
+        self._propagate(child.digest, parent.digest)
+
+    def _propagate(self, child: str, parent: str) -> None:
+        new_ancestors = {parent} | self._ancestor_labels.get(parent, set())
+        new_descendants = {child} | self._descendant_labels.get(child, set())
+        # Nodes whose ancestor labels gain new_ancestors: child and all its
+        # descendants.  Nodes whose descendant labels gain new_descendants:
+        # parent and all its ancestors.
+        for target in [child, *self._descendant_labels.get(child, set())]:
+            before = len(self._ancestor_labels.setdefault(target, set()))
+            self._ancestor_labels[target] |= new_ancestors
+            self.operations += len(self._ancestor_labels[target]) - before + 1
+        for target in [parent, *self._ancestor_labels.get(parent, set())]:
+            before = len(self._descendant_labels.setdefault(target, set()))
+            self._descendant_labels[target] |= new_descendants
+            self.operations += len(self._descendant_labels[target]) - before + 1
+
+
+_STRATEGIES = {
+    NaiveClosure.name: NaiveClosure,
+    MemoizedClosure.name: MemoizedClosure,
+    LabelledClosure.name: LabelledClosure,
+}
+
+
+def make_closure(name: str, graph: Optional[ProvenanceGraph] = None) -> ClosureStrategy:
+    """Instantiate a closure strategy by name (``naive`` / ``memoized`` / ``labelled``)."""
+    try:
+        factory = _STRATEGIES[name]
+    except KeyError:
+        raise UnknownEntityError(
+            f"unknown closure strategy {name!r}; choose from {sorted(_STRATEGIES)}"
+        ) from None
+    return factory(graph)

@@ -1,0 +1,208 @@
+"""Naming schemes: conventional filenames vs structured provenance names.
+
+Section II-A of the paper walks through everything that goes wrong when
+tuple sets are named with "conventional, self-describing filenames, like
+``volcano_vesuvius_10_11_04``": the naming convention must anticipate
+every attribute, it silently imposes a significance ordering, it cannot
+express relationships between data sets, and it cannot be cross-checked.
+
+To make that argument measurable (experiment E2), this module implements
+both schemes over the same data:
+
+* :class:`FilenameConvention` -- a configurable ``field1_field2_..._date``
+  convention that encodes a chosen subset of provenance attributes into a
+  flat string, plus best-effort parsing back out of such strings.
+* :class:`ProvenanceNaming` -- the paper's position: the name *is* the
+  provenance record, and lookups go through the attribute index.
+
+The benchmark then asks both schemes the same questions (find data sets
+by an attribute that the convention did or did not encode; find data
+sets related by derivation) and reports answer quality and cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.attributes import AttributeValue, GeoPoint, Timestamp, canonical_encode
+from repro.core.provenance import ProvenanceRecord
+from repro.errors import NamingError
+
+__all__ = ["FilenameConvention", "ParsedFilename", "ProvenanceNaming"]
+
+
+def _flatten(value: AttributeValue) -> str:
+    """Render an attribute value into a filename-safe token."""
+    if isinstance(value, Timestamp):
+        return f"{int(value.seconds)}"
+    if isinstance(value, GeoPoint):
+        return f"{value.latitude:.3f}x{value.longitude:.3f}"
+    if isinstance(value, tuple):
+        return "+".join(_flatten(item) for item in value)
+    text = str(value)
+    # Conventional filenames cannot carry separators; squash them.
+    for forbidden in (" ", "/", "_", ":", ";"):
+        text = text.replace(forbidden, "-")
+    return text
+
+
+@dataclass(frozen=True)
+class ParsedFilename:
+    """The result of parsing a conventional filename back into fields."""
+
+    fields: Mapping[str, str]
+    extras: Sequence[str]
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Return a parsed field by name (always a string, if present)."""
+        return self.fields.get(name, default)
+
+
+class FilenameConvention:
+    """A flat ``field1_field2_...`` naming convention (the strawman).
+
+    Parameters
+    ----------
+    field_order:
+        The attribute names the convention encodes, in significance
+        order.  Attributes outside this list are simply *not
+        representable* in the name, which is the crux of the paper's
+        complaint.
+    separator:
+        Separator between fields (default underscore).
+    missing_token:
+        Placeholder emitted when a record lacks one of the fields.
+    """
+
+    def __init__(
+        self,
+        field_order: Sequence[str],
+        separator: str = "_",
+        missing_token: str = "unknown",
+    ) -> None:
+        if not field_order:
+            raise NamingError("a filename convention needs at least one field")
+        if len(set(field_order)) != len(field_order):
+            raise NamingError("field_order contains duplicate fields")
+        if not separator:
+            raise NamingError("separator must be non-empty")
+        self._field_order = list(field_order)
+        self._separator = separator
+        self._missing_token = missing_token
+
+    @property
+    def field_order(self) -> List[str]:
+        """The attribute names the convention can express, most significant first."""
+        return list(self._field_order)
+
+    def name(self, record: ProvenanceRecord) -> str:
+        """Produce the conventional filename for a provenance record.
+
+        Any attribute not in ``field_order`` is silently dropped --
+        exactly the information loss the paper warns about.
+        """
+        parts = []
+        for field in self._field_order:
+            value = record.get(field)
+            parts.append(_flatten(value) if value is not None else self._missing_token)
+        return self._separator.join(parts)
+
+    def parse(self, filename: str) -> ParsedFilename:
+        """Best-effort parse of a conventional filename back into fields.
+
+        Surplus tokens (from values that themselves contained the
+        separator before being squashed, or from convention drift) are
+        returned as ``extras``; missing trailing fields are absent from
+        ``fields``.
+        """
+        if not filename:
+            raise NamingError("cannot parse an empty filename")
+        tokens = filename.split(self._separator)
+        fields: Dict[str, str] = {}
+        for field, token in zip(self._field_order, tokens):
+            if token != self._missing_token:
+                fields[field] = token
+        extras = tokens[len(self._field_order):]
+        return ParsedFilename(fields=fields, extras=tuple(extras))
+
+    def can_express(self, attribute: str) -> bool:
+        """True when the convention has a slot for ``attribute``."""
+        return attribute in self._field_order
+
+    def lookup(
+        self,
+        names: Mapping[str, ProvenanceRecord],
+        attribute: str,
+        value: AttributeValue,
+    ) -> List[str]:
+        """Find filenames whose *parsed* field matches ``value``.
+
+        This is how a user restricted to conventional names must search:
+        string-match against whatever survived flattening.  Attributes
+        the convention does not encode always return an empty list --
+        the query is simply unanswerable, which experiment E2 records as
+        lost recall.
+        """
+        if not self.can_express(attribute):
+            return []
+        needle = _flatten(value)
+        matches = []
+        for filename in names:
+            parsed = self.parse(filename)
+            if parsed.get(attribute) == needle:
+                matches.append(filename)
+        return matches
+
+
+class ProvenanceNaming:
+    """The paper's position: the provenance record *is* the name.
+
+    A thin convenience wrapper that maps PName digests to records and
+    performs exact attribute lookups; the full query machinery lives in
+    :mod:`repro.core.query` and the PASS store.  Kept separate so the
+    E2 benchmark can compare "name schemes" without dragging in a store.
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[str, ProvenanceRecord] = {}
+
+    def register(self, record: ProvenanceRecord) -> str:
+        """Register a record and return its PName digest (its name)."""
+        digest = record.pname().digest
+        self._records[digest] = record
+        return digest
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def resolve(self, digest: str) -> ProvenanceRecord:
+        """Return the record named by ``digest``."""
+        try:
+            return self._records[digest]
+        except KeyError:
+            raise NamingError(f"unknown provenance name {digest[:12]}") from None
+
+    def lookup(self, attribute: str, value: AttributeValue) -> List[str]:
+        """Digests of every record whose ``attribute`` equals ``value``."""
+        needle = canonical_encode(value)
+        matches = []
+        for digest, record in self._records.items():
+            stored = record.get(attribute)
+            if stored is not None and canonical_encode(stored) == needle:
+                matches.append(digest)
+        return matches
+
+    def related(self, digest: str) -> List[str]:
+        """Digests of records directly related to ``digest`` by derivation.
+
+        Relationships are recoverable from structured names because every
+        record carries its ancestors' PNames; conventional filenames have
+        no way to answer this at all.
+        """
+        record = self.resolve(digest)
+        related = [ancestor.digest for ancestor in record.ancestors]
+        for other_digest, other in self._records.items():
+            if any(ancestor.digest == digest for ancestor in other.ancestors):
+                related.append(other_digest)
+        return related

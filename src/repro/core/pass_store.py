@@ -1,0 +1,462 @@
+"""The local Provenance-Aware Storage System (PASS).
+
+Section V of the paper defines the four properties that distinguish a
+PASS from other storage:
+
+* **P1** -- provenance is treated as a first-class object,
+* **P2** -- provenance can be queried,
+* **P3** -- non-identical data items do not have identical provenance,
+* **P4** -- provenance is not lost if ancestor objects are removed.
+
+and states the first research goal: "construct a purely local PASS ...
+just storing and indexing offers challenges; in particular, one needs
+efficient support for transitive closure queries."
+
+:class:`PassStore` is that local PASS.  It composes:
+
+* a :class:`~repro.storage.backend.StorageBackend` holding provenance
+  records and tuple-set payloads,
+* an :class:`~repro.index.attribute_index.AttributeIndex`,
+  :class:`~repro.index.temporal_index.TemporalIndex` and
+  :class:`~repro.index.spatial_index.SpatialIndex` for multi-dimensional
+  lookups,
+* a :class:`~repro.core.graph.ProvenanceGraph` plus a pluggable
+  :class:`~repro.core.closure.ClosureStrategy` for recursive queries,
+* and the :mod:`repro.core.query` evaluation machinery.
+
+The store is the building block of everything above it: the distributed
+architecture models each run one or more PassStores at their simulated
+sites, and the evaluation harness measures them through this interface.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.abstraction import AbstractionEngine, AbstractionRule, AbstractedLineage
+from repro.core.attributes import GeoPoint, Timestamp
+from repro.core.closure import ClosureStrategy, LabelledClosure, make_closure
+from repro.core.graph import ProvenanceGraph
+from repro.core.provenance import Annotation, PName, ProvenanceRecord
+from repro.core.query import LineageOracle, Predicate, Query
+from repro.core.tupleset import SensorReading, TupleSet
+from repro.errors import (
+    DuplicateProvenanceError,
+    UnknownEntityError,
+)
+from repro.index.attribute_index import AttributeIndex
+from repro.index.spatial_index import SpatialIndex
+from repro.index.temporal_index import TemporalIndex
+from repro.storage.backend import StorageBackend
+from repro.storage.memory import MemoryBackend
+
+__all__ = ["PassStore", "StoreStatistics"]
+
+
+class StoreStatistics:
+    """Counters the evaluation harness reads off a store."""
+
+    def __init__(self) -> None:
+        self.ingested = 0
+        self.queries = 0
+        self.lineage_queries = 0
+        self.records_scanned = 0
+        self.index_hits = 0
+
+    def snapshot(self) -> dict:
+        """The counters as a plain dict."""
+        return {
+            "ingested": self.ingested,
+            "queries": self.queries,
+            "lineage_queries": self.lineage_queries,
+            "records_scanned": self.records_scanned,
+            "index_hits": self.index_hits,
+        }
+
+
+class PassStore(LineageOracle):
+    """A local provenance-aware store for sensor tuple sets.
+
+    Parameters
+    ----------
+    backend:
+        Where records and payloads live (default: in-memory).
+    closure:
+        Transitive-closure strategy, by instance or by name
+        (``"naive"`` / ``"memoized"`` / ``"labelled"``).  Default is the
+        labelled strategy, which makes recursive queries cheap.
+    indexed_attributes:
+        Restrict the attribute index to these names (``None`` = all).
+    site:
+        Optional site name, used when the store is embedded in a
+        distributed architecture model.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[StorageBackend] = None,
+        closure: ClosureStrategy | str = "labelled",
+        indexed_attributes: Optional[Iterable[str]] = None,
+        site: str = "local",
+    ) -> None:
+        self.backend = backend if backend is not None else MemoryBackend()
+        self.graph = ProvenanceGraph()
+        if isinstance(closure, str):
+            self.closure = make_closure(closure, self.graph)
+        else:
+            self.closure = closure
+            self.closure.graph = self.graph
+        self.attribute_index = AttributeIndex(indexed_attributes)
+        self.temporal_index = TemporalIndex()
+        self.spatial_index = SpatialIndex()
+        self.site = site
+        self.stats = StoreStatistics()
+        self._abstraction_rules: List[AbstractionRule] = []
+        # Rebuild in-memory structures if the backend already has records
+        # (e.g. a SQLite file reopened after a crash).
+        self._rebuild_from_backend()
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, tuple_set: TupleSet) -> PName:
+        """Store a tuple set: its payload, its provenance, and all indexes.
+
+        Enforces PASS property P3: if a record with the same PName is
+        already stored, the tuple set being ingested must be the *same*
+        data set; re-ingesting it is idempotent, but a different data set
+        claiming identical provenance is rejected.
+        """
+        record = tuple_set.provenance
+        pname = record.pname()
+        payload = self._encode_readings(tuple_set.readings)
+        existing = self.backend.get_payload(pname)
+        if self.backend.has_record(pname):
+            if existing is not None and existing != payload:
+                raise DuplicateProvenanceError(
+                    f"non-identical data offered under identical provenance {pname}"
+                )
+            # Idempotent re-ingest of the same data set.
+            if existing is None:
+                self.backend.put_payload(pname, payload)
+            return pname
+        return self._register(record, payload)
+
+    def ingest_record(self, record: ProvenanceRecord) -> PName:
+        """Store a provenance record without any payload (metadata only).
+
+        Useful for registering ancestors known only by provenance (e.g.
+        records received from another site).
+        """
+        pname = record.pname()
+        if self.backend.has_record(pname):
+            return pname
+        return self._register(record, None)
+
+    def _register(self, record: ProvenanceRecord, payload: Optional[bytes]) -> PName:
+        pname = record.pname()
+        self.backend.put_record(record)
+        if payload is not None:
+            self.backend.put_payload(pname, payload)
+
+        # Graph + closure maintenance (P2: provenance is queryable,
+        # including recursively).
+        self.closure.add_node(pname)
+        for ancestor in record.ancestors:
+            self.closure.add_node(ancestor)
+            self.closure.add_edge(pname, ancestor)
+
+        # Index maintenance.
+        self.attribute_index.add(pname, record)
+        start = record.get("window_start")
+        end = record.get("window_end")
+        if isinstance(start, Timestamp) and isinstance(end, Timestamp):
+            self.temporal_index.add(pname, start, end)
+        location = record.get("location")
+        if isinstance(location, GeoPoint):
+            self.spatial_index.add(pname, location)
+
+        self.stats.ingested += 1
+        return pname
+
+    # ------------------------------------------------------------------
+    # Basic retrieval
+    # ------------------------------------------------------------------
+    def __contains__(self, pname: PName) -> bool:
+        return self.backend.has_record(pname)
+
+    def __len__(self) -> int:
+        return self.backend.record_count()
+
+    def get_record(self, pname: PName) -> ProvenanceRecord:
+        """Fetch the provenance record named by ``pname``."""
+        record = self.backend.get_record(pname)
+        if record is None:
+            raise UnknownEntityError(f"unknown data set {pname}")
+        return record
+
+    def get_readings(self, pname: PName) -> List[SensorReading]:
+        """Fetch the readings of a tuple set; empty if data was removed."""
+        payload = self.backend.get_payload(pname)
+        if payload is None:
+            if not self.backend.has_record(pname):
+                raise UnknownEntityError(f"unknown data set {pname}")
+            return []
+        return self._decode_readings(payload)
+
+    def get_tuple_set(self, pname: PName) -> TupleSet:
+        """Reassemble a full tuple set (readings + provenance)."""
+        return TupleSet(self.get_readings(pname), self.get_record(pname))
+
+    def pnames(self) -> List[PName]:
+        """Every PName known to the store."""
+        return [pname for pname, _ in self.backend.iter_records()]
+
+    # ------------------------------------------------------------------
+    # Removal (PASS property P4)
+    # ------------------------------------------------------------------
+    def remove_data(self, pname: PName) -> None:
+        """Remove a data set's readings while retaining its provenance.
+
+        Afterwards the record still answers attribute and lineage
+        queries, still appears in ancestor/descendant sets, and
+        :meth:`is_removed` reports True -- provenance is not lost when
+        ancestor objects are removed.
+        """
+        if not self.backend.has_record(pname):
+            raise UnknownEntityError(f"unknown data set {pname}")
+        self.backend.delete_payload(pname)
+        self.backend.mark_removed(pname)
+        if pname in self.graph:
+            self.graph.mark_removed(pname)
+
+    def is_removed(self, pname: PName) -> bool:
+        """True when the data set's readings were removed."""
+        return self.backend.is_removed(pname)
+
+    # ------------------------------------------------------------------
+    # Annotations
+    # ------------------------------------------------------------------
+    def annotate(self, pname: PName, annotation: Annotation) -> None:
+        """Attach an annotation to a stored data set and index it."""
+        record = self.get_record(pname)
+        record.annotate(annotation)
+        self.backend.put_record(record)
+        self.attribute_index.add_value(pname, f"annotation:{annotation.key}", annotation.value)
+
+    # ------------------------------------------------------------------
+    # Queries (PASS property P2)
+    # ------------------------------------------------------------------
+    def query(self, query: Query | Predicate) -> List[PName]:
+        """Execute a query and return matching PNames.
+
+        A bare predicate is wrapped in a default :class:`Query`.  The
+        store narrows candidates with the attribute index where an
+        equality predicate on an indexed attribute is available, then
+        evaluates the full predicate on the survivors.
+        """
+        if isinstance(query, Predicate):
+            query = Query(predicate=query)
+        self.stats.queries += 1
+        if query.requires_lineage:
+            self.stats.lineage_queries += 1
+
+        candidates = self._candidates_for(query)
+        self.stats.records_scanned += len(candidates)
+        return query.evaluate(candidates, lineage=self, removed=self.is_removed)
+
+    def query_records(self, query: Query | Predicate) -> List[Tuple[PName, ProvenanceRecord]]:
+        """Like :meth:`query` but returns ``(PName, record)`` pairs."""
+        return [(pname, self.get_record(pname)) for pname in self.query(query)]
+
+    def lookup_attribute(self, name: str, value) -> List[PName]:
+        """Direct equality lookup through the attribute index."""
+        self.stats.queries += 1
+        hits = self.attribute_index.lookup(name, value)
+        self.stats.index_hits += len(hits)
+        return sorted(hits, key=lambda p: p.digest)
+
+    def _candidates_for(self, query: Query) -> List[Tuple[PName, ProvenanceRecord]]:
+        """Choose the cheapest candidate set the indexes can provide."""
+        from repro.core.query import And, AttributeEquals
+
+        predicate = query.predicate
+        equality_parts: List[AttributeEquals] = []
+        if isinstance(predicate, AttributeEquals):
+            equality_parts = [predicate]
+        elif isinstance(predicate, And):
+            equality_parts = [
+                part for part in predicate.parts if isinstance(part, AttributeEquals)
+            ]
+        best: Optional[Set[PName]] = None
+        for part in equality_parts:
+            if not self.attribute_index.covers(part.name):
+                continue
+            hits = self.attribute_index.lookup(part.name, part.value)
+            self.stats.index_hits += len(hits)
+            if best is None or len(hits) < len(best):
+                best = hits
+        if best is not None:
+            return [(pname, self.get_record(pname)) for pname in sorted(best, key=lambda p: p.digest)]
+        return list(self.backend.iter_records())
+
+    # ------------------------------------------------------------------
+    # Lineage queries (transitive closure)
+    # ------------------------------------------------------------------
+    def is_ancestor(self, ancestor: PName, descendant: PName) -> bool:
+        """LineageOracle interface: is ``descendant`` derived from ``ancestor``?"""
+        if ancestor not in self.graph or descendant not in self.graph:
+            return False
+        return self.closure.reachable(ancestor, descendant)
+
+    def ancestors(self, pname: PName) -> Set[PName]:
+        """All data sets ``pname`` was transitively derived from."""
+        self.stats.lineage_queries += 1
+        if pname not in self.graph:
+            raise UnknownEntityError(f"unknown data set {pname}")
+        return self.closure.ancestors(pname)
+
+    def descendants(self, pname: PName) -> Set[PName]:
+        """All data sets transitively derived from ``pname`` (the taint set)."""
+        self.stats.lineage_queries += 1
+        if pname not in self.graph:
+            raise UnknownEntityError(f"unknown data set {pname}")
+        return self.closure.descendants(pname)
+
+    def raw_sources(self, pname: PName) -> Set[PName]:
+        """The raw (underived) data sets at the bottom of ``pname``'s lineage."""
+        self.stats.lineage_queries += 1
+        return self.graph.raw_sources(pname)
+
+    def derivation_path(self, descendant: PName, ancestor: PName) -> Optional[List[PName]]:
+        """One derivation path between two data sets ("what do I need to reproduce this")."""
+        self.stats.lineage_queries += 1
+        return self.graph.path(descendant, ancestor)
+
+    # ------------------------------------------------------------------
+    # Abstraction (Section V)
+    # ------------------------------------------------------------------
+    def add_abstraction_rule(self, rule: AbstractionRule) -> None:
+        """Register a provenance-abstraction rule used by :meth:`report_lineage`."""
+        self._abstraction_rules.append(rule)
+
+    def report_lineage(
+        self, pname: PName, max_depth: Optional[int] = None
+    ) -> AbstractedLineage:
+        """Report the ancestry of ``pname`` with abstraction rules applied."""
+        engine = AbstractionEngine(
+            self.graph,
+            resolver=lambda p: self.backend.get_record(p),
+            rules=self._abstraction_rules,
+        )
+        return engine.report(pname, max_depth=max_depth)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def verify_invariants(self) -> List[str]:
+        """Check the four PASS properties; return a list of violations (empty = good).
+
+        Used by tests, the property-based suite and experiment E13.
+        """
+        violations: List[str] = []
+        seen_digests: Dict[str, PName] = {}
+        for pname, record in self.backend.iter_records():
+            # P1/P3: identity is the provenance digest and digests are unique
+            # per stored record by construction; verify record round-trips.
+            if record.pname().digest != pname.digest:
+                violations.append(f"record stored under wrong PName: {pname}")
+            if pname.digest in seen_digests:
+                violations.append(f"duplicate PName in backend: {pname}")
+            seen_digests[pname.digest] = pname
+            # P4: every ancestor referenced must still be present in the graph.
+            for ancestor in record.ancestors:
+                if ancestor not in self.graph:
+                    violations.append(
+                        f"ancestor {ancestor.short} of {pname.short} missing from graph"
+                    )
+        # P4 continued: removed data sets keep their records.
+        for pname in self.backend.removed_pnames():
+            if not self.backend.has_record(pname):
+                violations.append(f"removed data set {pname.short} lost its provenance record")
+        return violations
+
+    def _rebuild_from_backend(self) -> None:
+        for pname, record in self.backend.iter_records():
+            self.closure.add_node(pname)
+            for ancestor in record.ancestors:
+                self.closure.add_node(ancestor)
+                self.closure.add_edge(pname, ancestor)
+            self.attribute_index.add(pname, record)
+            start = record.get("window_start")
+            end = record.get("window_end")
+            if isinstance(start, Timestamp) and isinstance(end, Timestamp):
+                self.temporal_index.add(pname, start, end)
+            location = record.get("location")
+            if isinstance(location, GeoPoint):
+                self.spatial_index.add(pname, location)
+            if self.backend.is_removed(pname) and pname in self.graph:
+                self.graph.mark_removed(pname)
+
+    # ------------------------------------------------------------------
+    # Reading (de)serialisation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode_readings(readings: Sequence[SensorReading]) -> bytes:
+        payload = []
+        for reading in readings:
+            item = {
+                "sensor_id": reading.sensor_id,
+                "timestamp": reading.timestamp.seconds,
+                "values": {
+                    key: _reading_value_to_json(value) for key, value in reading.values.items()
+                },
+            }
+            if reading.location is not None:
+                item["location"] = [reading.location.latitude, reading.location.longitude]
+            payload.append(item)
+        return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+    @staticmethod
+    def _decode_readings(payload: bytes) -> List[SensorReading]:
+        items = json.loads(payload.decode("utf-8"))
+        readings = []
+        for item in items:
+            location = None
+            if "location" in item:
+                location = GeoPoint(item["location"][0], item["location"][1])
+            readings.append(
+                SensorReading(
+                    sensor_id=item["sensor_id"],
+                    timestamp=Timestamp(item["timestamp"]),
+                    values={
+                        key: _reading_value_from_json(value)
+                        for key, value in item["values"].items()
+                    },
+                    location=location,
+                )
+            )
+        return readings
+
+
+def _reading_value_to_json(value):
+    if isinstance(value, Timestamp):
+        return {"__type__": "timestamp", "seconds": value.seconds}
+    if isinstance(value, GeoPoint):
+        return {"__type__": "geopoint", "lat": value.latitude, "lon": value.longitude}
+    if isinstance(value, tuple):
+        return {"__type__": "list", "items": [_reading_value_to_json(item) for item in value]}
+    return value
+
+
+def _reading_value_from_json(value):
+    if isinstance(value, dict):
+        kind = value.get("__type__")
+        if kind == "timestamp":
+            return Timestamp(value["seconds"])
+        if kind == "geopoint":
+            return GeoPoint(value["lat"], value["lon"])
+        if kind == "list":
+            return tuple(_reading_value_from_json(item) for item in value["items"])
+    return value

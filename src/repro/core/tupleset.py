@@ -1,0 +1,256 @@
+"""Sensor readings and tuple sets: the unit of indexing.
+
+Section II of the paper: indexing every individual sensor reading is
+"infeasible, due to the sheer number of readings, and also not
+necessarily useful"; the right granularity is the *tuple set*, "a
+collection of readings grouped by some property, typically time".
+
+This module provides:
+
+* :class:`SensorReading` -- a single reading (tuple) with a timestamp, a
+  value payload, the producing sensor id and an optional location.
+* :class:`TupleSet` -- an ordered collection of readings plus the
+  :class:`~repro.core.provenance.ProvenanceRecord` that names it.
+* :class:`TupleSetWindower` -- groups a stream of readings into tuple
+  sets by fixed time window (the "all the readings of a particular type
+  over the span of one hour or one minute" example from the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from repro.core.attributes import AttributeValue, GeoPoint, Timestamp, ensure_attribute_map
+from repro.core.provenance import Agent, PName, ProvenanceRecord
+from repro.errors import ProvenanceError
+
+__all__ = ["SensorReading", "TupleSet", "TupleSetWindower"]
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One sensor reading (a tuple).
+
+    Attributes
+    ----------
+    sensor_id:
+        Identifier of the physical (simulated) sensor that produced it.
+    timestamp:
+        When the reading was taken.
+    values:
+        The measured quantities, e.g. ``{"speed_kph": 42.0}`` or
+        ``{"heart_rate": 88, "spo2": 0.97}``.
+    location:
+        Where the reading was taken, when known.
+    """
+
+    sensor_id: str
+    timestamp: Timestamp
+    values: Mapping[str, AttributeValue] = field(default_factory=dict)
+    location: Optional[GeoPoint] = None
+
+    def __post_init__(self) -> None:
+        if not self.sensor_id:
+            raise ProvenanceError("sensor_id must be non-empty")
+        if not isinstance(self.timestamp, Timestamp):
+            raise ProvenanceError("timestamp must be a Timestamp")
+        object.__setattr__(self, "values", dict(ensure_attribute_map(dict(self.values))))
+
+    def value(self, name: str, default=None):
+        """Return one measured quantity by name."""
+        return self.values.get(name, default)
+
+    def size_bytes(self) -> int:
+        """Rough serialised size, used for network/storage accounting."""
+        base = 16 + len(self.sensor_id) + 8  # id + timestamp
+        for key, val in self.values.items():
+            base += len(key) + 12
+        if self.location is not None:
+            base += 16
+        return base
+
+
+class TupleSet:
+    """A named collection of sensor readings.
+
+    A tuple set couples the readings themselves with the
+    :class:`ProvenanceRecord` that describes -- and *names* -- them.  The
+    record's :class:`~repro.core.provenance.PName` is the identity used
+    by every index and architecture model in the library.
+    """
+
+    __slots__ = ("_readings", "_provenance")
+
+    def __init__(
+        self,
+        readings: Sequence[SensorReading],
+        provenance: ProvenanceRecord,
+    ) -> None:
+        if not isinstance(provenance, ProvenanceRecord):
+            raise ProvenanceError("a TupleSet requires a ProvenanceRecord")
+        self._readings: List[SensorReading] = list(readings)
+        for reading in self._readings:
+            if not isinstance(reading, SensorReading):
+                raise ProvenanceError(f"expected SensorReading, got {reading!r}")
+        self._provenance = provenance
+
+    # ------------------------------------------------------------------
+    # Identity and provenance
+    # ------------------------------------------------------------------
+    @property
+    def provenance(self) -> ProvenanceRecord:
+        """The provenance record that names this tuple set."""
+        return self._provenance
+
+    @property
+    def pname(self) -> PName:
+        """Shorthand for ``self.provenance.pname()``."""
+        return self._provenance.pname()
+
+    # ------------------------------------------------------------------
+    # Contents
+    # ------------------------------------------------------------------
+    @property
+    def readings(self) -> List[SensorReading]:
+        """A copy of the readings in this tuple set."""
+        return list(self._readings)
+
+    def __len__(self) -> int:
+        return len(self._readings)
+
+    def __iter__(self) -> Iterator[SensorReading]:
+        return iter(self._readings)
+
+    def is_empty(self) -> bool:
+        """True when the tuple set holds no readings (metadata-only sets)."""
+        return not self._readings
+
+    def time_span(self) -> Optional[tuple]:
+        """(earliest, latest) timestamps of the readings, or None if empty."""
+        if not self._readings:
+            return None
+        seconds = [reading.timestamp.seconds for reading in self._readings]
+        return (Timestamp(min(seconds)), Timestamp(max(seconds)))
+
+    def sensors(self) -> List[str]:
+        """Sorted list of distinct sensor ids contributing readings."""
+        return sorted({reading.sensor_id for reading in self._readings})
+
+    def size_bytes(self) -> int:
+        """Approximate serialised size of the readings (not the provenance)."""
+        return sum(reading.size_bytes() for reading in self._readings)
+
+    def centroid(self) -> Optional[GeoPoint]:
+        """Mean location of located readings, or None when none carry one."""
+        located = [reading.location for reading in self._readings if reading.location]
+        if not located:
+            return None
+        lat = sum(point.latitude for point in located) / len(located)
+        lon = sum(point.longitude for point in located) / len(located)
+        return GeoPoint(lat, lon)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def derive(
+        self,
+        readings: Sequence[SensorReading],
+        attributes: Mapping[str, AttributeValue],
+        agent: Optional[Agent] = None,
+    ) -> "TupleSet":
+        """Create a tuple set derived from this one.
+
+        The new set's provenance lists this set's PName as an ancestor
+        and the transforming ``agent``; this is how pipeline operators
+        build lineage chains.
+        """
+        derived_record = self._provenance.derive(attributes, agent=agent)
+        return TupleSet(readings, derived_record)
+
+    def summary(self) -> Dict[str, object]:
+        """A small dict of facts used by reports and examples."""
+        span = self.time_span()
+        return {
+            "pname": self.pname.short,
+            "readings": len(self._readings),
+            "sensors": len(self.sensors()),
+            "bytes": self.size_bytes(),
+            "start": span[0].seconds if span else None,
+            "end": span[1].seconds if span else None,
+            "raw": self._provenance.is_raw(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TupleSet({self.pname.short}, {len(self._readings)} readings)"
+
+
+class TupleSetWindower:
+    """Groups a stream of readings into fixed-duration tuple sets.
+
+    Parameters
+    ----------
+    window_seconds:
+        Width of each time window.
+    base_attributes:
+        Attributes stamped on every produced tuple set (sensor network
+        name, domain, owner, location ...).
+    agent:
+        The agent recorded as the producer (usually the sensor network
+        itself, e.g. ``Agent("sensor-network", "congestion-zone", "v2")``).
+    attribute_fn:
+        Optional callable ``(window_start, readings) -> dict`` adding
+        per-window attributes (e.g. the window's mean value).
+    """
+
+    def __init__(
+        self,
+        window_seconds: float,
+        base_attributes: Mapping[str, AttributeValue],
+        agent: Optional[Agent] = None,
+        attribute_fn: Optional[Callable[[Timestamp, Sequence[SensorReading]], dict]] = None,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ProvenanceError("window_seconds must be positive")
+        self._window_seconds = float(window_seconds)
+        self._base_attributes = ensure_attribute_map(dict(base_attributes))
+        self._agent = agent
+        self._attribute_fn = attribute_fn
+
+    @property
+    def window_seconds(self) -> float:
+        """Width of each produced window, in seconds."""
+        return self._window_seconds
+
+    def window_start(self, timestamp: Timestamp) -> Timestamp:
+        """The start of the window containing ``timestamp``."""
+        index = int(timestamp.seconds // self._window_seconds)
+        return Timestamp(index * self._window_seconds)
+
+    def window(self, readings: Iterable[SensorReading]) -> List[TupleSet]:
+        """Partition ``readings`` into tuple sets, one per non-empty window.
+
+        Readings are bucketed by window start; each bucket becomes one
+        tuple set whose provenance includes the window boundaries, the
+        base attributes and any attributes computed by ``attribute_fn``.
+        Windows are returned in chronological order.
+        """
+        buckets: Dict[float, List[SensorReading]] = {}
+        for reading in readings:
+            start = self.window_start(reading.timestamp)
+            buckets.setdefault(start.seconds, []).append(reading)
+
+        tuple_sets: List[TupleSet] = []
+        for start_seconds in sorted(buckets):
+            bucket = sorted(buckets[start_seconds], key=lambda r: r.timestamp.seconds)
+            start = Timestamp(start_seconds)
+            attributes = dict(self._base_attributes)
+            attributes["window_start"] = start
+            attributes["window_end"] = Timestamp(start_seconds + self._window_seconds)
+            attributes["reading_count"] = len(bucket)
+            if self._attribute_fn is not None:
+                attributes.update(ensure_attribute_map(self._attribute_fn(start, bucket)))
+            agents = (self._agent,) if self._agent is not None else ()
+            record = ProvenanceRecord(attributes=attributes, agents=agents)
+            tuple_sets.append(TupleSet(bucket, record))
+        return tuple_sets

@@ -1,0 +1,23 @@
+"""The Section IV architecture models, all behind one interface."""
+
+from repro.distributed.base import ArchitectureModel, OperationResult, estimate_record_bytes
+from repro.distributed.centralized import CentralizedWarehouse
+from repro.distributed.dht import DistributedHashTable
+from repro.distributed.distributed_db import DistributedDatabase
+from repro.distributed.federated import FederatedDatabase
+from repro.distributed.hierarchical import HierarchicalNamespace
+from repro.distributed.locality import LocaleAwarePass
+from repro.distributed.soft_state import SoftStateIndex
+
+__all__ = [
+    "ArchitectureModel",
+    "OperationResult",
+    "estimate_record_bytes",
+    "CentralizedWarehouse",
+    "DistributedDatabase",
+    "FederatedDatabase",
+    "SoftStateIndex",
+    "HierarchicalNamespace",
+    "DistributedHashTable",
+    "LocaleAwarePass",
+]

@@ -1,0 +1,183 @@
+"""Common interface of the Section IV architecture models.
+
+The paper compares how different storage/index architectures would serve
+provenance-indexed sensor data: a centralized warehouse, distributed and
+federated databases, soft-state Grid services, hierarchical namespaces,
+and DHTs.  Each model in this package implements the same small
+interface so the evaluation harness can drive them identically:
+
+* :meth:`ArchitectureModel.publish` -- a sensor site announces a new
+  tuple set (the readings stay wherever the model places them; what
+  moves is provenance metadata and, for some models, the data itself),
+* :meth:`ArchitectureModel.query` -- a consumer at some site runs an
+  attribute query,
+* :meth:`ArchitectureModel.ancestors` / :meth:`descendants` -- the
+  recursive provenance queries,
+* :meth:`ArchitectureModel.locate` -- where is the data named by a
+  PName actually stored (and is the pointer still valid)?
+
+Every operation returns an :class:`OperationResult` carrying the answer
+plus the latency / message / byte cost the simulated network charged, so
+the harness can score the Section IV criteria without knowing anything
+about the model's internals.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.pass_store import PassStore
+from repro.core.provenance import PName
+from repro.core.query import Predicate, Query
+from repro.core.tupleset import TupleSet
+from repro.errors import UnknownEntityError
+from repro.net.simulator import NetworkSimulator
+from repro.net.topology import Topology
+
+__all__ = ["OperationResult", "ArchitectureModel", "estimate_record_bytes"]
+
+
+def estimate_record_bytes(tuple_set: TupleSet) -> int:
+    """Approximate wire size of a tuple set's provenance record."""
+    return len(tuple_set.provenance.to_json().encode("utf-8"))
+
+
+@dataclass
+class OperationResult:
+    """The answer to one operation plus its network cost."""
+
+    pnames: List[PName] = field(default_factory=list)
+    latency_ms: float = 0.0
+    messages: int = 0
+    bytes: int = 0
+    #: sites that had to participate to answer
+    sites_contacted: List[str] = field(default_factory=list)
+    #: model-specific notes ("stale index entry", "dangling link", ...)
+    notes: List[str] = field(default_factory=list)
+
+    def pname_set(self) -> Set[PName]:
+        """The result as a set (order-insensitive comparisons in tests)."""
+        return set(self.pnames)
+
+
+class ArchitectureModel(ABC):
+    """Base class every architecture model extends."""
+
+    #: short machine-readable name used in reports ("centralized", "dht", ...)
+    name = "abstract"
+    #: does the model support transitive-closure (lineage) queries at all?
+    supports_lineage = True
+    #: Section IV-B/IV-C distinction: does the model require stable hosts?
+    requires_stable_hosts = True
+
+    def __init__(self, topology: Topology, network: Optional[NetworkSimulator] = None) -> None:
+        self.topology = topology
+        self.network = network if network is not None else NetworkSimulator(topology)
+        self.published = 0
+        self.queries_run = 0
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def publish(self, tuple_set: TupleSet, origin_site: str) -> OperationResult:
+        """Announce (and place) a freshly produced tuple set from ``origin_site``."""
+
+    @abstractmethod
+    def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:
+        """Run an attribute query issued by a consumer at ``origin_site``."""
+
+    @abstractmethod
+    def ancestors(self, pname: PName, origin_site: str) -> OperationResult:
+        """Transitive ancestors of ``pname`` (raises UnsupportedQueryError if unsupported)."""
+
+    @abstractmethod
+    def descendants(self, pname: PName, origin_site: str) -> OperationResult:
+        """Transitive descendants of ``pname`` (the taint query)."""
+
+    @abstractmethod
+    def locate(self, pname: PName, origin_site: str) -> OperationResult:
+        """Find the site(s) storing the data for ``pname``.
+
+        ``sites_contacted`` of the result carries the answer; a dangling
+        or stale pointer is reported through ``notes``.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_query(query: Query | Predicate) -> Query:
+        if isinstance(query, Query):
+            return query
+        return Query(predicate=query)
+
+    def _charge(
+        self,
+        result: OperationResult,
+        latency_ms: float,
+        messages: int,
+        size_bytes: int,
+        site: Optional[str] = None,
+    ) -> None:
+        """Accumulate cost onto a result (models call this after network sends)."""
+        result.latency_ms += latency_ms
+        result.messages += messages
+        result.bytes += size_bytes
+        if site is not None and site not in result.sites_contacted:
+            result.sites_contacted.append(site)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def traffic_snapshot(self) -> dict:
+        """The model's cumulative network traffic."""
+        return self.network.stats.snapshot()
+
+    def describe(self) -> Dict[str, object]:
+        """Facts about the model used in reports."""
+        return {
+            "name": self.name,
+            "supports_lineage": self.supports_lineage,
+            "requires_stable_hosts": self.requires_stable_hosts,
+            "published": self.published,
+            "queries_run": self.queries_run,
+            "sites": len(self.topology),
+        }
+
+
+class SiteStores:
+    """A convenience container mapping site name -> local PassStore.
+
+    Several models keep one store per site; this helper creates them
+    lazily and exposes a couple of aggregate views.
+    """
+
+    def __init__(self, site_names: Sequence[str]) -> None:
+        self._stores: Dict[str, PassStore] = {
+            name: PassStore(site=name) for name in site_names
+        }
+
+    def store(self, site: str) -> PassStore:
+        """The store at ``site`` (raises for unknown sites)."""
+        try:
+            return self._stores[site]
+        except KeyError:
+            raise UnknownEntityError(f"no store at site {site!r}") from None
+
+    def __contains__(self, site: str) -> bool:
+        return site in self._stores
+
+    def items(self):
+        """Iterate over (site, store) pairs, sorted by site name."""
+        return sorted(self._stores.items())
+
+    def total_records(self) -> int:
+        """Total records across every site."""
+        return sum(len(store) for _, store in self.items())
+
+    def holders_of(self, pname: PName) -> List[str]:
+        """Sites whose local store has the record."""
+        return [site for site, store in self.items() if pname in store]

@@ -1,0 +1,334 @@
+"""The distributed-hash-table model (Section IV-C).
+
+"The most widely-used mechanism in this class is the distributed hash
+table, or DHT.  However, DHTs do not appear to be a suitable solution.
+First, storing data objects by hashing a key inherently assumes that the
+location of these objects is unimportant ...  Second, periodic updates
+of distinct queriable attributes to DHTs scale to only tens of thousands
+of updaters ...  Finally, support for efficient recursive queries is so
+far nonexistent."
+
+The model is a Chord-like ring:
+
+* every site owns a position on a 2^32 identifier ring; keys are hashed
+  to the ring and stored at their successor,
+* lookups route greedily through finger tables, charging O(log n) hops
+  of real (topology) latency per lookup -- routing ignores geography, so
+  a Boston key's route may bounce through Singapore,
+* publishing a tuple set puts the record at the hash of its PName *and*
+  puts one index entry per queriable attribute value (that is what
+  "periodic updates of distinct queriable attributes" means), so the
+  update fan-out per tuple set equals the number of indexed attributes,
+* per-node update capacity is finite; experiment E9 sweeps the number of
+  concurrent updaters and reports when offered load exceeds ring
+  capacity (the "tens of thousands of updaters" wall),
+* attribute queries are supported only as exact-match key lookups
+  (equality on an indexed attribute); anything else -- ranges, spatial
+  predicates -- must flood the ring, and recursive lineage queries are
+  iterated per-edge lookups, each paying full routing cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.attributes import canonical_encode
+from repro.core.provenance import PName, ProvenanceRecord
+from repro.core.query import And, AttributeEquals, Predicate, Query
+from repro.core.tupleset import TupleSet
+from repro.distributed.base import (
+    ArchitectureModel,
+    OperationResult,
+    estimate_record_bytes,
+)
+from repro.errors import ConfigurationError
+from repro.net.simulator import NetworkSimulator
+from repro.net.topology import Topology
+
+__all__ = ["DistributedHashTable"]
+
+_RING_BITS = 32
+_RING_SIZE = 2 ** _RING_BITS
+_QUERY_REQUEST_BYTES = 192
+_POINTER_BYTES = 96
+
+
+def _key(text: str) -> int:
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return int(digest[:8], 16) % _RING_SIZE
+
+
+class DistributedHashTable(ArchitectureModel):
+    """A Chord-like DHT indexing provenance attribute values.
+
+    Parameters
+    ----------
+    indexed_attributes:
+        Attribute names published into the DHT as queriable keys.  Every
+        publish writes one entry per attribute the record carries.
+    per_node_updates_per_second:
+        Capacity of one ring node; used by the update-scaling sweep.
+    """
+
+    name = "dht"
+    supports_lineage = True  # possible, but each edge costs a full routed lookup
+    requires_stable_hosts = False
+
+    def __init__(
+        self,
+        topology: Topology,
+        network: Optional[NetworkSimulator] = None,
+        indexed_attributes: Optional[List[str]] = None,
+        per_node_updates_per_second: float = 50.0,
+    ) -> None:
+        super().__init__(topology, network)
+        self._sites = topology.site_names
+        if len(self._sites) < 2:
+            raise ConfigurationError("a DHT needs at least two participating sites")
+        self.indexed_attributes = list(
+            indexed_attributes
+            if indexed_attributes is not None
+            else ["domain", "network", "city", "region", "stage", "patient"]
+        )
+        self.per_node_updates_per_second = per_node_updates_per_second
+        # Ring positions.
+        self._position: Dict[str, int] = {site: _key(f"node:{site}") for site in self._sites}
+        self._ring: List[Tuple[int, str]] = sorted(
+            (position, site) for site, position in self._position.items()
+        )
+        # Storage: records keyed by pname hash; attribute index entries.
+        self._records: Dict[str, Dict[str, ProvenanceRecord]] = {site: {} for site in self._sites}
+        self._attr_entries: Dict[str, Dict[str, Set[str]]] = {site: {} for site in self._sites}
+        self._children: Dict[str, Set[str]] = {}
+        self._data_location: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Ring mechanics
+    # ------------------------------------------------------------------
+    def successor(self, key: int) -> str:
+        """The site responsible for ``key`` (first ring position >= key)."""
+        for position, site in self._ring:
+            if position >= key:
+                return site
+        return self._ring[0][1]
+
+    def route_hops(self, origin: str) -> int:
+        """Number of overlay hops a lookup takes (Chord's O(log n))."""
+        return max(1, int(math.ceil(math.log2(len(self._sites)))))
+
+    def _routed_lookup(
+        self, origin_site: str, key: int, size_bytes: int, kind: str
+    ) -> Tuple[str, float, int, int]:
+        """Route from origin to the key's owner; return (owner, latency, msgs, bytes).
+
+        Each overlay hop is a real message between (deterministically
+        chosen) sites, so routing latency reflects geography even though
+        placement ignores it -- exactly the mismatch the paper complains
+        about.
+        """
+        owner = self.successor(key)
+        hops = self.route_hops(origin_site)
+        latency = 0.0
+        messages = 0
+        total_bytes = 0
+        current = origin_site
+        for hop in range(hops):
+            if hop == hops - 1:
+                nxt = owner
+            else:
+                nxt = self._sites[(self._sites.index(current) + hop + 1) % len(self._sites)]
+            message = self.network.send(current, nxt, size_bytes, kind)
+            latency += message.latency_ms
+            messages += 1
+            total_bytes += size_bytes
+            current = nxt
+        return owner, latency, messages, total_bytes
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def publish(self, tuple_set: TupleSet, origin_site: str) -> OperationResult:
+        result = OperationResult()
+        record = tuple_set.provenance
+        pname = tuple_set.pname
+        record_bytes = estimate_record_bytes(tuple_set)
+
+        # Store the record itself at hash(pname).
+        owner, latency, messages, sent = self._routed_lookup(
+            origin_site, _key(pname.digest), record_bytes, "dht-put-record"
+        )
+        self._records[owner][pname.digest] = record
+        self._data_location[pname.digest] = owner
+        self._charge(result, latency, messages, sent, owner)
+
+        # One index entry per queriable attribute value the record carries.
+        for attribute in self.indexed_attributes:
+            value = record.get(attribute)
+            if value is None:
+                continue
+            entry_key = _key(f"{attribute}={canonical_encode(value)}")
+            owner, latency, messages, sent = self._routed_lookup(
+                origin_site, entry_key, _POINTER_BYTES, "dht-put-index"
+            )
+            bucket = self._attr_entries[owner].setdefault(
+                f"{attribute}={canonical_encode(value)}", set()
+            )
+            bucket.add(pname.digest)
+            self._charge(result, latency, messages, sent, owner)
+
+        # Reverse edges so descendant queries are answerable at the parent's node.
+        for ancestor in record.ancestors:
+            owner, latency, messages, sent = self._routed_lookup(
+                origin_site, _key(ancestor.digest), _POINTER_BYTES, "dht-put-edge"
+            )
+            self._children.setdefault(ancestor.digest, set()).add(pname.digest)
+            self._charge(result, latency, messages, sent, owner)
+
+        result.pnames = [pname]
+        self.published += 1
+        return result
+
+    def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:
+        query = self._as_query(query)
+        result = OperationResult()
+        equality = self._routable_equality(query)
+        if equality is None:
+            return self._flood_query(query, origin_site, result)
+
+        attribute, value = equality
+        entry_key = _key(f"{attribute}={canonical_encode(value)}")
+        owner, latency, messages, sent = self._routed_lookup(
+            origin_site, entry_key, _QUERY_REQUEST_BYTES, "dht-get-index"
+        )
+        digests = self._attr_entries[owner].get(f"{attribute}={canonical_encode(value)}", set())
+        # Fetch each candidate record to evaluate the residual predicate.
+        matches: List[PName] = []
+        for digest in sorted(digests):
+            pname = PName(digest)
+            record_owner, fetch_latency, fetch_messages, fetch_bytes = self._routed_lookup(
+                origin_site, _key(digest), _POINTER_BYTES, "dht-get-record"
+            )
+            record = self._records[record_owner].get(digest)
+            self._charge(result, fetch_latency, fetch_messages, fetch_bytes, record_owner)
+            if record is not None and query.predicate.matches(pname, record, None):
+                matches.append(pname)
+        self._charge(result, latency, messages, sent, owner)
+        result.pnames = sorted(matches, key=lambda p: p.digest)
+        if query.limit is not None:
+            result.pnames = result.pnames[: query.limit]
+        self.queries_run += 1
+        return result
+
+    def _flood_query(
+        self, query: Query, origin_site: str, result: OperationResult
+    ) -> OperationResult:
+        """No routable key: ask every node (the expensive fallback)."""
+        result.notes.append("no routable attribute: flooded every ring node")
+        slowest = self.network.broadcast(
+            origin_site, self._sites, _QUERY_REQUEST_BYTES, "dht-flood-query"
+        )
+        matches: List[PName] = []
+        reply_latency = 0.0
+        for site in self._sites:
+            local: List[PName] = []
+            for digest, record in self._records[site].items():
+                pname = PName(digest)
+                if query.predicate.matches(pname, record, None):
+                    local.append(pname)
+            response = self.network.send(
+                site, origin_site, _POINTER_BYTES * max(1, len(local)), "dht-flood-reply"
+            )
+            reply_latency = max(reply_latency, response.latency_ms)
+            matches.extend(local)
+            result.messages += 2
+            result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
+            result.sites_contacted.append(site)
+        result.latency_ms += slowest + reply_latency
+        result.pnames = sorted(set(matches), key=lambda p: p.digest)
+        if query.limit is not None:
+            result.pnames = result.pnames[: query.limit]
+        self.queries_run += 1
+        return result
+
+    @staticmethod
+    def _routable_equality(query: Query) -> Optional[Tuple[str, object]]:
+        predicate = query.predicate
+        parts = predicate.parts if isinstance(predicate, And) else (predicate,)
+        for part in parts:
+            if isinstance(part, AttributeEquals):
+                return part.name, part.value
+        return None
+
+    def ancestors(self, pname: PName, origin_site: str) -> OperationResult:
+        return self._lineage(pname, origin_site, up=True)
+
+    def descendants(self, pname: PName, origin_site: str) -> OperationResult:
+        return self._lineage(pname, origin_site, up=False)
+
+    def _lineage(self, pname: PName, origin_site: str, up: bool) -> OperationResult:
+        """Every edge traversal is a separate routed lookup: "so far nonexistent" support."""
+        result = OperationResult()
+        found: Set[str] = set()
+        frontier: Set[str] = {pname.digest}
+        while frontier:
+            next_frontier: Set[str] = set()
+            for digest in sorted(frontier):
+                owner, latency, messages, sent = self._routed_lookup(
+                    origin_site, _key(digest), _POINTER_BYTES, "dht-closure-lookup"
+                )
+                self._charge(result, latency, messages, sent, owner)
+                if up:
+                    record = self._records[owner].get(digest)
+                    neighbours = (
+                        [ancestor.digest for ancestor in record.ancestors] if record else []
+                    )
+                else:
+                    neighbours = sorted(self._children.get(digest, set()))
+                for neighbour in neighbours:
+                    if neighbour not in found and neighbour != pname.digest:
+                        next_frontier.add(neighbour)
+            found |= next_frontier
+            frontier = next_frontier
+        result.pnames = sorted((PName(digest) for digest in found), key=lambda p: p.digest)
+        self.queries_run += 1
+        return result
+
+    def locate(self, pname: PName, origin_site: str) -> OperationResult:
+        result = OperationResult()
+        owner, latency, messages, sent = self._routed_lookup(
+            origin_site, _key(pname.digest), 128, "dht-locate"
+        )
+        self._charge(result, latency, messages, sent, owner)
+        if pname.digest in self._records[owner]:
+            result.sites_contacted.append(owner)
+            result.pnames = [pname]
+        else:
+            result.notes.append("unknown pname")
+        return result
+
+    # ------------------------------------------------------------------
+    # Placement / scaling diagnostics (experiments E9 and E10)
+    # ------------------------------------------------------------------
+    def placement_distance_km(self, pname: PName, origin_site: str) -> float:
+        """Distance from the producing site to where the DHT actually put the record."""
+        owner = self._data_location.get(pname.digest)
+        if owner is None:
+            return 0.0
+        return self.topology.distance_km(origin_site, owner)
+
+    def ring_update_capacity(self) -> float:
+        """Aggregate updates/second the ring can absorb."""
+        return self.per_node_updates_per_second * len(self._sites)
+
+    def updates_per_publish(self) -> int:
+        """Index entries written per published tuple set (attribute fan-out)."""
+        return 1 + len(self.indexed_attributes)
+
+    def max_supported_updaters(self, publishes_per_updater_per_second: float) -> int:
+        """How many concurrent updaters the ring supports before saturating."""
+        if publishes_per_updater_per_second <= 0:
+            raise ConfigurationError("publish rate must be positive")
+        per_updater_load = publishes_per_updater_per_second * self.updates_per_publish()
+        return int(self.ring_update_capacity() / per_updater_load)

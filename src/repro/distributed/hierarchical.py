@@ -1,0 +1,233 @@
+"""The hierarchical filename/URL model (Section IV-B, fourth architecture).
+
+"Organize the material into a hierarchical namespace and then use the
+hierarchy to partition the data across a distributed network of servers.
+...  Hierarchical naming systems are fundamentally limited by the need
+to choose a significance ordering for the attributes.  This is a bad fit
+for any problem where no natural ordering exists ...  Choosing either
+one as most significant will make querying on the other difficult."
+
+The model is given a *significance ordering* -- a list of attribute
+names -- and assigns each published record a path like
+``/<attr1>/<attr2>/.../<pname>``.  The first path component determines
+which server owns the record.  The consequences the paper predicts fall
+straight out:
+
+* a query constraining the most-significant attribute routes to exactly
+  one server,
+* a query constraining only a less-significant attribute cannot be
+  routed and must be broadcast to every server (and, within a server,
+  scanned),
+* attributes outside the ordering are not represented in the namespace
+  at all; queries on them are also full broadcasts,
+* recursive lineage queries have no home in a pure namespace; the model
+  supports them only by broadcasting level-by-level, and experiment E8
+  charges that cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.attributes import canonical_encode
+from repro.core.naming import FilenameConvention
+from repro.core.provenance import PName
+from repro.core.query import And, AttributeEquals, Predicate, Query
+from repro.core.tupleset import TupleSet
+from repro.distributed.base import (
+    ArchitectureModel,
+    OperationResult,
+    SiteStores,
+    estimate_record_bytes,
+)
+from repro.errors import ConfigurationError
+from repro.net.simulator import NetworkSimulator
+from repro.net.topology import Topology
+
+__all__ = ["HierarchicalNamespace"]
+
+_QUERY_REQUEST_BYTES = 256
+_POINTER_BYTES = 96
+
+
+class HierarchicalNamespace(ArchitectureModel):
+    """A namespace partitioned across servers by its most significant attribute.
+
+    Parameters
+    ----------
+    significance_order:
+        Attribute names, most significant first.  The first attribute's
+        value chooses the owning server (hashed onto the site list).
+    """
+
+    name = "hierarchical"
+    supports_lineage = True
+    requires_stable_hosts = True
+
+    def __init__(
+        self,
+        topology: Topology,
+        significance_order: Sequence[str],
+        network: Optional[NetworkSimulator] = None,
+    ) -> None:
+        super().__init__(topology, network)
+        if not significance_order:
+            raise ConfigurationError("significance_order must list at least one attribute")
+        self.significance_order = list(significance_order)
+        self.convention = FilenameConvention(self.significance_order, separator="/")
+        self._sites = topology.site_names
+        self._stores = SiteStores(self._sites)
+        # top-level path component -> owning server
+        self._partition_of: Dict[str, str] = {}
+        self._paths: Dict[str, str] = {}  # pname digest -> full path
+        self._component_of: Dict[str, str] = {}  # pname digest -> top-level component
+        self._data_location: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Namespace mechanics
+    # ------------------------------------------------------------------
+    def path_for(self, tuple_set: TupleSet) -> str:
+        """The namespace path assigned to a tuple set."""
+        prefix = self.convention.name(tuple_set.provenance)
+        return f"/{prefix}/{tuple_set.pname.short}"
+
+    def server_for_component(self, component: str) -> str:
+        """The server owning a top-level path component (stable assignment)."""
+        if component not in self._partition_of:
+            digest = hashlib.sha256(component.encode("utf-8")).hexdigest()
+            index = int(digest[:8], 16) % len(self._sites)
+            self._partition_of[component] = self._sites[index]
+        return self._partition_of[component]
+
+    def _top_component(self, tuple_set: TupleSet) -> str:
+        value = tuple_set.provenance.get(self.significance_order[0])
+        return canonical_encode(value) if value is not None else "unknown"
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def publish(self, tuple_set: TupleSet, origin_site: str) -> OperationResult:
+        result = OperationResult()
+        component = self._top_component(tuple_set)
+        server = self.server_for_component(component)
+        record_bytes = estimate_record_bytes(tuple_set)
+        message = self.network.send(origin_site, server, record_bytes, "namespace-publish")
+        ack = self.network.send(server, origin_site, 64, "namespace-ack")
+        self._stores.store(server).ingest_record(tuple_set.provenance)
+        self._paths[tuple_set.pname.digest] = self.path_for(tuple_set)
+        self._component_of[tuple_set.pname.digest] = component
+        self._data_location[tuple_set.pname.digest] = origin_site
+        self._charge(
+            result, message.latency_ms + ack.latency_ms, 2, record_bytes + 64, server
+        )
+        result.pnames = [tuple_set.pname]
+        self.published += 1
+        return result
+
+    def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:
+        query = self._as_query(query)
+        result = OperationResult()
+        targets = self._route(query)
+        slowest = 0.0
+        matches: List[PName] = []
+        for server in targets:
+            request = self.network.send(origin_site, server, _QUERY_REQUEST_BYTES, "query")
+            local = self._stores.store(server).query(query)
+            response = self.network.send(
+                server, origin_site, _POINTER_BYTES * max(1, len(local)), "query-response"
+            )
+            slowest = max(slowest, request.latency_ms + response.latency_ms)
+            matches.extend(local)
+            result.messages += 2
+            result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
+            result.sites_contacted.append(server)
+        result.latency_ms += slowest
+        result.pnames = sorted(set(matches), key=lambda p: p.digest)
+        if len(targets) == len(self._sites):
+            result.notes.append("non-primary attribute: broadcast to all servers")
+        self.queries_run += 1
+        return result
+
+    def _route(self, query: Query) -> List[str]:
+        """Which servers must be consulted for this query.
+
+        Only an equality constraint on the *most significant* attribute
+        can be routed; anything else touches every server.
+        """
+        primary = self.significance_order[0]
+        predicate = query.predicate
+        parts: List[Predicate]
+        if isinstance(predicate, And):
+            parts = list(predicate.parts)
+        else:
+            parts = [predicate]
+        for part in parts:
+            if isinstance(part, AttributeEquals) and part.name == primary:
+                component = canonical_encode(part.value)
+                return [self.server_for_component(component)]
+        return list(self._sites)
+
+    def ancestors(self, pname: PName, origin_site: str) -> OperationResult:
+        return self._lineage(pname, origin_site, up=True)
+
+    def descendants(self, pname: PName, origin_site: str) -> OperationResult:
+        return self._lineage(pname, origin_site, up=False)
+
+    def _lineage(self, pname: PName, origin_site: str, up: bool) -> OperationResult:
+        """Namespace servers hold no lineage index; expand by broadcasting each level."""
+        result = OperationResult()
+        found: Set[PName] = set()
+        frontier: Set[PName] = {pname}
+        rounds = 0
+        while frontier:
+            rounds += 1
+            round_latency = self.network.broadcast(
+                origin_site, self._sites, 160 * len(frontier), "namespace-closure-step"
+            )
+            result.messages += len(self._sites)
+            result.bytes += len(self._sites) * 160 * len(frontier)
+            reply_latency = 0.0
+            next_frontier: Set[PName] = set()
+            for server in self._sites:
+                store = self._stores.store(server)
+                neighbours: List[PName] = []
+                for node in frontier:
+                    if node in store.graph:
+                        step = store.graph.parents(node) if up else store.graph.children(node)
+                        neighbours.extend(step)
+                response = self.network.send(
+                    server, origin_site, _POINTER_BYTES * max(1, len(neighbours)), "namespace-closure-reply"
+                )
+                reply_latency = max(reply_latency, response.latency_ms)
+                result.messages += 1
+                result.bytes += _POINTER_BYTES * max(1, len(neighbours))
+                for neighbour in neighbours:
+                    if neighbour not in found and neighbour.digest != pname.digest:
+                        next_frontier.add(neighbour)
+            result.latency_ms += round_latency + reply_latency
+            found |= next_frontier
+            frontier = next_frontier
+        result.sites_contacted = list(self._sites)
+        result.pnames = sorted(found, key=lambda p: p.digest)
+        result.notes.append(f"closure rounds: {rounds}")
+        self.queries_run += 1
+        return result
+
+    def locate(self, pname: PName, origin_site: str) -> OperationResult:
+        result = OperationResult()
+        component = self._component_of.get(pname.digest)
+        if component is None:
+            result.notes.append("unknown pname")
+            return result
+        server = self.server_for_component(component)
+        request = self.network.send(origin_site, server, 128, "locate")
+        response = self.network.send(server, origin_site, _POINTER_BYTES, "locate-response")
+        self._charge(
+            result, request.latency_ms + response.latency_ms, 2, 128 + _POINTER_BYTES, server
+        )
+        site = self._data_location.get(pname.digest)
+        if site is not None:
+            result.sites_contacted.append(site)
+            result.pnames = [pname]
+        return result

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the PASS reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`PassError`, so
+callers embedding the library can catch a single base class.  The more
+specific subclasses mirror the major subsystems: provenance modelling,
+storage, indexing, the distributed architecture models and the query
+engine.
+"""
+
+from __future__ import annotations
+
+
+class PassError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ProvenanceError(PassError):
+    """A provenance record or provenance graph constraint was violated."""
+
+
+class CycleError(ProvenanceError):
+    """Adding an ancestry edge would create a cycle in the provenance DAG."""
+
+
+class DuplicateProvenanceError(ProvenanceError):
+    """Two non-identical data sets attempted to register identical provenance.
+
+    This enforces PASS property P3 from Section V of the paper:
+    non-identical data items must not have identical provenance.
+    """
+
+
+class UnknownEntityError(PassError):
+    """A referenced tuple set, provenance record or node does not exist."""
+
+
+class StorageError(PassError):
+    """A storage backend failed or was used after being closed."""
+
+
+class CrashInjectedError(StorageError):
+    """Raised by the fault-injection layer to simulate a process crash."""
+
+
+class RecoveryError(StorageError):
+    """Recovery after a (simulated) crash could not restore a consistent state."""
+
+
+class IndexError_(PassError):
+    """An index was asked to do something it does not support."""
+
+
+class QueryError(PassError):
+    """A query was malformed or used an unsupported construct."""
+
+
+class UnsupportedQueryError(QueryError):
+    """The architecture model cannot execute this class of query.
+
+    Section IV of the paper notes, for example, that the SRB-style
+    metadata model "denies transitive closure"; the corresponding
+    architecture model raises this error for recursive queries rather
+    than silently returning wrong answers.
+    """
+
+
+class NamingError(PassError):
+    """A conventional (string) name could not be produced or parsed."""
+
+
+class PolicyError(PassError):
+    """A privacy or access-control policy rejected an operation."""
+
+
+class NetworkError(PassError):
+    """The simulated network could not route or deliver a message."""
+
+
+class PlacementError(PassError):
+    """No storage site satisfied a placement policy."""
+
+
+class ConfigurationError(PassError):
+    """A component was constructed with inconsistent parameters."""

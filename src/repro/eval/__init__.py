@@ -1,0 +1,35 @@
+"""Evaluation harness: criteria, scenarios, experiments E1-E14, reports."""
+
+from repro.eval.criteria import CriteriaScores, LatencySample, f1_score, precision_recall
+from repro.eval.harness import EXPERIMENTS, render_all, run_all, run_experiment
+from repro.eval.report import format_experiment, format_many, format_table
+from repro.eval.result import ExperimentResult
+from repro.eval.scenario import (
+    MODEL_NAMES,
+    build_all_models,
+    ground_truth_store,
+    origin_site_for,
+    publish_all,
+    standard_topology,
+)
+
+__all__ = [
+    "precision_recall",
+    "f1_score",
+    "LatencySample",
+    "CriteriaScores",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_all",
+    "render_all",
+    "format_table",
+    "format_experiment",
+    "format_many",
+    "standard_topology",
+    "build_all_models",
+    "origin_site_for",
+    "publish_all",
+    "ground_truth_store",
+    "MODEL_NAMES",
+]

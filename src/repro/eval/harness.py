@@ -1,0 +1,82 @@
+"""The experiment registry: one entry per table the reproduction regenerates.
+
+``EXPERIMENTS`` maps experiment ids (as listed in DESIGN.md) to the
+functions that run them; :func:`run_experiment` and :func:`run_all` are
+the entry points the benchmarks, tests and the ``EXPERIMENTS.md``
+generator all share.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import UnknownEntityError
+from repro.eval.experiments_core import run_e1, run_e13, run_e14, run_e2, run_e3, run_e4
+from repro.eval.experiments_distributed import (
+    run_e10,
+    run_e11,
+    run_e12,
+    run_e5,
+    run_e6,
+    run_e7,
+    run_e8,
+    run_e9,
+)
+from repro.eval.report import format_experiment, format_many
+from repro.eval.result import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "render_all"]
+
+#: experiment id -> zero-argument callable producing its result
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "E1": run_e1,
+    "E2": run_e2,
+    "E3": run_e3,
+    "E4": run_e4,
+    "E5": run_e5,
+    "E6": run_e6,
+    "E7": run_e7,
+    "E8": run_e8,
+    "E9": run_e9,
+    "E10": run_e10,
+    "E11": run_e11,
+    "E12": run_e12,
+    "E13": run_e13,
+    "E14": run_e14,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id (``"E1"`` ... ``"E14"``)."""
+    try:
+        runner = EXPERIMENTS[experiment_id.upper()]
+    except KeyError:
+        raise UnknownEntityError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner()
+
+
+def run_all(ids: Optional[Iterable[str]] = None) -> List[ExperimentResult]:
+    """Run several experiments (default: all of them, in numeric order)."""
+    wanted = list(ids) if ids is not None else sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
+    return [run_experiment(experiment_id) for experiment_id in wanted]
+
+
+def render_all(ids: Optional[Iterable[str]] = None) -> str:
+    """Run and render experiments as one text report."""
+    return format_many(run_all(ids))
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """``python -m repro.eval.harness [E1 E2 ...]`` prints the chosen tables."""
+    import sys
+
+    ids = sys.argv[1:] or None
+    for result in run_all(ids):
+        print(format_experiment(result))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

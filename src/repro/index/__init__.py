@@ -1,0 +1,7 @@
+"""Indexes over provenance metadata: attribute, temporal and spatial."""
+
+from repro.index.attribute_index import AttributeIndex
+from repro.index.spatial_index import SpatialIndex
+from repro.index.temporal_index import TemporalIndex
+
+__all__ = ["AttributeIndex", "TemporalIndex", "SpatialIndex"]

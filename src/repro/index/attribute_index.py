@@ -1,0 +1,221 @@
+"""Inverted attribute index over provenance records.
+
+"Instead of encoding the name as a string, we represent it fully as a
+collection of name-value pairs" (Section II-A) -- and then those pairs
+must be indexed so that "users will search for data sets based on
+subsets of the attributes and values found in provenance metadata"
+(Section II-B).
+
+:class:`AttributeIndex` is a straightforward inverted index:
+
+    attribute name -> canonical(value) -> set of PName digests
+
+plus a per-attribute sorted view to answer range queries on
+order-compatible values.  It is the workhorse index of the local PASS
+store and of the centralized / distributed architecture models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.attributes import (
+    AttributeValue,
+    canonical_encode,
+    compare_values,
+)
+from repro.core.provenance import PName, ProvenanceRecord
+from repro.errors import ConfigurationError
+
+__all__ = ["AttributeIndex"]
+
+
+class AttributeIndex:
+    """Inverted index from attribute values to PNames.
+
+    Parameters
+    ----------
+    indexed_attributes:
+        When given, only these attribute names are indexed (the rest can
+        still be answered by a scan at the store level).  When ``None``
+        every attribute of every record is indexed.
+    """
+
+    def __init__(self, indexed_attributes: Optional[Iterable[str]] = None) -> None:
+        self._only = set(indexed_attributes) if indexed_attributes is not None else None
+        # attribute -> canonical value -> set of digests
+        self._postings: Dict[str, Dict[str, Set[str]]] = {}
+        # attribute -> list of (value, canonical) kept for range scans;
+        # rebuilt lazily when dirty.
+        self._values: Dict[str, List[Tuple[AttributeValue, str]]] = {}
+        self._dirty: Set[str] = set()
+        self._entries = 0
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def add(self, pname: PName, record: ProvenanceRecord) -> None:
+        """Index every (selected) attribute of ``record`` under ``pname``."""
+        for name, value in record.attributes.items():
+            if self._only is not None and name not in self._only:
+                continue
+            self._add_one(name, value, pname.digest)
+
+    def add_value(self, pname: PName, name: str, value: AttributeValue) -> None:
+        """Index a single name/value pair (used for annotations)."""
+        if self._only is not None and name not in self._only:
+            return
+        self._add_one(name, value, pname.digest)
+
+    def remove(self, pname: PName, record: ProvenanceRecord) -> None:
+        """Remove a record's postings (used only by soft-state expiry)."""
+        for name, value in record.attributes.items():
+            postings = self._postings.get(name)
+            if not postings:
+                continue
+            encoded = canonical_encode(value)
+            bucket = postings.get(encoded)
+            if bucket and pname.digest in bucket:
+                bucket.discard(pname.digest)
+                self._entries -= 1
+                if not bucket:
+                    del postings[encoded]
+                    self._dirty.add(name)
+
+    def _add_one(self, name: str, value: AttributeValue, digest: str) -> None:
+        encoded = canonical_encode(value)
+        postings = self._postings.setdefault(name, {})
+        bucket = postings.setdefault(encoded, set())
+        if not bucket:
+            # A value never seen for this attribute: the sorted view is stale.
+            self._dirty.add(name)
+        if digest not in bucket:
+            bucket.add(digest)
+            self._entries += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def indexed_attributes(self) -> List[str]:
+        """Attribute names that currently have postings."""
+        return sorted(self._postings)
+
+    def entry_count(self) -> int:
+        """Total number of (attribute, value, pname) postings."""
+        return self._entries
+
+    def covers(self, attribute: str) -> bool:
+        """True when lookups on ``attribute`` can use the index."""
+        if self._only is not None and attribute not in self._only:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def lookup(self, attribute: str, value: AttributeValue) -> Set[PName]:
+        """Exact-match lookup; returns the (possibly empty) set of PNames."""
+        postings = self._postings.get(attribute, {})
+        digests = postings.get(canonical_encode(value), set())
+        return {PName(d) for d in digests}
+
+    def lookup_any(self, attribute: str, values: Iterable[AttributeValue]) -> Set[PName]:
+        """Union of exact-match lookups over several values."""
+        result: Set[PName] = set()
+        for value in values:
+            result |= self.lookup(attribute, value)
+        return result
+
+    def lookup_range(
+        self,
+        attribute: str,
+        low: Optional[AttributeValue] = None,
+        high: Optional[AttributeValue] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Set[PName]:
+        """Range lookup over order-compatible values of one attribute.
+
+        Values of a kind incompatible with the bounds are skipped (they
+        cannot fall inside the range).
+        """
+        if low is None and high is None:
+            raise ConfigurationError("range lookup needs at least one bound")
+        result: Set[str] = set()
+        for value, encoded in self._sorted_values(attribute):
+            if not self._in_range(value, low, high, include_low, include_high):
+                continue
+            result |= self._postings.get(attribute, {}).get(encoded, set())
+        return {PName(d) for d in result}
+
+    def distinct_values(self, attribute: str) -> List[AttributeValue]:
+        """Every distinct value indexed under ``attribute`` (sorted when possible)."""
+        return [value for value, _ in self._sorted_values(attribute)]
+
+    def cardinality(self, attribute: str) -> int:
+        """Number of distinct values indexed for ``attribute``."""
+        return len(self._postings.get(attribute, {}))
+
+    def selectivity(self, attribute: str, value: AttributeValue) -> float:
+        """Fraction of postings for ``attribute`` matching ``value`` (0 when unseen)."""
+        postings = self._postings.get(attribute, {})
+        total = sum(len(bucket) for bucket in postings.values())
+        if total == 0:
+            return 0.0
+        return len(postings.get(canonical_encode(value), set())) / total
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _sorted_values(self, attribute: str) -> List[Tuple[AttributeValue, str]]:
+        postings = self._postings.get(attribute)
+        if postings is None:
+            return []
+        if attribute in self._dirty or attribute not in self._values:
+            decoded = [(self._decode_for_sort(encoded), encoded) for encoded in postings]
+            decoded.sort(key=lambda item: (item[0][0], item[0][1]))
+            self._values[attribute] = [(key[2], encoded) for key, encoded in decoded]
+            self._dirty.discard(attribute)
+        return self._values[attribute]
+
+    @staticmethod
+    def _decode_for_sort(encoded: str):
+        """Build a sort key from a canonical encoding, keeping the original value."""
+        from repro.core.attributes import GeoPoint, Timestamp
+
+        tag, _, body = encoded.partition(":")
+        if tag == "i":
+            value: AttributeValue = int(body)
+            return ("num", float(value), value)
+        if tag == "f":
+            value = float(body)
+            return ("num", value, value)
+        if tag == "b":
+            value = bool(int(body))
+            return ("num", float(value), value)
+        if tag == "t":
+            value = Timestamp(float(body))
+            return ("num", value.seconds, value)
+        if tag == "s":
+            return ("str", body, body)
+        if tag == "g":
+            lat_text, _, lon_text = body.partition(",")
+            value = GeoPoint(float(lat_text), float(lon_text))
+            return ("geo", (value.latitude, value.longitude), value)
+        # Lists and anything else sort after scalars, by raw encoding.
+        return ("zzz", encoded, encoded)
+
+    @staticmethod
+    def _in_range(value, low, high, include_low, include_high) -> bool:
+        try:
+            if low is not None:
+                cmp = compare_values(value, low)
+                if cmp < 0 or (cmp == 0 and not include_low):
+                    return False
+            if high is not None:
+                cmp = compare_values(value, high)
+                if cmp > 0 or (cmp == 0 and not include_high):
+                    return False
+        except ConfigurationError:
+            return False
+        return True

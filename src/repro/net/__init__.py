@@ -1,0 +1,6 @@
+"""Simulated wide-area network: topology, latency model, traffic accounting."""
+
+from repro.net.simulator import Message, NetworkSimulator, TrafficStats
+from repro.net.topology import Site, Topology
+
+__all__ = ["Site", "Topology", "Message", "NetworkSimulator", "TrafficStats"]

@@ -1,0 +1,156 @@
+"""Message-level network simulator with traffic accounting.
+
+The Section IV criteria the architecture comparison must score --
+*speed* and *resource consumption* -- are functions of the messages an
+architecture sends: how many, how large, and over what distances.  The
+simulator therefore does exactly one job: every time an architecture
+model sends a logical message, :meth:`NetworkSimulator.send` charges its
+latency (from the :class:`~repro.net.topology.Topology`) and records its
+size, kind and endpoints.  There is no concurrency model; architectures
+compose per-message latencies into per-operation latencies themselves
+(sequential hops add, parallel fan-out takes the maximum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.topology import Topology
+
+__all__ = ["Message", "TrafficStats", "NetworkSimulator"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One logical message between sites."""
+
+    source: str
+    destination: str
+    size_bytes: int
+    kind: str
+    latency_ms: float
+
+
+@dataclass
+class TrafficStats:
+    """Aggregated traffic counters, overall and per message kind."""
+
+    messages: int = 0
+    bytes: int = 0
+    latency_ms_total: float = 0.0
+    by_kind: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    by_link: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def record(self, message: Message) -> None:
+        """Fold one message into the counters."""
+        self.messages += 1
+        self.bytes += message.size_bytes
+        self.latency_ms_total += message.latency_ms
+        kind = self.by_kind.setdefault(
+            message.kind, {"messages": 0, "bytes": 0, "latency_ms": 0.0}
+        )
+        kind["messages"] += 1
+        kind["bytes"] += message.size_bytes
+        kind["latency_ms"] += message.latency_ms
+        link = (message.source, message.destination)
+        self.by_link[link] = self.by_link.get(link, 0) + 1
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary for reports."""
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "latency_ms_total": round(self.latency_ms_total, 3),
+            "by_kind": {name: dict(values) for name, values in self.by_kind.items()},
+        }
+
+
+class NetworkSimulator:
+    """Charges latency and bandwidth for logical messages between sites.
+
+    Parameters
+    ----------
+    topology:
+        Supplies per-link latency.
+    partitioned_sites:
+        Sites currently unreachable; sending to or from one raises
+        :class:`~repro.errors.NetworkError` (used by reliability tests).
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.stats = TrafficStats()
+        self._log: List[Message] = []
+        self._partitioned: set = set()
+        self._keep_log = True
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def partition(self, site: str) -> None:
+        """Cut a site off from the network."""
+        self._partitioned.add(site)
+
+    def heal(self, site: str) -> None:
+        """Reconnect a partitioned site."""
+        self._partitioned.discard(site)
+
+    def is_partitioned(self, site: str) -> bool:
+        """True when the site is currently cut off."""
+        return site in self._partitioned
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, source: str, destination: str, size_bytes: int, kind: str) -> Message:
+        """Send one logical message and return it (with its charged latency)."""
+        if size_bytes < 0:
+            raise NetworkError("message size must be non-negative")
+        if source in self._partitioned or destination in self._partitioned:
+            raise NetworkError(
+                f"cannot deliver {kind!r} message: "
+                f"{source!r} or {destination!r} is partitioned"
+            )
+        latency = self.topology.latency_ms(source, destination)
+        message = Message(source, destination, size_bytes, kind, latency)
+        self.stats.record(message)
+        if self._keep_log:
+            self._log.append(message)
+            if len(self._log) > 100_000:
+                # Benchmarks can generate millions of messages; keep the
+                # aggregate counters but stop remembering individual ones.
+                self._keep_log = False
+                self._log.clear()
+        return message
+
+    def broadcast(self, source: str, destinations: List[str], size_bytes: int, kind: str) -> float:
+        """Send the same message to several sites; return the slowest latency.
+
+        The architectures use this for fan-out steps (ask every site,
+        wait for all answers): the operation's latency is the maximum of
+        the individual latencies, while bandwidth is charged per copy.
+        """
+        slowest = 0.0
+        for destination in destinations:
+            message = self.send(source, destination, size_bytes, kind)
+            slowest = max(slowest, message.latency_ms)
+        return slowest
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def log(self) -> List[Message]:
+        """Individual messages recorded so far (may be truncated for huge runs)."""
+        return list(self._log)
+
+    def reset(self) -> None:
+        """Clear counters and the message log (benchmarks call this between phases)."""
+        self.stats = TrafficStats()
+        self._log.clear()
+        self._keep_log = True
+
+    def messages_between(self, source: str, destination: str) -> int:
+        """How many messages went from ``source`` to ``destination``."""
+        return self.stats.by_link.get((source, destination), 0)

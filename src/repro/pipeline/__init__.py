@@ -1,0 +1,27 @@
+"""Derivation pipelines, taint analysis and the versioning substrate."""
+
+from repro.pipeline.derivation import Pipeline, PipelineResult, TaintAnalysis
+from repro.pipeline.operators import (
+    AggregateOperator,
+    CalibrationOperator,
+    DerivationOperator,
+    FilterOperator,
+    MergeOperator,
+    RollupOperator,
+)
+from repro.pipeline.versioning import Commit, LineOrigin, VersionedRepository
+
+__all__ = [
+    "DerivationOperator",
+    "FilterOperator",
+    "AggregateOperator",
+    "MergeOperator",
+    "CalibrationOperator",
+    "RollupOperator",
+    "Pipeline",
+    "PipelineResult",
+    "TaintAnalysis",
+    "Commit",
+    "LineOrigin",
+    "VersionedRepository",
+]

@@ -1,0 +1,13 @@
+"""Privacy aggregation and access-control policies (Section V agenda)."""
+
+from repro.security.policy import AccessDecision, AccessRule, PolicyEngine, Principal
+from repro.security.privacy import AggregationReport, PrivacyAggregator
+
+__all__ = [
+    "Principal",
+    "AccessRule",
+    "AccessDecision",
+    "PolicyEngine",
+    "PrivacyAggregator",
+    "AggregationReport",
+]

@@ -1,0 +1,6 @@
+"""Simulated sensor devices, networks and domain workloads."""
+
+from repro.sensors.network import SensorNetwork
+from repro.sensors.node import SensorNode, SensorSpec
+
+__all__ = ["SensorNode", "SensorSpec", "SensorNetwork"]

@@ -1,0 +1,163 @@
+"""Simulated sensor nodes.
+
+The paper's substrate is a collection of deployed sensor networks
+(traffic cameras and magnetometers, volcano seismometers, pulse
+oximeters, ...).  We cannot run those, so :class:`SensorNode` simulates
+one device: it has an identity, a type, a location, a hardware/firmware
+revision (which matters for provenance: "one might mark when individual
+sensors were replaced with newer models"), a sampling period and a value
+model that produces plausible readings.
+
+Value models are simple callables so each workload module can shape its
+own signal (diurnal traffic cycles, vital-sign baselines, eruption
+bursts) without this module knowing about any of them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional
+
+from repro.core.attributes import AttributeValue, GeoPoint, Timestamp
+from repro.core.tupleset import SensorReading
+from repro.errors import ConfigurationError
+
+__all__ = ["SensorSpec", "SensorNode"]
+
+#: A value model maps (node, timestamp, rng) to the measured quantities.
+ValueModel = Callable[["SensorNode", Timestamp, random.Random], Dict[str, AttributeValue]]
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Static description of a sensor device.
+
+    Attributes
+    ----------
+    sensor_type:
+        What the device measures (``"magnetometer"``, ``"pulse-oximeter"`` ...).
+    model:
+        Hardware model name.
+    hardware_revision / firmware_version:
+        Revisions recorded in provenance; upgrading either mid-deployment
+        is a provenance-visible event (see
+        :meth:`SensorNode.upgrade_firmware`).
+    sample_period_seconds:
+        Nominal seconds between readings.
+    """
+
+    sensor_type: str
+    model: str
+    hardware_revision: str = "rev-a"
+    firmware_version: str = "1.0"
+    sample_period_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.sample_period_seconds <= 0:
+            raise ConfigurationError("sample_period_seconds must be positive")
+
+
+class SensorNode:
+    """One simulated sensor device producing a stream of readings."""
+
+    def __init__(
+        self,
+        sensor_id: str,
+        spec: SensorSpec,
+        location: GeoPoint,
+        value_model: ValueModel,
+        jitter_fraction: float = 0.05,
+        failure_rate: float = 0.0,
+    ) -> None:
+        if not sensor_id:
+            raise ConfigurationError("sensor_id must be non-empty")
+        if not (0.0 <= jitter_fraction < 1.0):
+            raise ConfigurationError("jitter_fraction must be in [0, 1)")
+        if not (0.0 <= failure_rate < 1.0):
+            raise ConfigurationError("failure_rate must be in [0, 1)")
+        self.sensor_id = sensor_id
+        self.spec = spec
+        self.location = location
+        self._value_model = value_model
+        self._jitter_fraction = jitter_fraction
+        self._failure_rate = failure_rate
+        self._firmware_history: List[tuple] = [(Timestamp(0.0), spec.firmware_version)]
+
+    # ------------------------------------------------------------------
+    # Provenance-visible maintenance events
+    # ------------------------------------------------------------------
+    def upgrade_firmware(self, when: Timestamp, version: str) -> None:
+        """Record a firmware upgrade at ``when``.
+
+        Subsequent readings report the new version; the history is what
+        an annotation like "software on the sensor devices was upgraded"
+        captures.
+        """
+        if not version:
+            raise ConfigurationError("firmware version must be non-empty")
+        self._firmware_history.append((when, version))
+        self._firmware_history.sort(key=lambda item: item[0].seconds)
+
+    def firmware_at(self, when: Timestamp) -> str:
+        """Firmware version in effect at ``when``."""
+        current = self._firmware_history[0][1]
+        for changed_at, version in self._firmware_history:
+            if changed_at.seconds <= when.seconds:
+                current = version
+            else:
+                break
+        return current
+
+    def firmware_history(self) -> List[tuple]:
+        """The full (timestamp, version) upgrade history."""
+        return list(self._firmware_history)
+
+    # ------------------------------------------------------------------
+    # Reading generation
+    # ------------------------------------------------------------------
+    def readings(
+        self,
+        start: Timestamp,
+        duration_seconds: float,
+        rng: random.Random,
+    ) -> Iterator[SensorReading]:
+        """Generate readings covering ``[start, start + duration)``.
+
+        Sample times are the nominal period plus bounded jitter; a node
+        configured with a ``failure_rate`` silently drops that fraction
+        of samples (sensors do fail, and the gaps matter to aggregate
+        quality downstream).
+        """
+        if duration_seconds <= 0:
+            raise ConfigurationError("duration_seconds must be positive")
+        period = self.spec.sample_period_seconds
+        elapsed = 0.0
+        while elapsed < duration_seconds:
+            jitter = rng.uniform(-self._jitter_fraction, self._jitter_fraction) * period
+            when = Timestamp(start.seconds + elapsed + max(0.0, jitter))
+            if when.seconds >= start.seconds + duration_seconds:
+                break
+            if self._failure_rate == 0.0 or rng.random() >= self._failure_rate:
+                values = dict(self._value_model(self, when, rng))
+                yield SensorReading(
+                    sensor_id=self.sensor_id,
+                    timestamp=when,
+                    values=values,
+                    location=self.location,
+                )
+            elapsed += period
+
+    def provenance_attributes(self) -> Dict[str, AttributeValue]:
+        """Attributes describing this device, for inclusion in provenance."""
+        return {
+            "sensor_id": self.sensor_id,
+            "sensor_type": self.spec.sensor_type,
+            "sensor_model": self.spec.model,
+            "hardware_revision": self.spec.hardware_revision,
+            "firmware_version": self.spec.firmware_version,
+            "location": self.location,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SensorNode({self.sensor_id}, {self.spec.sensor_type})"

@@ -1,0 +1,21 @@
+"""Synthetic domain workloads standing in for the paper's real deployments."""
+
+from repro.sensors.workloads.base import Workload, grid_locations
+from repro.sensors.workloads.medical import MedicalWorkload
+from repro.sensors.workloads.structural import StructuralWorkload
+from repro.sensors.workloads.supply_chain import SupplyChainWorkload
+from repro.sensors.workloads.traffic import CITY_CENTRES, TrafficWorkload
+from repro.sensors.workloads.volcano import VolcanoWorkload
+from repro.sensors.workloads.weather import WeatherWorkload
+
+__all__ = [
+    "Workload",
+    "grid_locations",
+    "CITY_CENTRES",
+    "TrafficWorkload",
+    "WeatherWorkload",
+    "MedicalWorkload",
+    "VolcanoWorkload",
+    "StructuralWorkload",
+    "SupplyChainWorkload",
+]

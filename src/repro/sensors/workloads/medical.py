@@ -1,0 +1,221 @@
+"""Medical / EMT workload: the Section III-C ambulance scenario.
+
+"EMTs arriving at an accident or mass casualty event place sensors
+(e.g., pulse oximeters, EKGs) on the patients.  These sensors monitor
+vital signs in real time.  The resulting data is streamed to the
+ambulance, to dispatchers ... and ultimately also to the correct
+hospital emergency room.  Initially, this data is identified by patient,
+date/time, location, etc.  As it moves through the system, it gets
+processed and filtered, and is thus enriched with additional
+provenance."
+
+The workload models a mass-casualty incident: ``patients`` casualties,
+each instrumented with a pulse oximeter and an EKG by one of ``emts``
+EMTs.  Raw vitals windows carry patient, EMT, incident and location
+attributes.  The derived pipeline models the data's journey through the
+emergency-care system: a triage filter (only abnormal vitals forwarded
+to dispatch), a per-patient summary for the receiving hospital, and a
+diagnostic-tool output -- giving the two query families of Section III-C
+(about a patient, and about the system) something real to run over.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.attributes import GeoPoint, Timestamp
+from repro.core.query import AgentIs, AttributeEquals, AttributeRange, And, IsRaw, Query
+from repro.core.tupleset import TupleSet
+from repro.pipeline.operators import AggregateOperator, DerivationOperator, FilterOperator
+from repro.sensors.network import SensorNetwork
+from repro.sensors.node import SensorNode, SensorSpec
+from repro.sensors.workloads.base import Workload
+
+__all__ = ["MedicalWorkload"]
+
+_INCIDENT_SITE = GeoPoint(42.3736, -71.1097)  # a Cambridge, MA intersection
+
+
+def _pulse_oximeter_model(node: SensorNode, when: Timestamp, rng: random.Random) -> Dict[str, object]:
+    """Heart rate and SpO2; some patients trend unstable over time."""
+    severity = getattr(node, "patient_severity", 0.2)
+    drift = severity * min(1.0, when.seconds / 1800.0)
+    heart_rate = max(35.0, rng.gauss(80.0 + 50.0 * drift, 4.0))
+    spo2 = min(1.0, max(0.70, rng.gauss(0.98 - 0.15 * drift, 0.01)))
+    return {"heart_rate": heart_rate, "spo2": spo2}
+
+
+def _ekg_model(node: SensorNode, when: Timestamp, rng: random.Random) -> Dict[str, object]:
+    """A coarse EKG summary: RR-interval variability and an arrhythmia flag."""
+    severity = getattr(node, "patient_severity", 0.2)
+    variability = abs(rng.gauss(0.04 + 0.10 * severity, 0.02))
+    arrhythmia = rng.random() < (0.02 + 0.5 * severity * severity)
+    return {"rr_variability": variability, "arrhythmia": arrhythmia}
+
+
+class _DiagnosticTool(DerivationOperator):
+    """The "automatic diagnostic tool" that suggests a destination hospital."""
+
+    stage = "diagnosis"
+
+    def __init__(self) -> None:
+        super().__init__(
+            "auto-triage",
+            version="0.9",
+            parameters={"protocol": "mci-2005"},
+            carry_attributes=("patient", "emt", "incident"),
+        )
+
+    def _derived_attributes(self, inputs):
+        attributes = super()._derived_attributes(inputs)
+        worst = 0.0
+        for tuple_set in inputs:
+            for reading in tuple_set.readings:
+                heart_rate = reading.value("heart_rate")
+                if isinstance(heart_rate, (int, float)):
+                    worst = max(worst, (float(heart_rate) - 80.0) / 80.0)
+        attributes["suggested_destination"] = (
+            "trauma-center" if worst > 0.4 else "community-hospital"
+        )
+        return attributes
+
+
+class MedicalWorkload(Workload):
+    """A sensor-enabled ambulance team at a mass-casualty incident."""
+
+    domain = "medical"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        start: Optional[Timestamp] = None,
+        patients: int = 6,
+        emts: int = 3,
+        window_seconds: float = 60.0,
+    ) -> None:
+        super().__init__(seed=seed, start=start)
+        self.patients = patients
+        self.emts = emts
+        self.window_seconds = window_seconds
+        self._patient_emt: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Networks: one per patient (the tuple sets are identified by patient)
+    # ------------------------------------------------------------------
+    def build_networks(self) -> List[SensorNetwork]:
+        networks = []
+        rng = random.Random(self.seed)
+        for index in range(self.patients):
+            patient_id = f"patient-{index:03d}"
+            emt_id = f"emt-{index % max(1, self.emts):02d}"
+            self._patient_emt[patient_id] = emt_id
+            severity = rng.uniform(0.05, 0.9)
+            network = SensorNetwork(
+                name=f"vitals-{patient_id}",
+                domain=self.domain,
+                base_attributes={
+                    "patient": patient_id,
+                    "emt": emt_id,
+                    "incident": "mci-route2-pileup",
+                },
+                window_seconds=self.window_seconds,
+                seed=self.seed * 3000 + index,
+            )
+            location = GeoPoint(
+                _INCIDENT_SITE.latitude + rng.uniform(-0.0005, 0.0005),
+                _INCIDENT_SITE.longitude + rng.uniform(-0.0005, 0.0005),
+            )
+            oximeter = SensorNode(
+                sensor_id=f"{patient_id}-spo2",
+                spec=SensorSpec("pulse-oximeter", "oxi-9", sample_period_seconds=5.0),
+                location=location,
+                value_model=_pulse_oximeter_model,
+            )
+            ekg = SensorNode(
+                sensor_id=f"{patient_id}-ekg",
+                spec=SensorSpec("ekg", "cardio-12l", sample_period_seconds=10.0),
+                location=location,
+                value_model=_ekg_model,
+            )
+            # The value models read the severity off the node object.
+            oximeter.patient_severity = severity
+            ekg.patient_severity = severity
+            network.add_node(oximeter)
+            network.add_node(ekg)
+            networks.append(network)
+        return networks
+
+    def emt_for(self, patient_id: str) -> str:
+        """Which EMT handled a patient (builds networks if needed)."""
+        _ = self.networks
+        return self._patient_emt[patient_id]
+
+    # ------------------------------------------------------------------
+    # Derived data: triage filter -> patient summary -> diagnostic output
+    # ------------------------------------------------------------------
+    def derived_sets(self, raw_sets: Sequence[TupleSet]) -> List[TupleSet]:
+        if not raw_sets:
+            return []
+        patient_context = ("patient", "emt", "incident")
+        triage_filter = FilterOperator(
+            "abnormal-vitals-filter",
+            predicate=lambda reading: (
+                float(reading.value("heart_rate", 80.0)) > 110.0
+                or float(reading.value("spo2", 1.0)) < 0.92
+                or bool(reading.value("arrhythmia", False))
+            ),
+            version="2.0",
+            parameters={"hr_threshold": 110, "spo2_threshold": 0.92},
+            carry_attributes=patient_context,
+        )
+        summarise = AggregateOperator(
+            "patient-summary", version="1.1", carry_attributes=patient_context
+        )
+        diagnose = _DiagnosticTool()
+
+        by_patient: Dict[str, List[TupleSet]] = {}
+        for tuple_set in raw_sets:
+            patient = tuple_set.provenance.get("patient")
+            if patient is not None:
+                by_patient.setdefault(str(patient), []).append(tuple_set)
+
+        derived: List[TupleSet] = []
+        for patient, members in sorted(by_patient.items()):
+            filtered = [triage_filter.apply(tuple_set) for tuple_set in members]
+            summary = summarise.apply_many(filtered)
+            diagnosis = diagnose.apply(summary)
+            derived.extend(filtered)
+            derived.extend([summary, diagnosis])
+        return derived
+
+    # ------------------------------------------------------------------
+    # The Section III-C query suites
+    # ------------------------------------------------------------------
+    def query_suite(self) -> Dict[str, Query]:
+        first_patient = "patient-000"
+        first_emt = self.emt_for(first_patient)
+        return {
+            # Patient-centric queries.
+            "everything_for_patient": Query(AttributeEquals("patient", first_patient)),
+            "patient_vitals_since_arrival": Query(
+                And(
+                    (
+                        AttributeEquals("patient", first_patient),
+                        IsRaw(True),
+                        AttributeRange("window_start", low=self.start),
+                    )
+                )
+            ),
+            "patient_diagnosis": Query(
+                And(
+                    (
+                        AttributeEquals("patient", first_patient),
+                        AttributeEquals("stage", "diagnosis"),
+                    )
+                )
+            ),
+            # System-centric queries.
+            "handled_by_emt": Query(AttributeEquals("emt", first_emt)),
+            "triage_filter_outputs": Query(AgentIs("abnormal-vitals-filter", kind="program")),
+        }

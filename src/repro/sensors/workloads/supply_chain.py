@@ -1,0 +1,144 @@
+"""Supply-chain workload (the paper cites Gaynor et al., sensor grids for
+supply-chain management).
+
+Pallet-mounted tag readers and cold-chain temperature loggers report as
+shipments move between sites.  Its distinctive provenance feature is
+*custody*: each tuple set records which facility currently holds the
+shipment, and the derived "chain-of-custody" data set for a shipment
+fans in every window observed along its route -- a provenance query that
+is about neither time nor space but about an organisational attribute.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.attributes import GeoPoint, Timestamp
+from repro.core.query import AttributeEquals, And, Query
+from repro.core.tupleset import TupleSet
+from repro.pipeline.operators import FilterOperator, MergeOperator
+from repro.sensors.network import SensorNetwork
+from repro.sensors.node import SensorNode, SensorSpec
+from repro.sensors.workloads.base import Workload
+
+__all__ = ["SupplyChainWorkload"]
+
+_FACILITIES = {
+    "shenzhen-plant": GeoPoint(22.5431, 114.0579),
+    "rotterdam-port": GeoPoint(51.9244, 4.4777),
+    "frankfurt-dc": GeoPoint(50.1109, 8.6821),
+    "boston-store": GeoPoint(42.3601, -71.0589),
+}
+
+_ROUTE = ["shenzhen-plant", "rotterdam-port", "frankfurt-dc", "boston-store"]
+
+
+def _cold_chain_model(node: SensorNode, when: Timestamp, rng: random.Random) -> Dict[str, object]:
+    """Container temperature/humidity with occasional door-open excursions."""
+    excursion = rng.random() < 0.03
+    temperature = rng.gauss(5.0, 0.4) + (8.0 if excursion else 0.0)
+    return {
+        "container_temp_c": temperature,
+        "humidity": min(1.0, max(0.0, rng.gauss(0.55, 0.05))),
+        "door_open": excursion,
+    }
+
+
+class SupplyChainWorkload(Workload):
+    """Cold-chain shipments moving through a four-facility route."""
+
+    domain = "supply-chain"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        start: Optional[Timestamp] = None,
+        shipments: int = 4,
+        readers_per_facility: int = 2,
+        window_seconds: float = 900.0,
+    ) -> None:
+        super().__init__(seed=seed, start=start)
+        self.shipments = shipments
+        self.readers_per_facility = readers_per_facility
+        self.window_seconds = window_seconds
+
+    def build_networks(self) -> List[SensorNetwork]:
+        networks = []
+        for facility_index, facility in enumerate(_ROUTE):
+            centre = _FACILITIES[facility]
+            network = SensorNetwork(
+                name=f"scm-{facility}",
+                domain=self.domain,
+                base_attributes={"facility": facility, "custodian": f"{facility}-operator"},
+                window_seconds=self.window_seconds,
+                seed=self.seed * 6000 + facility_index,
+            )
+            for reader in range(self.readers_per_facility):
+                for shipment in range(self.shipments):
+                    network.add_node(
+                        SensorNode(
+                            sensor_id=f"{facility}-r{reader}-pallet-{shipment:02d}",
+                            spec=SensorSpec(
+                                "cold-chain-logger", "chill-tag-7", sample_period_seconds=300.0
+                            ),
+                            location=centre,
+                            value_model=_cold_chain_model,
+                        )
+                    )
+            networks.append(network)
+        return networks
+
+    def derived_sets(self, raw_sets: Sequence[TupleSet]) -> List[TupleSet]:
+        """Build per-shipment chain-of-custody sets and excursion reports."""
+        if not raw_sets:
+            return []
+        by_shipment: Dict[str, List[TupleSet]] = {}
+        for tuple_set in raw_sets:
+            shipments = {
+                reading.sensor_id.rsplit("-", 1)[-1] for reading in tuple_set.readings
+            }
+            for shipment in shipments:
+                by_shipment.setdefault(shipment, []).append(tuple_set)
+        derived: List[TupleSet] = []
+        for shipment, members in sorted(by_shipment.items()):
+            # The shipment id goes into the operator parameters so that two
+            # shipments passing through the same facilities still get
+            # distinct provenance (PASS property P3 would reject a clash).
+            custody = MergeOperator(
+                "chain-of-custody-builder",
+                version="1.0",
+                parameters={"shipment": f"pallet-{shipment}"},
+            )
+            excursions = FilterOperator(
+                "excursion-detector",
+                predicate=lambda reading: bool(reading.value("door_open", False))
+                or float(reading.value("container_temp_c", 5.0)) > 9.0,
+                version="1.1",
+                parameters={"max_temp_c": 9.0, "shipment": f"pallet-{shipment}"},
+            )
+            custody_set = custody.apply_many(members)
+            derived.append(custody_set)
+            derived.append(excursions.apply(custody_set))
+        return derived
+
+    def query_suite(self) -> Dict[str, Query]:
+        return {
+            "windows_at_port": Query(AttributeEquals("facility", "rotterdam-port")),
+            "custody_chains": Query(
+                And(
+                    (
+                        AttributeEquals("domain", self.domain),
+                        AttributeEquals("operator", "chain-of-custody-builder"),
+                    )
+                )
+            ),
+            "excursion_reports": Query(
+                And(
+                    (
+                        AttributeEquals("domain", self.domain),
+                        AttributeEquals("operator", "excursion-detector"),
+                    )
+                )
+            ),
+        }

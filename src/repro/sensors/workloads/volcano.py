@@ -1,0 +1,133 @@
+"""Volcano-monitoring workload (the paper cites Werner-Allen et al. 2005).
+
+Seismo-acoustic stations around a volcano stream continuous waveform
+summaries; the scientifically interesting products are *event* data sets
+extracted when several stations trigger together.  That gives this
+workload a distinctive provenance shape: high-rate raw windows, plus a
+sparse set of derived event sets each of which fans in from many raw
+windows (the "find all the raw data from which this data set was
+derived" query is most interesting here).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.attributes import GeoPoint, Timestamp
+from repro.core.query import AttributeEquals, AttributeRange, And, IsRaw, Query
+from repro.core.tupleset import TupleSet
+from repro.pipeline.operators import MergeOperator
+from repro.sensors.network import SensorNetwork
+from repro.sensors.node import SensorNode, SensorSpec
+from repro.sensors.workloads.base import Workload
+
+__all__ = ["VolcanoWorkload"]
+
+_VOLCAN_REVENTADOR = GeoPoint(-0.0775, -77.6561)
+
+#: Simulated eruption tremor episodes (start hour, duration hours).
+_TREMOR_EPISODES = [(2.0, 0.5), (9.0, 0.75), (16.5, 0.25)]
+
+
+def _seismic_model(node: SensorNode, when: Timestamp, rng: random.Random) -> Dict[str, object]:
+    """RSAM-style amplitude plus an infrasound channel; bursts during tremor."""
+    hour = when.seconds / 3600.0
+    tremor = 0.0
+    for start, duration in _TREMOR_EPISODES:
+        if start <= hour % 24.0 <= start + duration:
+            tremor = 1.0
+            break
+    amplitude = abs(rng.gauss(0.4 + 5.0 * tremor, 0.3))
+    infrasound = abs(rng.gauss(0.1 + 2.0 * tremor, 0.1))
+    return {"rsam": amplitude, "infrasound_pa": infrasound, "triggered": amplitude > 2.5}
+
+
+class VolcanoWorkload(Workload):
+    """A seismo-acoustic array on a volcano flank."""
+
+    domain = "volcanology"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        start: Optional[Timestamp] = None,
+        stations: int = 12,
+        window_seconds: float = 120.0,
+    ) -> None:
+        super().__init__(seed=seed, start=start)
+        self.stations = stations
+        self.window_seconds = window_seconds
+
+    def build_networks(self) -> List[SensorNetwork]:
+        network = SensorNetwork(
+            name="reventador-array",
+            domain=self.domain,
+            base_attributes={"volcano": "reventador", "institution": "field-observatory"},
+            window_seconds=self.window_seconds,
+            seed=self.seed * 4000,
+        )
+        rng = random.Random(self.seed)
+        for index in range(self.stations):
+            angle = 2.0 * math.pi * index / self.stations
+            radius = 0.02 + 0.01 * rng.random()
+            location = GeoPoint(
+                _VOLCAN_REVENTADOR.latitude + radius * math.sin(angle),
+                _VOLCAN_REVENTADOR.longitude + radius * math.cos(angle),
+            )
+            network.add_node(
+                SensorNode(
+                    sensor_id=f"seismo-{index:02d}",
+                    spec=SensorSpec(
+                        "seismometer", "geophone-l22", sample_period_seconds=30.0
+                    ),
+                    location=location,
+                    value_model=_seismic_model,
+                    failure_rate=0.02,
+                )
+            )
+        return [network]
+
+    def derived_sets(self, raw_sets: Sequence[TupleSet]) -> List[TupleSet]:
+        """Extract per-episode event data sets fanning in from triggered windows."""
+        if not raw_sets:
+            return []
+        extractor = MergeOperator("event-extractor", version="1.3",
+                                  parameters={"trigger_threshold": 2.5})
+        by_hour: Dict[int, List[TupleSet]] = {}
+        for tuple_set in raw_sets:
+            start = tuple_set.provenance.get("window_start")
+            if not isinstance(start, Timestamp):
+                continue
+            triggered = any(bool(reading.value("triggered", False)) for reading in tuple_set)
+            if triggered:
+                by_hour.setdefault(int(start.seconds // 3600), []).append(tuple_set)
+        events = []
+        for hour, members in sorted(by_hour.items()):
+            if len(members) >= 2:  # a real event needs multi-window support
+                events.append(extractor.apply_many(members))
+        return events
+
+    def query_suite(self) -> Dict[str, Query]:
+        return {
+            "all_array_windows": Query(AttributeEquals("volcano", "reventador")),
+            "raw_windows_only": Query(
+                And((AttributeEquals("domain", self.domain), IsRaw(True)))
+            ),
+            "extracted_events": Query(
+                And((AttributeEquals("domain", self.domain), AttributeEquals("stage", "merged")))
+            ),
+            "first_tremor_window": Query(
+                And(
+                    (
+                        AttributeEquals("domain", self.domain),
+                        AttributeRange(
+                            "window_start",
+                            low=Timestamp(self.start.seconds + 2 * 3600),
+                            high=Timestamp(self.start.seconds + 3 * 3600),
+                        ),
+                    )
+                )
+            ),
+        }

@@ -1,0 +1,18 @@
+"""Storage substrates: in-memory and SQLite backends, WAL, replication."""
+
+from repro.storage.backend import StorageBackend, StorageStats
+from repro.storage.memory import MemoryBackend
+from repro.storage.replication import ReplicationManager
+from repro.storage.sqlite import SQLiteBackend
+from repro.storage.wal import ReplayReport, WalEntry, WriteAheadLog
+
+__all__ = [
+    "StorageBackend",
+    "StorageStats",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "WriteAheadLog",
+    "WalEntry",
+    "ReplayReport",
+    "ReplicationManager",
+]

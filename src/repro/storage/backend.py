@@ -1,0 +1,115 @@
+"""Abstract storage backend for provenance records and tuple-set payloads.
+
+The PASS store separates *what* it stores (provenance records, reading
+payloads, removal markers) from *where* bytes live.  Two backends ship
+with the library:
+
+* :class:`repro.storage.memory.MemoryBackend` -- a dict-backed store used
+  by most tests and by the distributed architecture models (each
+  simulated site gets its own).
+* :class:`repro.storage.sqlite.SQLiteBackend` -- the durable prototype
+  the calibration notes anticipate, with WAL journalling and crash
+  recovery used by experiment E11.
+
+Backends store provenance records keyed by PName digest, raw reading
+payloads keyed the same way, and a removed-set.  They intentionally know
+nothing about indexing or queries; those live above, in
+:mod:`repro.index` and :mod:`repro.core.pass_store`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.provenance import PName, ProvenanceRecord
+
+__all__ = ["StorageBackend", "StorageStats"]
+
+
+class StorageStats:
+    """Simple operation counters every backend maintains.
+
+    The evaluation harness reads these to charge storage cost to the
+    architecture models (resource-consumption criterion).
+    """
+
+    def __init__(self) -> None:
+        self.puts = 0
+        self.gets = 0
+        self.deletes = 0
+        self.payload_bytes = 0
+
+    def snapshot(self) -> dict:
+        """Return the counters as a plain dict (for reports)."""
+        return {
+            "puts": self.puts,
+            "gets": self.gets,
+            "deletes": self.deletes,
+            "payload_bytes": self.payload_bytes,
+        }
+
+
+class StorageBackend(ABC):
+    """Interface every storage backend implements."""
+
+    def __init__(self) -> None:
+        self.stats = StorageStats()
+
+    # -- provenance records ---------------------------------------------------
+    @abstractmethod
+    def put_record(self, record: ProvenanceRecord) -> None:
+        """Persist a provenance record, keyed by its PName."""
+
+    @abstractmethod
+    def get_record(self, pname: PName) -> Optional[ProvenanceRecord]:
+        """Fetch a provenance record, or ``None`` when absent."""
+
+    @abstractmethod
+    def has_record(self, pname: PName) -> bool:
+        """True when a record with this PName is stored."""
+
+    @abstractmethod
+    def iter_records(self) -> Iterator[Tuple[PName, ProvenanceRecord]]:
+        """Iterate over every stored ``(PName, record)`` pair."""
+
+    @abstractmethod
+    def record_count(self) -> int:
+        """Number of stored provenance records."""
+
+    # -- payloads (the readings themselves) ----------------------------------
+    @abstractmethod
+    def put_payload(self, pname: PName, payload: bytes) -> None:
+        """Persist the serialised readings of a tuple set."""
+
+    @abstractmethod
+    def get_payload(self, pname: PName) -> Optional[bytes]:
+        """Fetch a tuple set's serialised readings, or ``None``."""
+
+    @abstractmethod
+    def delete_payload(self, pname: PName) -> bool:
+        """Remove a payload (the *data*, never the provenance).
+
+        Returns True when something was deleted.  Used to exercise PASS
+        property P4: deleting data must not delete provenance.
+        """
+
+    # -- removal markers -------------------------------------------------------
+    @abstractmethod
+    def mark_removed(self, pname: PName) -> None:
+        """Remember that the data named by ``pname`` was removed."""
+
+    @abstractmethod
+    def is_removed(self, pname: PName) -> bool:
+        """True when the data named by ``pname`` was removed."""
+
+    @abstractmethod
+    def removed_pnames(self) -> List[PName]:
+        """All PNames whose data was removed."""
+
+    # -- lifecycle ---------------------------------------------------------------
+    def flush(self) -> None:
+        """Force durability (no-op for volatile backends)."""
+
+    def close(self) -> None:
+        """Release resources; further use raises ``StorageError``."""

@@ -1,0 +1,94 @@
+"""In-memory storage backend.
+
+Dict-backed and fast; the default substrate for unit tests, examples and
+the per-site stores inside the distributed architecture models.  It is
+deliberately free of durability so that crash-recovery behaviour is a
+property only of the SQLite backend (experiment E11 compares the two).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.provenance import PName, ProvenanceRecord
+from repro.errors import StorageError
+from repro.storage.backend import StorageBackend
+
+__all__ = ["MemoryBackend"]
+
+
+class MemoryBackend(StorageBackend):
+    """Stores everything in process memory."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._records: Dict[str, ProvenanceRecord] = {}
+        self._payloads: Dict[str, bytes] = {}
+        self._removed: Set[str] = set()
+        self._closed = False
+
+    # -- provenance records ---------------------------------------------------
+    def put_record(self, record: ProvenanceRecord) -> None:
+        self._check_open()
+        self._records[record.pname().digest] = record
+        self.stats.puts += 1
+
+    def get_record(self, pname: PName) -> Optional[ProvenanceRecord]:
+        self._check_open()
+        self.stats.gets += 1
+        return self._records.get(pname.digest)
+
+    def has_record(self, pname: PName) -> bool:
+        self._check_open()
+        return pname.digest in self._records
+
+    def iter_records(self) -> Iterator[Tuple[PName, ProvenanceRecord]]:
+        self._check_open()
+        for digest, record in self._records.items():
+            yield PName(digest), record
+
+    def record_count(self) -> int:
+        self._check_open()
+        return len(self._records)
+
+    # -- payloads -----------------------------------------------------------------
+    def put_payload(self, pname: PName, payload: bytes) -> None:
+        self._check_open()
+        if not isinstance(payload, (bytes, bytearray)):
+            raise StorageError("payload must be bytes")
+        self._payloads[pname.digest] = bytes(payload)
+        self.stats.puts += 1
+        self.stats.payload_bytes += len(payload)
+
+    def get_payload(self, pname: PName) -> Optional[bytes]:
+        self._check_open()
+        self.stats.gets += 1
+        return self._payloads.get(pname.digest)
+
+    def delete_payload(self, pname: PName) -> bool:
+        self._check_open()
+        existed = self._payloads.pop(pname.digest, None) is not None
+        if existed:
+            self.stats.deletes += 1
+        return existed
+
+    # -- removal markers -------------------------------------------------------
+    def mark_removed(self, pname: PName) -> None:
+        self._check_open()
+        self._removed.add(pname.digest)
+
+    def is_removed(self, pname: PName) -> bool:
+        self._check_open()
+        return pname.digest in self._removed
+
+    def removed_pnames(self) -> List[PName]:
+        self._check_open()
+        return [PName(digest) for digest in sorted(self._removed)]
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("backend has been closed")

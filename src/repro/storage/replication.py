@@ -1,0 +1,193 @@
+"""Replication of provenance records across storage sites.
+
+Section V: "Our model does not inherently involve replication, as data
+is locale-specific, but replication is desirable for reliability and for
+query performance.  Supporting replication cheaply is an interesting
+problem."
+
+:class:`ReplicationManager` implements a simple, explicit replication
+policy over a set of named backends (one per simulated site):
+
+* every record has a *home* site (chosen by the caller, typically the
+  locale-aware placement policy);
+* the manager maintains up to ``replication_factor`` total copies,
+  choosing replica sites by a deterministic preference order;
+* reads prefer the requested site, falling back to any live replica;
+* sites can be failed and recovered, which is how the reliability
+  criterion is scored for the distributed models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.core.provenance import PName, ProvenanceRecord
+from repro.errors import ConfigurationError, StorageError, UnknownEntityError
+from repro.storage.backend import StorageBackend
+
+__all__ = ["ReplicationManager"]
+
+
+class ReplicationManager:
+    """Keeps up to N copies of each provenance record across sites.
+
+    Parameters
+    ----------
+    backends:
+        Mapping of site name to that site's storage backend.
+    replication_factor:
+        Total number of copies to maintain (including the home copy).
+    """
+
+    def __init__(self, backends: Mapping[str, StorageBackend], replication_factor: int = 2) -> None:
+        if replication_factor < 1:
+            raise ConfigurationError("replication_factor must be at least 1")
+        if not backends:
+            raise ConfigurationError("ReplicationManager needs at least one backend")
+        self._backends: Dict[str, StorageBackend] = dict(backends)
+        self._factor = min(replication_factor, len(self._backends))
+        self._locations: Dict[str, List[str]] = {}
+        self._failed: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Site management
+    # ------------------------------------------------------------------
+    @property
+    def sites(self) -> List[str]:
+        """All site names, failed or not."""
+        return sorted(self._backends)
+
+    @property
+    def replication_factor(self) -> int:
+        """Number of copies maintained per record."""
+        return self._factor
+
+    def fail_site(self, site: str) -> None:
+        """Mark a site as crashed/unreachable."""
+        self._require_site(site)
+        self._failed.add(site)
+
+    def recover_site(self, site: str) -> None:
+        """Bring a failed site back (its stored copies become readable again)."""
+        self._require_site(site)
+        self._failed.discard(site)
+
+    def is_failed(self, site: str) -> bool:
+        """True when the site is currently marked failed."""
+        self._require_site(site)
+        return site in self._failed
+
+    def live_sites(self) -> List[str]:
+        """Sites currently reachable."""
+        return sorted(set(self._backends) - self._failed)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def store(self, record: ProvenanceRecord, home_site: str) -> List[str]:
+        """Store ``record`` at its home site plus replicas; return the copy sites.
+
+        Replica sites are chosen deterministically: the live sites other
+        than the home, in sorted order, until the replication factor is
+        met.  If the home site is down the write fails -- the paper's
+        model stores data where it is produced, so there is no
+        "write anywhere" fallback.
+        """
+        self._require_site(home_site)
+        if home_site in self._failed:
+            raise StorageError(f"home site {home_site!r} is failed; cannot store")
+        copies = [home_site]
+        for site in self.live_sites():
+            if len(copies) >= self._factor:
+                break
+            if site != home_site:
+                copies.append(site)
+        for site in copies:
+            self._backends[site].put_record(record)
+        self._locations[record.pname().digest] = copies
+        return list(copies)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def locations(self, pname: PName) -> List[str]:
+        """Sites believed to hold a copy (regardless of failure state)."""
+        try:
+            return list(self._locations[pname.digest])
+        except KeyError:
+            raise UnknownEntityError(f"no replicas recorded for {pname}") from None
+
+    def fetch(self, pname: PName, prefer_site: Optional[str] = None) -> ProvenanceRecord:
+        """Fetch a record from the preferred site, else any live replica.
+
+        Raises :class:`~repro.errors.StorageError` when every replica is
+        on a failed site -- that is the data-loss event the reliability
+        experiment counts.
+        """
+        sites = self.locations(pname)
+        ordered: Sequence[str]
+        if prefer_site is not None and prefer_site in sites:
+            ordered = [prefer_site] + [site for site in sites if site != prefer_site]
+        else:
+            ordered = sites
+        for site in ordered:
+            if site in self._failed:
+                continue
+            record = self._backends[site].get_record(pname)
+            if record is not None:
+                return record
+        raise StorageError(f"no live replica of {pname} (copies at {sites})")
+
+    def available(self, pname: PName) -> bool:
+        """True when at least one live site still holds the record."""
+        try:
+            return any(site not in self._failed for site in self.locations(pname))
+        except UnknownEntityError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def repair(self) -> int:
+        """Re-replicate records that lost copies to failed sites.
+
+        Copies on failed sites are treated as lost; new replicas are
+        created on live sites (reading from a surviving copy) until the
+        replication factor is met again.  Returns the number of new
+        copies created.
+        """
+        created = 0
+        for digest, sites in list(self._locations.items()):
+            live_copies = [site for site in sites if site not in self._failed]
+            if not live_copies:
+                continue  # unrecoverable until a holder comes back
+            pname = PName(digest)
+            record = None
+            for site in live_copies:
+                record = self._backends[site].get_record(pname)
+                if record is not None:
+                    break
+            if record is None:  # pragma: no cover - defensive
+                continue
+            needed = self._factor - len(live_copies)
+            if needed <= 0:
+                continue
+            for site in self.live_sites():
+                if needed == 0:
+                    break
+                if site in live_copies:
+                    continue
+                self._backends[site].put_record(record)
+                live_copies.append(site)
+                created += 1
+                needed -= 1
+            self._locations[digest] = live_copies
+        return created
+
+    def copy_count(self, pname: PName) -> int:
+        """Number of live copies of the record right now."""
+        return sum(1 for site in self.locations(pname) if site not in self._failed)
+
+    def _require_site(self, site: str) -> None:
+        if site not in self._backends:
+            raise UnknownEntityError(f"unknown site {site!r}")

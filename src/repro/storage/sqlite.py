@@ -1,0 +1,268 @@
+"""SQLite-backed storage backend.
+
+This is the durable prototype substrate: provenance records, tuple-set
+payloads and removal markers in three tables, with SQLite's own WAL
+journalling enabled.  A fault-injection hook lets experiment E11 crash
+the backend after a configurable number of writes, then re-open the
+database and (optionally) replay the library-level
+:class:`~repro.storage.wal.WriteAheadLog` to verify the recovery story.
+
+Schema
+------
+``records(pname TEXT PRIMARY KEY, body TEXT)``
+    The provenance record as canonical JSON.
+``payloads(pname TEXT PRIMARY KEY, body BLOB)``
+    The serialised readings of the tuple set.
+``removed(pname TEXT PRIMARY KEY)``
+    PNames whose data was removed (provenance retained).
+``ancestry(child TEXT, parent TEXT, PRIMARY KEY (child, parent))``
+    Redundant edge table so ancestry queries can also be issued in SQL;
+    kept in sync with the records.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.provenance import PName, ProvenanceRecord
+from repro.errors import CrashInjectedError, StorageError
+from repro.storage.backend import StorageBackend
+
+__all__ = ["SQLiteBackend"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS records (
+    pname TEXT PRIMARY KEY,
+    body  TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS payloads (
+    pname TEXT PRIMARY KEY,
+    body  BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS removed (
+    pname TEXT PRIMARY KEY
+);
+CREATE TABLE IF NOT EXISTS ancestry (
+    child  TEXT NOT NULL,
+    parent TEXT NOT NULL,
+    PRIMARY KEY (child, parent)
+);
+CREATE INDEX IF NOT EXISTS ancestry_parent ON ancestry(parent);
+"""
+
+
+class SQLiteBackend(StorageBackend):
+    """Durable backend over a single SQLite database file.
+
+    Parameters
+    ----------
+    path:
+        Database file.  Use ``":memory:"`` for a private in-memory
+        database (handy in tests that want SQL behaviour without disk).
+    crash_after_writes:
+        When set, the backend raises
+        :class:`~repro.errors.CrashInjectedError` once that many write
+        operations have been attempted, *before* committing the failing
+        write.  Used by the recovery experiment.
+    """
+
+    def __init__(
+        self,
+        path: str | Path = ":memory:",
+        crash_after_writes: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self._path = str(path)
+        self._connection = sqlite3.connect(self._path)
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
+        self._connection.executescript(_SCHEMA)
+        self._connection.commit()
+        self._writes_seen = 0
+        self._crash_after_writes = crash_after_writes
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def _maybe_crash(self) -> None:
+        if self._crash_after_writes is None:
+            return
+        self._writes_seen += 1
+        if self._writes_seen > self._crash_after_writes:
+            # Simulate a hard crash: the connection dies without commit.
+            self._connection.rollback()
+            self._connection.close()
+            self._closed = True
+            raise CrashInjectedError(
+                f"injected crash after {self._crash_after_writes} writes"
+            )
+
+    def writes_performed(self) -> int:
+        """Number of write operations attempted (for recovery bookkeeping)."""
+        return self._writes_seen
+
+    # ------------------------------------------------------------------
+    # Provenance records
+    # ------------------------------------------------------------------
+    def put_record(self, record: ProvenanceRecord) -> None:
+        self._check_open()
+        self._maybe_crash()
+        digest = record.pname().digest
+        body = record.to_json()
+        with self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO records (pname, body) VALUES (?, ?)", (digest, body)
+            )
+            self._connection.executemany(
+                "INSERT OR IGNORE INTO ancestry (child, parent) VALUES (?, ?)",
+                [(digest, ancestor.digest) for ancestor in record.ancestors],
+            )
+        self.stats.puts += 1
+
+    def get_record(self, pname: PName) -> Optional[ProvenanceRecord]:
+        self._check_open()
+        self.stats.gets += 1
+        row = self._connection.execute(
+            "SELECT body FROM records WHERE pname = ?", (pname.digest,)
+        ).fetchone()
+        if row is None:
+            return None
+        return ProvenanceRecord.from_json(row[0])
+
+    def has_record(self, pname: PName) -> bool:
+        self._check_open()
+        row = self._connection.execute(
+            "SELECT 1 FROM records WHERE pname = ?", (pname.digest,)
+        ).fetchone()
+        return row is not None
+
+    def iter_records(self) -> Iterator[Tuple[PName, ProvenanceRecord]]:
+        self._check_open()
+        cursor = self._connection.execute("SELECT pname, body FROM records")
+        for digest, body in cursor:
+            yield PName(digest), ProvenanceRecord.from_json(body)
+
+    def record_count(self) -> int:
+        self._check_open()
+        row = self._connection.execute("SELECT COUNT(*) FROM records").fetchone()
+        return int(row[0])
+
+    # ------------------------------------------------------------------
+    # Payloads
+    # ------------------------------------------------------------------
+    def put_payload(self, pname: PName, payload: bytes) -> None:
+        self._check_open()
+        if not isinstance(payload, (bytes, bytearray)):
+            raise StorageError("payload must be bytes")
+        self._maybe_crash()
+        with self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO payloads (pname, body) VALUES (?, ?)",
+                (pname.digest, bytes(payload)),
+            )
+        self.stats.puts += 1
+        self.stats.payload_bytes += len(payload)
+
+    def get_payload(self, pname: PName) -> Optional[bytes]:
+        self._check_open()
+        self.stats.gets += 1
+        row = self._connection.execute(
+            "SELECT body FROM payloads WHERE pname = ?", (pname.digest,)
+        ).fetchone()
+        return None if row is None else bytes(row[0])
+
+    def delete_payload(self, pname: PName) -> bool:
+        self._check_open()
+        self._maybe_crash()
+        with self._connection:
+            cursor = self._connection.execute(
+                "DELETE FROM payloads WHERE pname = ?", (pname.digest,)
+            )
+        deleted = cursor.rowcount > 0
+        if deleted:
+            self.stats.deletes += 1
+        return deleted
+
+    # ------------------------------------------------------------------
+    # Removal markers
+    # ------------------------------------------------------------------
+    def mark_removed(self, pname: PName) -> None:
+        self._check_open()
+        self._maybe_crash()
+        with self._connection:
+            self._connection.execute(
+                "INSERT OR IGNORE INTO removed (pname) VALUES (?)", (pname.digest,)
+            )
+
+    def is_removed(self, pname: PName) -> bool:
+        self._check_open()
+        row = self._connection.execute(
+            "SELECT 1 FROM removed WHERE pname = ?", (pname.digest,)
+        ).fetchone()
+        return row is not None
+
+    def removed_pnames(self) -> List[PName]:
+        self._check_open()
+        cursor = self._connection.execute("SELECT pname FROM removed ORDER BY pname")
+        return [PName(row[0]) for row in cursor]
+
+    # ------------------------------------------------------------------
+    # SQL-level ancestry (used by tests to cross-check the graph)
+    # ------------------------------------------------------------------
+    def sql_ancestors(self, pname: PName) -> List[PName]:
+        """Transitive ancestors computed with a recursive SQL CTE.
+
+        Exists to demonstrate (and test) that the edge table is
+        sufficient to answer closure queries in plain SQL, and to give
+        the benchmarks a "relational engine" comparison point.
+        """
+        self._check_open()
+        cursor = self._connection.execute(
+            """
+            WITH RECURSIVE up(pname) AS (
+                SELECT parent FROM ancestry WHERE child = ?
+                UNION
+                SELECT ancestry.parent FROM ancestry JOIN up ON ancestry.child = up.pname
+            )
+            SELECT pname FROM up
+            """,
+            (pname.digest,),
+        )
+        return [PName(row[0]) for row in cursor]
+
+    def sql_descendants(self, pname: PName) -> List[PName]:
+        """Transitive descendants via a recursive SQL CTE (see :meth:`sql_ancestors`)."""
+        self._check_open()
+        cursor = self._connection.execute(
+            """
+            WITH RECURSIVE down(pname) AS (
+                SELECT child FROM ancestry WHERE parent = ?
+                UNION
+                SELECT ancestry.child FROM ancestry JOIN down ON ancestry.parent = down.pname
+            )
+            SELECT pname FROM down
+            """,
+            (pname.digest,),
+        )
+        return [PName(row[0]) for row in cursor]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        if not self._closed:
+            self._connection.commit()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._connection.commit()
+            self._connection.close()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("SQLite backend has been closed (or crashed)")

@@ -1,0 +1,110 @@
+"""Tests for provenance abstraction (Section V's 'gcc 3.3.3' example)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Agent, PassStore, ProvenanceRecord
+from repro.core.abstraction import (
+    AbstractionEngine,
+    AgentAbstractionRule,
+    AttributeAbstractionRule,
+    DepthAbstractionRule,
+)
+from repro.errors import UnknownEntityError
+
+
+@pytest.fixture
+def toolchain_store():
+    """gcc's own history -> binary compiled by gcc -> analysis result."""
+    store = PassStore()
+    previous = None
+    for revision in range(5):
+        attributes = {"kind": "toolchain", "tool": "gcc", "tool_version": f"3.3.{revision}"}
+        record = ProvenanceRecord(attributes) if previous is None else previous.derive(attributes)
+        store.ingest_record(record)
+        previous = record
+    binary = previous.derive(
+        {"kind": "binary", "name": "analyse"}, agent=Agent("compiler", "gcc", "3.3.3")
+    )
+    store.ingest_record(binary)
+    result = binary.derive({"kind": "analysis-result", "study": "zone"}, agent=Agent("program", "analyse", "1.0"))
+    store.ingest_record(result)
+    return store, result.pname(), binary.pname()
+
+
+class TestRules:
+    def test_agent_rule_summarises_matching_agent(self, toolchain_store):
+        store, _, binary = toolchain_store
+        rule = AgentAbstractionRule(agent_kind="compiler")
+        record = store.get_record(binary)
+        assert rule.summarise(binary, record) == "compiler gcc 3.3.3"
+
+    def test_agent_rule_ignores_other_kinds(self, toolchain_store):
+        store, focus, _ = toolchain_store
+        rule = AgentAbstractionRule(agent_kind="compiler")
+        assert rule.summarise(focus, store.get_record(focus)) is None
+
+    def test_attribute_rule_uses_label_attribute(self, toolchain_store):
+        store, _, binary = toolchain_store
+        record = store.get_record(binary)
+        toolchain_record = store.get_record(record.ancestors[0])
+        rule = AttributeAbstractionRule("kind", "toolchain", label_attribute="tool_version")
+        assert rule.summarise(record.ancestors[0], toolchain_record) == "3.3.4"
+
+    def test_attribute_rule_falls_back_to_pair(self):
+        rule = AttributeAbstractionRule("kind", "toolchain")
+        record = ProvenanceRecord({"kind": "toolchain"})
+        assert rule.summarise(record.pname(), record) == "kind=toolchain"
+
+    def test_rules_handle_missing_record(self):
+        record = ProvenanceRecord({"kind": "x"})
+        assert AgentAbstractionRule("compiler").summarise(record.pname(), None) is None
+        assert AttributeAbstractionRule("kind", "x").summarise(record.pname(), None) is None
+
+
+class TestEngine:
+    def test_report_without_rules_expands_everything(self, toolchain_store):
+        store, focus, _ = toolchain_store
+        report = store.report_lineage(focus)
+        assert report.hidden_count == 0
+        assert report.reported_size() == 6  # binary + 5 toolchain revisions
+        assert report.compression_ratio() == pytest.approx(1.0)
+
+    def test_agent_rule_collapses_tool_history(self, toolchain_store):
+        store, focus, binary = toolchain_store
+        store.add_abstraction_rule(AgentAbstractionRule(agent_kind="compiler"))
+        report = store.report_lineage(focus)
+        assert binary in report.summaries
+        assert report.summaries[binary] == "compiler gcc 3.3.3"
+        # The five toolchain revisions are hidden behind the summary.
+        assert report.hidden_count == 5
+        assert report.reported_size() == 1
+        assert report.compression_ratio() > 1.0
+
+    def test_depth_limit_hides_deep_history(self, toolchain_store):
+        store, focus, _ = toolchain_store
+        report = store.report_lineage(focus, max_depth=1)
+        assert report.reported_size() == 1
+        assert report.hidden_count == 5
+
+    def test_depth_rule_acts_like_max_depth(self, toolchain_store):
+        store, focus, _ = toolchain_store
+        store.add_abstraction_rule(DepthAbstractionRule(max_depth=2))
+        report = store.report_lineage(focus)
+        assert report.full_size() == 6
+        assert report.reported_size() == 2
+
+    def test_unknown_focus_raises(self, toolchain_store):
+        store, _, _ = toolchain_store
+        with pytest.raises(UnknownEntityError):
+            store.report_lineage(ProvenanceRecord({"x": 1}).pname())
+
+    def test_engine_usable_standalone(self, toolchain_store):
+        store, focus, _ = toolchain_store
+        engine = AbstractionEngine(
+            store.graph, resolver=lambda p: store.backend.get_record(p), rules=()
+        )
+        report = engine.report(focus)
+        assert report.focus == focus
+        assert report.full_size() == 6

@@ -1,0 +1,125 @@
+"""Tests for the naming schemes (Section II-A comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Agent, GeoPoint, ProvenanceRecord, Timestamp
+from repro.core.naming import FilenameConvention, ProvenanceNaming
+from repro.errors import NamingError
+
+
+@pytest.fixture
+def record():
+    return ProvenanceRecord(
+        {
+            "domain": "volcano",
+            "site": "vesuvius",
+            "window_start": Timestamp(1097452800.0),
+            "owner": "observatory",
+            "location": GeoPoint(40.82, 14.42),
+        },
+        agents=(Agent("sensor-network", "vesuvius-array", "1.0"),),
+    )
+
+
+class TestFilenameConvention:
+    def test_name_follows_field_order(self, record):
+        convention = FilenameConvention(["domain", "site", "window_start"])
+        assert convention.name(record) == "volcano_vesuvius_1097452800"
+
+    def test_missing_fields_get_placeholder(self, record):
+        convention = FilenameConvention(["domain", "missing", "site"])
+        assert convention.name(record) == "volcano_unknown_vesuvius"
+
+    def test_unencodable_attributes_are_dropped(self, record):
+        convention = FilenameConvention(["domain", "site"])
+        name = convention.name(record)
+        assert "observatory" not in name
+
+    def test_values_with_separator_are_squashed(self):
+        record = ProvenanceRecord({"domain": "supply_chain", "site": "a b"})
+        convention = FilenameConvention(["domain", "site"])
+        assert convention.name(record) == "supply-chain_a-b"
+
+    def test_parse_round_trip(self, record):
+        convention = FilenameConvention(["domain", "site", "window_start"])
+        parsed = convention.parse(convention.name(record))
+        assert parsed.get("domain") == "volcano"
+        assert parsed.get("site") == "vesuvius"
+
+    def test_parse_missing_token_absent(self, record):
+        convention = FilenameConvention(["domain", "missing", "site"])
+        parsed = convention.parse(convention.name(record))
+        assert parsed.get("missing") is None
+
+    def test_parse_extras_collected(self):
+        convention = FilenameConvention(["domain"])
+        parsed = convention.parse("volcano_surprise_suffix")
+        assert parsed.extras == ("surprise", "suffix")
+
+    def test_parse_empty_rejected(self):
+        convention = FilenameConvention(["domain"])
+        with pytest.raises(NamingError):
+            convention.parse("")
+
+    def test_lookup_on_encoded_field(self, record):
+        convention = FilenameConvention(["domain", "site"])
+        names = {convention.name(record): record}
+        assert convention.lookup(names, "site", "vesuvius") == [convention.name(record)]
+
+    def test_lookup_on_unencoded_field_returns_nothing(self, record):
+        convention = FilenameConvention(["domain", "site"])
+        names = {convention.name(record): record}
+        assert convention.lookup(names, "owner", "observatory") == []
+
+    def test_validation(self):
+        with pytest.raises(NamingError):
+            FilenameConvention([])
+        with pytest.raises(NamingError):
+            FilenameConvention(["a", "a"])
+        with pytest.raises(NamingError):
+            FilenameConvention(["a"], separator="")
+
+    def test_can_express(self):
+        convention = FilenameConvention(["domain", "site"])
+        assert convention.can_express("site")
+        assert not convention.can_express("owner")
+
+
+class TestProvenanceNaming:
+    def test_register_and_resolve(self, record):
+        naming = ProvenanceNaming()
+        digest = naming.register(record)
+        assert naming.resolve(digest) is record
+        assert len(naming) == 1
+
+    def test_resolve_unknown(self):
+        naming = ProvenanceNaming()
+        with pytest.raises(NamingError):
+            naming.resolve("0" * 64)
+
+    def test_lookup_any_attribute(self, record):
+        naming = ProvenanceNaming()
+        digest = naming.register(record)
+        assert naming.lookup("owner", "observatory") == [digest]
+        assert naming.lookup("owner", "someone-else") == []
+
+    def test_related_finds_parents_and_children(self, record):
+        naming = ProvenanceNaming()
+        parent_digest = naming.register(record)
+        child = record.derive({"stage": "event", "domain": "volcano"})
+        child_digest = naming.register(child)
+        assert parent_digest in naming.related(child_digest)
+        assert child_digest in naming.related(parent_digest)
+
+    def test_relationships_unanswerable_by_filenames(self, record):
+        """The relationship query has no filename equivalent at all."""
+        convention = FilenameConvention(["domain", "site"])
+        child = record.derive({"stage": "event", "domain": "volcano"})
+        parent_name = convention.name(record)
+        child_name = convention.name(child)
+        # The two names share no token that encodes the derivation link.
+        assert parent_name != child_name
+        parsed_child = convention.parse(child_name)
+        assert parent_name not in parsed_child.fields.values()

@@ -1,0 +1,263 @@
+"""Tests for the local PASS store: ingest, query, lineage, the four properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Agent,
+    AgentIs,
+    AncestorOf,
+    And,
+    Annotation,
+    AnnotationMatches,
+    AttributeEquals,
+    DerivedFrom,
+    GeoPoint,
+    IsRaw,
+    PassStore,
+    ProvenanceRecord,
+    Query,
+    SensorReading,
+    Timestamp,
+    TupleSet,
+)
+from repro.errors import DuplicateProvenanceError, UnknownEntityError
+from repro.storage.sqlite import SQLiteBackend
+
+
+def _tuple_set(label: str, readings_count: int = 2, ancestors=()):
+    record = ProvenanceRecord(
+        {
+            "domain": "traffic",
+            "label": label,
+            "window_start": Timestamp(0.0),
+            "window_end": Timestamp(300.0),
+            "location": GeoPoint(51.5, -0.12),
+        },
+        ancestors=ancestors,
+    )
+    readings = [
+        SensorReading(f"sensor-{i}", Timestamp(float(i)), {"v": float(i)})
+        for i in range(readings_count)
+    ]
+    return TupleSet(readings, record)
+
+
+class TestIngest:
+    def test_ingest_returns_pname(self, store):
+        ts = _tuple_set("a")
+        assert store.ingest(ts) == ts.pname
+        assert ts.pname in store
+        assert len(store) == 1
+
+    def test_ingest_is_idempotent_for_identical_data(self, store):
+        ts = _tuple_set("a")
+        store.ingest(ts)
+        store.ingest(ts)
+        assert len(store) == 1
+
+    def test_ingest_rejects_different_data_same_provenance(self, store):
+        ts = _tuple_set("a", readings_count=3)
+        store.ingest(ts)
+        impostor = TupleSet(ts.readings[:1], ts.provenance)
+        with pytest.raises(DuplicateProvenanceError):
+            store.ingest(impostor)
+
+    def test_ingest_record_metadata_only(self, store):
+        record = ProvenanceRecord({"domain": "traffic", "label": "meta"})
+        pname = store.ingest_record(record)
+        assert pname in store
+        assert store.get_readings(pname) == []
+
+    def test_readings_round_trip(self, store):
+        ts = _tuple_set("a")
+        store.ingest(ts)
+        readings = store.get_readings(ts.pname)
+        assert len(readings) == len(ts)
+        assert readings[0].sensor_id == "sensor-0"
+        assert readings[0].values["v"] == 0.0
+
+    def test_get_tuple_set_round_trip(self, store):
+        ts = _tuple_set("a")
+        store.ingest(ts)
+        rebuilt = store.get_tuple_set(ts.pname)
+        assert rebuilt.pname == ts.pname
+        assert len(rebuilt) == len(ts)
+
+    def test_get_unknown_record_raises(self, store):
+        with pytest.raises(UnknownEntityError):
+            store.get_record(_tuple_set("ghost").pname)
+
+    def test_stats_count_ingests(self, store):
+        store.ingest(_tuple_set("a"))
+        store.ingest(_tuple_set("b"))
+        assert store.stats.ingested == 2
+
+
+class TestQueries:
+    def test_attribute_equality_uses_index(self, store):
+        ts = _tuple_set("a")
+        store.ingest(ts)
+        store.ingest(_tuple_set("b"))
+        results = store.query(AttributeEquals("label", "a"))
+        assert results == [ts.pname]
+
+    def test_and_query_picks_most_selective_index(self, store):
+        for label in ("a", "b", "c"):
+            store.ingest(_tuple_set(label))
+        query = Query(And((AttributeEquals("domain", "traffic"), AttributeEquals("label", "b"))))
+        results = store.query(query)
+        assert len(results) == 1
+
+    def test_query_records_returns_pairs(self, store):
+        ts = _tuple_set("a")
+        store.ingest(ts)
+        pairs = store.query_records(AttributeEquals("label", "a"))
+        assert pairs[0][0] == ts.pname
+        assert pairs[0][1].get("label") == "a"
+
+    def test_lookup_attribute(self, store):
+        ts = _tuple_set("a")
+        store.ingest(ts)
+        assert store.lookup_attribute("label", "a") == [ts.pname]
+
+    def test_lineage_predicates_in_queries(self, store):
+        parent = _tuple_set("parent")
+        store.ingest(parent)
+        child_record = parent.provenance.derive({"stage": "derived", "domain": "traffic"})
+        child = TupleSet([], child_record)
+        store.ingest(child)
+        derived = store.query(DerivedFrom(parent.pname))
+        ancestors = store.query(AncestorOf(child.pname))
+        assert derived == [child.pname]
+        assert ancestors == [parent.pname]
+
+    def test_is_raw_query(self, store):
+        parent = _tuple_set("parent")
+        store.ingest(parent)
+        child = TupleSet([], parent.provenance.derive({"stage": "derived", "domain": "traffic"}))
+        store.ingest(child)
+        assert set(store.query(IsRaw(True))) == {parent.pname}
+        assert set(store.query(IsRaw(False))) == {child.pname}
+
+    def test_agent_query(self, store):
+        record = ProvenanceRecord(
+            {"domain": "traffic", "label": "x"}, agents=(Agent("program", "sharpen", "2.0"),)
+        )
+        store.ingest(TupleSet([], record))
+        assert store.query(AgentIs("sharpen")) == [record.pname()]
+
+    def test_temporal_index_populated(self, store):
+        store.ingest(_tuple_set("a"))
+        hits = store.temporal_index.overlapping(Timestamp(0.0), Timestamp(100.0))
+        assert len(hits) == 1
+
+    def test_spatial_index_populated(self, store):
+        ts = _tuple_set("a")
+        store.ingest(ts)
+        hits = store.spatial_index.within_radius(GeoPoint(51.5, -0.12), 10.0)
+        assert ts.pname in hits
+
+
+class TestAnnotations:
+    def test_annotation_persisted_and_queryable(self, store):
+        ts = _tuple_set("a")
+        store.ingest(ts)
+        store.annotate(ts.pname, Annotation("sensor-replaced", "cam-07", author="ops"))
+        record = store.get_record(ts.pname)
+        assert any(a.key == "sensor-replaced" for a in record.annotations)
+        assert store.query(AnnotationMatches("sensor-replaced", "cam-07")) == [ts.pname]
+
+
+class TestLineage:
+    def _chain(self, store, depth=4):
+        sets = [_tuple_set("root")]
+        store.ingest(sets[0])
+        for level in range(depth):
+            record = sets[-1].provenance.derive({"stage": f"level-{level}", "domain": "traffic"})
+            derived = TupleSet([], record)
+            store.ingest(derived)
+            sets.append(derived)
+        return sets
+
+    def test_ancestors_and_descendants(self, store):
+        sets = self._chain(store, depth=3)
+        assert store.ancestors(sets[-1].pname) == {ts.pname for ts in sets[:-1]}
+        assert store.descendants(sets[0].pname) == {ts.pname for ts in sets[1:]}
+
+    def test_raw_sources(self, store):
+        sets = self._chain(store, depth=3)
+        assert store.raw_sources(sets[-1].pname) == {sets[0].pname}
+
+    def test_derivation_path(self, store):
+        sets = self._chain(store, depth=3)
+        path = store.derivation_path(sets[-1].pname, sets[0].pname)
+        assert path[0] == sets[-1].pname
+        assert path[-1] == sets[0].pname
+
+    def test_is_ancestor_for_unknown_nodes_is_false(self, store):
+        assert not store.is_ancestor(_tuple_set("x").pname, _tuple_set("y").pname)
+
+    def test_lineage_of_unknown_node_raises(self, store):
+        with pytest.raises(UnknownEntityError):
+            store.ancestors(_tuple_set("ghost").pname)
+
+    def test_closure_strategy_choice_does_not_change_answers(self):
+        answers = {}
+        for strategy in ("naive", "memoized", "labelled"):
+            store = PassStore(closure=strategy)
+            sets = self._chain(store, depth=5)
+            answers[strategy] = store.ancestors(sets[-1].pname)
+        assert answers["naive"] == answers["memoized"] == answers["labelled"]
+
+
+class TestPassProperties:
+    def test_p4_removal_keeps_provenance_and_lineage(self, store):
+        parent = _tuple_set("parent")
+        store.ingest(parent)
+        child = TupleSet([], parent.provenance.derive({"stage": "derived", "domain": "traffic"}))
+        store.ingest(child)
+
+        store.remove_data(parent.pname)
+
+        assert store.is_removed(parent.pname)
+        assert parent.pname in store  # record still there
+        assert store.get_readings(parent.pname) == []  # data gone
+        assert store.ancestors(child.pname) == {parent.pname}
+        assert store.verify_invariants() == []
+
+    def test_remove_unknown_raises(self, store):
+        with pytest.raises(UnknownEntityError):
+            store.remove_data(_tuple_set("ghost").pname)
+
+    def test_query_can_exclude_removed(self, store):
+        ts = _tuple_set("a")
+        store.ingest(ts)
+        store.remove_data(ts.pname)
+        with_removed = store.query(Query(AttributeEquals("label", "a")))
+        without_removed = store.query(Query(AttributeEquals("label", "a"), include_removed=False))
+        assert with_removed == [ts.pname]
+        assert without_removed == []
+
+    def test_verify_invariants_clean_store(self, populated_store):
+        assert populated_store.verify_invariants() == []
+
+
+class TestSQLiteBackedStore:
+    def test_sqlite_round_trip_and_rebuild(self, tmp_path):
+        path = tmp_path / "pass.db"
+        backend = SQLiteBackend(path)
+        store = PassStore(backend=backend)
+        parent = _tuple_set("parent")
+        store.ingest(parent)
+        child = TupleSet([], parent.provenance.derive({"stage": "derived", "domain": "traffic"}))
+        store.ingest(child)
+        store.remove_data(parent.pname)
+        backend.close()
+
+        reopened = PassStore(backend=SQLiteBackend(path))
+        assert len(reopened) == 2
+        assert reopened.is_removed(parent.pname)
+        assert reopened.ancestors(child.pname) == {parent.pname}
+        assert reopened.query(AttributeEquals("label", "parent")) == [parent.pname]

@@ -1,0 +1,99 @@
+"""Cross-cutting tests: every architecture model behind the common interface.
+
+Model-specific behaviour (saturation, staleness, routing, placement) has
+its own test modules; these tests pin down the contract every model must
+satisfy so the evaluation harness can drive them interchangeably.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AttributeEquals, Query
+from repro.distributed import SoftStateIndex
+from repro.errors import UnsupportedQueryError
+from repro.eval.scenario import (
+    MODEL_NAMES,
+    ground_truth_store,
+    origin_site_for,
+    publish_all,
+)
+from repro.sensors.workloads import TrafficWorkload
+
+
+@pytest.fixture(scope="module")
+def workload_sets():
+    workload = TrafficWorkload(seed=33, cities=("london", "boston"), stations_per_city=2)
+    raw, derived = workload.all_sets(hours=1.0)
+    return raw, derived
+
+
+@pytest.fixture(scope="module")
+def truth(workload_sets):
+    raw, derived = workload_sets
+    return ground_truth_store(raw + derived)
+
+
+@pytest.fixture(params=MODEL_NAMES)
+def published_model(request, topology, all_models, workload_sets):
+    model = all_models[request.param]
+    raw, derived = workload_sets
+    publish_all(model, raw + derived, topology)
+    if isinstance(model, SoftStateIndex):
+        model.force_refresh()
+    return model
+
+
+class TestCommonContract:
+    def test_publish_counts_and_costs(self, published_model, workload_sets):
+        raw, derived = workload_sets
+        assert published_model.published == len(raw) + len(derived)
+
+    def test_attribute_query_matches_ground_truth(self, published_model, truth, topology):
+        query = Query(AttributeEquals("city", "london"))
+        answer = published_model.query(query, "london-site")
+        expected = set(truth.query(query))
+        assert answer.pname_set() == expected
+        assert answer.latency_ms >= 0.0
+        assert answer.messages >= 1
+
+    def test_unmatched_query_returns_empty(self, published_model):
+        query = Query(AttributeEquals("city", "atlantis"))
+        assert published_model.query(query, "london-site").pnames == []
+
+    def test_locate_finds_known_data(self, published_model, workload_sets):
+        raw, _ = workload_sets
+        target = raw[0]
+        located = published_model.locate(target.pname, "tokyo-site")
+        assert located.sites_contacted, f"{published_model.name} returned no location"
+
+    def test_lineage_matches_ground_truth_or_is_refused(
+        self, published_model, workload_sets, truth, topology
+    ):
+        raw, derived = workload_sets
+        target = derived[-1] if derived else raw[0]
+        if not published_model.supports_lineage:
+            with pytest.raises(UnsupportedQueryError):
+                published_model.ancestors(target.pname, "london-site")
+            return
+        answer = published_model.ancestors(target.pname, "london-site")
+        assert answer.pname_set() == truth.ancestors(target.pname)
+
+    def test_descendants_matches_ground_truth_or_is_refused(
+        self, published_model, workload_sets, truth
+    ):
+        raw, derived = workload_sets
+        target = raw[0]
+        if not published_model.supports_lineage:
+            with pytest.raises(UnsupportedQueryError):
+                published_model.descendants(target.pname, "london-site")
+            return
+        answer = published_model.descendants(target.pname, "london-site")
+        assert answer.pname_set() == truth.descendants(target.pname)
+
+    def test_traffic_snapshot_and_describe(self, published_model):
+        snapshot = published_model.traffic_snapshot()
+        assert snapshot["messages"] > 0
+        facts = published_model.describe()
+        assert facts["name"] == published_model.name
+        assert facts["published"] > 0

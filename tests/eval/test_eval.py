@@ -1,0 +1,149 @@
+"""Tests for the evaluation criteria, result containers, reports and scenario helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AttributeEquals, ProvenanceRecord, Query
+from repro.errors import UnknownEntityError
+from repro.eval import (
+    EXPERIMENTS,
+    CriteriaScores,
+    ExperimentResult,
+    LatencySample,
+    MODEL_NAMES,
+    build_all_models,
+    f1_score,
+    format_experiment,
+    format_many,
+    format_table,
+    ground_truth_store,
+    precision_recall,
+    run_experiment,
+    standard_topology,
+)
+from repro.eval.criteria import mean
+from repro.sensors.workloads import TrafficWorkload
+
+
+def _pnames(count):
+    return [ProvenanceRecord({"n": i}).pname() for i in range(count)]
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        names = _pnames(3)
+        assert precision_recall(names, names) == (1.0, 1.0)
+
+    def test_empty_both(self):
+        assert precision_recall([], []) == (1.0, 1.0)
+
+    def test_partial(self):
+        names = _pnames(4)
+        precision, recall = precision_recall(names[:3], names[1:])
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+
+    def test_empty_answer(self):
+        assert precision_recall([], _pnames(2)) == (1.0, 0.0)
+
+    def test_irrelevant_answer(self):
+        assert precision_recall(_pnames(2), []) == (0.0, 1.0)
+
+    def test_f1(self):
+        assert f1_score(1.0, 1.0) == 1.0
+        assert f1_score(0.0, 0.0) == 0.0
+        assert f1_score(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+
+class TestCriteriaScores:
+    def test_derived_metrics(self):
+        scores = CriteriaScores(model="x")
+        scores.publish_samples = [LatencySample(10.0, 2, 100), LatencySample(20.0, 4, 300)]
+        scores.query_samples = [LatencySample(5.0, 1, 50)]
+        scores.lineage_samples = [LatencySample(7.0, 1, 70)]
+        assert scores.publish_latency_ms() == 15.0
+        assert scores.publish_messages() == 3.0
+        assert scores.publish_bytes() == 200.0
+        assert scores.query_latency_ms() == 5.0
+        assert scores.lineage_latency_ms() == 7.0
+        assert scores.usability_score() == 2
+
+    def test_unsupported_lineage(self):
+        scores = CriteriaScores(model="x", supports_lineage=False)
+        assert scores.lineage_latency_ms() is None
+        assert scores.as_row()["closure_ms"] == "unsupported"
+        assert scores.usability_score() == 1
+
+
+class TestExperimentResult:
+    def test_add_row_validates_width(self):
+        result = ExperimentResult("EX", "t", "c", headers=["a", "b"])
+        result.add_row(1, 2)
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_column_and_row_dicts(self):
+        result = ExperimentResult("EX", "t", "c", headers=["model", "value"])
+        result.add_row("m1", 10)
+        result.add_row("m2", 20)
+        assert result.column("value") == [10, 20]
+        assert result.row_dicts()[1] == {"model": "m2", "value": 20}
+        assert result.find_row(model="m1") == {"model": "m1", "value": 10}
+        assert result.find_row(model="nope") is None
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["alpha", 1], ["b", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "22.5" in lines[3]
+
+    def test_format_experiment_includes_notes(self):
+        result = ExperimentResult("EX", "Title", "Claim", headers=["a"], notes=["something"])
+        result.add_row(1)
+        text = format_experiment(result)
+        assert "[EX] Title" in text
+        assert "claim: Claim" in text
+        assert "note: something" in text
+
+    def test_format_many_separates_blocks(self):
+        a = ExperimentResult("E1", "A", "c", headers=["x"])
+        b = ExperimentResult("E2", "B", "c", headers=["x"])
+        text = format_many([a, b])
+        assert "[E1]" in text and "[E2]" in text and "=" * 10 in text
+
+
+class TestScenario:
+    def test_standard_topology_layout(self):
+        topology = standard_topology()
+        assert "warehouse" in topology
+        assert len(topology.sites(kind="storage")) == 4
+
+    def test_standard_topology_rejects_unknown_city(self):
+        with pytest.raises(ValueError):
+            standard_topology(cities=("atlantis",))
+
+    def test_build_all_models_covers_every_name(self):
+        topology = standard_topology()
+        models = build_all_models(topology)
+        assert sorted(models) == sorted(MODEL_NAMES)
+
+    def test_ground_truth_store_holds_everything(self):
+        workload = TrafficWorkload(seed=1, stations_per_city=2)
+        raw, derived = workload.all_sets(hours=0.5)
+        store = ground_truth_store(raw + derived)
+        assert len(store) == len({ts.pname for ts in raw + derived})
+
+    def test_experiment_registry_complete(self):
+        numeric_order = sorted(EXPERIMENTS, key=lambda eid: int(eid[1:]))
+        assert numeric_order == [f"E{i}" for i in range(1, 15)]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(UnknownEntityError):
+            run_experiment("E99")

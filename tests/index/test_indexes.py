@@ -1,0 +1,248 @@
+"""Tests for the attribute, temporal and spatial indexes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GeoPoint, ProvenanceRecord, Timestamp
+from repro.errors import ConfigurationError
+from repro.index import AttributeIndex, SpatialIndex, TemporalIndex
+
+
+def _record(**attributes):
+    base = {"domain": "traffic"}
+    base.update(attributes)
+    return ProvenanceRecord(base)
+
+
+class TestAttributeIndex:
+    def test_exact_lookup(self):
+        index = AttributeIndex()
+        record = _record(city="london")
+        index.add(record.pname(), record)
+        assert index.lookup("city", "london") == {record.pname()}
+        assert index.lookup("city", "boston") == set()
+
+    def test_lookup_is_type_strict(self):
+        index = AttributeIndex()
+        record = _record(count=5)
+        index.add(record.pname(), record)
+        assert index.lookup("count", 5) == {record.pname()}
+        assert index.lookup("count", 5.0) == set()
+
+    def test_restricted_attribute_set(self):
+        index = AttributeIndex(indexed_attributes=["city"])
+        record = _record(city="london", owner="tfl")
+        index.add(record.pname(), record)
+        assert index.covers("city")
+        assert not index.covers("owner")
+        assert index.lookup("owner", "tfl") == set()
+
+    def test_lookup_any(self):
+        index = AttributeIndex()
+        records = [_record(city=c) for c in ("london", "boston", "seattle")]
+        for record in records:
+            index.add(record.pname(), record)
+        hits = index.lookup_any("city", ["london", "seattle"])
+        assert hits == {records[0].pname(), records[2].pname()}
+
+    def test_range_lookup_numeric(self):
+        index = AttributeIndex()
+        records = [_record(count=i) for i in range(10)]
+        for record in records:
+            index.add(record.pname(), record)
+        hits = index.lookup_range("count", low=3, high=5)
+        assert hits == {records[i].pname() for i in (3, 4, 5)}
+
+    def test_range_lookup_exclusive_bounds(self):
+        index = AttributeIndex()
+        records = [_record(count=i) for i in range(5)]
+        for record in records:
+            index.add(record.pname(), record)
+        hits = index.lookup_range("count", low=1, high=3, include_low=False, include_high=False)
+        assert hits == {records[2].pname()}
+
+    def test_range_lookup_timestamps(self):
+        index = AttributeIndex()
+        records = [_record(window_start=Timestamp(60.0 * i)) for i in range(5)]
+        for record in records:
+            index.add(record.pname(), record)
+        hits = index.lookup_range("window_start", low=Timestamp(60.0), high=Timestamp(180.0))
+        assert len(hits) == 3
+
+    def test_range_needs_bound(self):
+        with pytest.raises(ConfigurationError):
+            AttributeIndex().lookup_range("count")
+
+    def test_range_skips_incompatible_values(self):
+        index = AttributeIndex()
+        numeric = _record(value=10)
+        text = _record(value="ten")
+        index.add(numeric.pname(), numeric)
+        index.add(text.pname(), text)
+        assert index.lookup_range("value", low=0, high=100) == {numeric.pname()}
+
+    def test_distinct_values_sorted(self):
+        index = AttributeIndex()
+        for count in (5, 1, 3):
+            record = _record(count=count)
+            index.add(record.pname(), record)
+        assert index.distinct_values("count") == [1, 3, 5]
+
+    def test_cardinality_and_selectivity(self):
+        index = AttributeIndex()
+        for city in ("london", "london", "boston"):
+            record = _record(city=city, nonce=len(index.indexed_attributes()) + index.entry_count())
+            index.add(record.pname(), record)
+        assert index.cardinality("city") == 2
+        assert index.selectivity("city", "london") == pytest.approx(2 / 3)
+        assert index.selectivity("city", "tokyo") == 0.0
+
+    def test_add_value_and_remove(self):
+        index = AttributeIndex()
+        record = _record(city="london")
+        index.add(record.pname(), record)
+        index.add_value(record.pname(), "annotation:note", "upgraded")
+        assert index.lookup("annotation:note", "upgraded") == {record.pname()}
+        index.remove(record.pname(), record)
+        assert index.lookup("city", "london") == set()
+
+    def test_entry_count_tracks_postings(self):
+        index = AttributeIndex()
+        record = _record(city="london", owner="tfl")
+        index.add(record.pname(), record)
+        assert index.entry_count() == 3  # domain, city, owner
+
+
+class TestTemporalIndex:
+    def _populated(self):
+        index = TemporalIndex()
+        names = {}
+        for i in range(5):
+            record = _record(window=i)
+            names[i] = record.pname()
+            index.add(record.pname(), Timestamp(i * 100.0), Timestamp(i * 100.0 + 100.0))
+        return index, names
+
+    def test_rejects_inverted_interval(self):
+        index = TemporalIndex()
+        with pytest.raises(ConfigurationError):
+            index.add(_record().pname(), Timestamp(10.0), Timestamp(0.0))
+
+    def test_overlapping(self):
+        index, names = self._populated()
+        hits = index.overlapping(Timestamp(150.0), Timestamp(250.0))
+        assert hits == {names[1], names[2]}
+
+    def test_overlap_at_boundary(self):
+        index, names = self._populated()
+        hits = index.overlapping(Timestamp(100.0), Timestamp(100.0))
+        assert names[0] in hits and names[1] in hits
+
+    def test_contained(self):
+        index, names = self._populated()
+        hits = index.contained(Timestamp(100.0), Timestamp(300.0))
+        assert hits == {names[1], names[2]}
+
+    def test_at_instant(self):
+        index, names = self._populated()
+        assert names[3] in index.at(Timestamp(350.0))
+
+    def test_rejects_inverted_query(self):
+        index, _ = self._populated()
+        with pytest.raises(ConfigurationError):
+            index.overlapping(Timestamp(10.0), Timestamp(0.0))
+
+    def test_span(self):
+        index, _ = self._populated()
+        start, end = index.span()
+        assert start.seconds == 0.0
+        assert end.seconds == 500.0
+
+    def test_empty_span_is_none(self):
+        assert TemporalIndex().span() is None
+
+    def test_len(self):
+        index, _ = self._populated()
+        assert len(index) == 5
+
+
+class TestSpatialIndex:
+    LONDON = GeoPoint(51.5074, -0.1278)
+    BOSTON = GeoPoint(42.3601, -71.0589)
+    CAMBRIDGE_UK = GeoPoint(52.2053, 0.1218)
+
+    def _populated(self):
+        index = SpatialIndex()
+        names = {}
+        for label, point in (("london", self.LONDON), ("boston", self.BOSTON), ("cambridge", self.CAMBRIDGE_UK)):
+            record = _record(place=label)
+            names[label] = record.pname()
+            index.add(record.pname(), point)
+        return index, names
+
+    def test_rejects_non_positive_cell(self):
+        with pytest.raises(ConfigurationError):
+            SpatialIndex(cell_degrees=0.0)
+
+    def test_within_radius(self):
+        index, names = self._populated()
+        hits = index.within_radius(self.LONDON, 150.0)
+        assert hits == {names["london"], names["cambridge"]}
+
+    def test_within_small_radius(self):
+        index, names = self._populated()
+        assert index.within_radius(self.LONDON, 1.0) == {names["london"]}
+
+    def test_negative_radius_rejected(self):
+        index, _ = self._populated()
+        with pytest.raises(ConfigurationError):
+            index.within_radius(self.LONDON, -1.0)
+
+    def test_radius_at_high_latitude(self):
+        index = SpatialIndex()
+        centre = GeoPoint(69.6, 18.9)  # Tromso
+        east = GeoPoint(69.6, 19.9)    # ~39 km east at that latitude
+        record = _record(place="east")
+        index.add(record.pname(), east)
+        assert index.within_radius(centre, 60.0) == {record.pname()}
+
+    def test_in_box(self):
+        index, names = self._populated()
+        hits = index.in_box(GeoPoint(50.0, -2.0), GeoPoint(53.0, 1.0))
+        assert hits == {names["london"], names["cambridge"]}
+
+    def test_in_box_across_antimeridian(self):
+        index = SpatialIndex()
+        fiji = _record(place="fiji")
+        index.add(fiji.pname(), GeoPoint(-17.7, 178.0))
+        hits = index.in_box(GeoPoint(-30.0, 170.0), GeoPoint(0.0, -170.0))
+        assert fiji.pname() in hits
+
+    def test_invalid_box_rejected(self):
+        index, _ = self._populated()
+        with pytest.raises(ConfigurationError):
+            index.in_box(GeoPoint(10.0, 0.0), GeoPoint(0.0, 1.0))
+
+    def test_nearest(self):
+        index, names = self._populated()
+        assert index.nearest(GeoPoint(51.0, 0.0), count=2) == [names["london"], names["cambridge"]]
+
+    def test_nearest_requires_positive_count(self):
+        index, _ = self._populated()
+        with pytest.raises(ConfigurationError):
+            index.nearest(self.LONDON, count=0)
+
+    def test_re_adding_moves_point(self):
+        index = SpatialIndex()
+        record = _record(place="mobile")
+        index.add(record.pname(), self.LONDON)
+        index.add(record.pname(), self.BOSTON)
+        assert index.within_radius(self.LONDON, 50.0) == set()
+        assert index.within_radius(self.BOSTON, 50.0) == {record.pname()}
+        assert len(index) == 1
+
+    def test_location_of(self):
+        index, names = self._populated()
+        assert index.location_of(names["london"]) == self.LONDON
+        assert index.location_of(_record(place="ghost").pname()) is None

@@ -1,0 +1,130 @@
+"""Tests for the replication manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProvenanceRecord
+from repro.errors import ConfigurationError, StorageError, UnknownEntityError
+from repro.storage import MemoryBackend, ReplicationManager
+
+
+def _record(label: str):
+    return ProvenanceRecord({"domain": "traffic", "label": label})
+
+
+@pytest.fixture
+def backends():
+    return {name: MemoryBackend() for name in ("boston", "london", "tokyo")}
+
+
+@pytest.fixture
+def manager(backends):
+    return ReplicationManager(backends, replication_factor=2)
+
+
+class TestConfiguration:
+    def test_requires_backends(self):
+        with pytest.raises(ConfigurationError):
+            ReplicationManager({}, replication_factor=2)
+
+    def test_requires_positive_factor(self, backends):
+        with pytest.raises(ConfigurationError):
+            ReplicationManager(backends, replication_factor=0)
+
+    def test_factor_capped_at_site_count(self, backends):
+        manager = ReplicationManager(backends, replication_factor=10)
+        assert manager.replication_factor == 3
+
+    def test_unknown_site_operations_raise(self, manager):
+        with pytest.raises(UnknownEntityError):
+            manager.fail_site("mars")
+        with pytest.raises(UnknownEntityError):
+            manager.store(_record("a"), "mars")
+
+
+class TestStoreAndFetch:
+    def test_store_creates_factor_copies(self, manager, backends):
+        record = _record("a")
+        copies = manager.store(record, home_site="london")
+        assert len(copies) == 2
+        assert copies[0] == "london"
+        for site in copies:
+            assert backends[site].has_record(record.pname())
+
+    def test_fetch_prefers_requested_site(self, manager):
+        record = _record("a")
+        copies = manager.store(record, home_site="london")
+        fetched = manager.fetch(record.pname(), prefer_site=copies[1])
+        assert fetched.pname() == record.pname()
+
+    def test_fetch_unknown_record_raises(self, manager):
+        with pytest.raises(UnknownEntityError):
+            manager.fetch(_record("ghost").pname())
+
+    def test_locations_reported(self, manager):
+        record = _record("a")
+        copies = manager.store(record, home_site="boston")
+        assert manager.locations(record.pname()) == copies
+
+
+class TestFailures:
+    def test_store_fails_when_home_site_down(self, manager):
+        manager.fail_site("london")
+        with pytest.raises(StorageError):
+            manager.store(_record("a"), home_site="london")
+
+    def test_fetch_falls_back_to_replica(self, manager):
+        record = _record("a")
+        copies = manager.store(record, home_site="london")
+        manager.fail_site("london")
+        fetched = manager.fetch(record.pname())
+        assert fetched.pname() == record.pname()
+        assert manager.copy_count(record.pname()) == len(copies) - 1
+
+    def test_fetch_fails_when_all_replicas_down(self, manager):
+        record = _record("a")
+        copies = manager.store(record, home_site="london")
+        for site in copies:
+            manager.fail_site(site)
+        assert not manager.available(record.pname())
+        with pytest.raises(StorageError):
+            manager.fetch(record.pname())
+
+    def test_recover_site_restores_availability(self, manager):
+        record = _record("a")
+        copies = manager.store(record, home_site="london")
+        for site in copies:
+            manager.fail_site(site)
+        manager.recover_site(copies[0])
+        assert manager.available(record.pname())
+
+    def test_live_sites_tracking(self, manager):
+        manager.fail_site("tokyo")
+        assert manager.live_sites() == ["boston", "london"]
+        assert manager.is_failed("tokyo")
+
+
+class TestRepair:
+    def test_repair_restores_replication_factor(self, manager, backends):
+        record = _record("a")
+        copies = manager.store(record, home_site="london")
+        lost = copies[1]
+        manager.fail_site(lost)
+        created = manager.repair()
+        assert created == 1
+        assert manager.copy_count(record.pname()) == 2
+        surviving = [site for site in manager.locations(record.pname()) if site != lost]
+        for site in surviving:
+            assert backends[site].has_record(record.pname())
+
+    def test_repair_skips_unrecoverable_records(self, manager):
+        record = _record("a")
+        copies = manager.store(record, home_site="london")
+        for site in copies:
+            manager.fail_site(site)
+        assert manager.repair() == 0
+
+    def test_repair_noop_when_healthy(self, manager):
+        manager.store(_record("a"), home_site="london")
+        assert manager.repair() == 0

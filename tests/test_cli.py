@@ -1,0 +1,72 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workload", "atlantis"])
+
+    def test_experiment_ids_optional(self):
+        args = build_parser().parse_args(["experiments"])
+        assert args.ids == []
+
+
+class TestWorkloadCommand:
+    def test_summary_output(self):
+        out = io.StringIO()
+        code = main(["workload", "traffic", "--hours", "0.5", "--seed", "3"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "domain:            traffic" in text
+        assert "invariants:        ok" in text
+
+    def test_each_domain_runs(self):
+        for domain in ("weather", "volcano"):
+            out = io.StringIO()
+            assert main(["workload", domain, "--hours", "0.5"], out=out) == 0
+
+
+class TestQueryCommand:
+    def test_attribute_query_prints_matches(self):
+        out = io.StringIO()
+        code = main(["query", "traffic", "city=london", "--hours", "0.5", "--limit", "3"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "data sets match city='london'" in text
+        assert "more" in text or text.count("\n") >= 2
+
+    def test_numeric_values_coerced(self):
+        out = io.StringIO()
+        code = main(["query", "traffic", "reading_count=9999", "--hours", "0.5"], out=out)
+        assert code == 0
+        assert "0 data sets match" in out.getvalue()
+
+    def test_malformed_predicate_rejected(self):
+        assert main(["query", "traffic", "city:london"], out=io.StringIO()) == 2
+
+
+class TestExperimentsCommand:
+    def test_single_experiment_to_file(self, tmp_path):
+        out = io.StringIO()
+        report = tmp_path / "report.txt"
+        code = main(["experiments", "E13", "--output", str(report)], out=out)
+        assert code == 0
+        assert "[E13]" in out.getvalue()
+        assert "[E13]" in report.read_text()
+
+    def test_lower_case_ids_accepted(self):
+        out = io.StringIO()
+        assert main(["experiments", "e14"], out=out) == 0
+        assert "[E14]" in out.getvalue()

@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs end-to-end and prints its story."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_expected_scripts():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "traffic_congestion_zone.py", "emergency_medical.py",
+            "scientific_derivation.py", "federated_cross_domain.py"} <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.stem)
+def test_example_runs_cleanly(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    captured = capsys.readouterr()
+    assert captured.out.strip(), f"{script.name} printed nothing"
+    assert "Traceback" not in captured.err
+
+
+def test_quickstart_reports_surviving_provenance(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "provenance survives: True" in out
+    assert "invariants violated: none" in out
+
+
+def test_federated_example_reports_quality_for_every_model(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "federated_cross_domain.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    for model in ("federated", "soft-state", "locale-aware-pass"):
+        assert f"[{model}]" in out
+    assert "refused (no transitive closure)" in out

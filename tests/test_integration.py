@@ -1,0 +1,203 @@
+"""End-to-end integration tests across subsystems.
+
+Each test tells one of the paper's stories from start to finish:
+collection -> derivation -> storage -> querying (local and distributed),
+including the cross-domain federation and privacy scenarios.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Agent,
+    AgentIs,
+    And,
+    AttributeEquals,
+    AttributeRange,
+    DerivedFrom,
+    NearLocation,
+    PassStore,
+    Query,
+    Timestamp,
+)
+from repro.core.abstraction import AgentAbstractionRule
+from repro.distributed import LocaleAwarePass
+from repro.eval.scenario import origin_site_for, publish_all, standard_topology
+from repro.pipeline import MergeOperator, TaintAnalysis
+from repro.security import AccessRule, PolicyEngine, Principal, PrivacyAggregator
+from repro.sensors.workloads import (
+    CITY_CENTRES,
+    MedicalWorkload,
+    TrafficWorkload,
+    WeatherWorkload,
+)
+from repro.storage import SQLiteBackend
+
+
+class TestCongestionZoneStory:
+    """The introduction's London Congestion Zone scenario, end to end."""
+
+    @pytest.fixture(scope="class")
+    def setting(self):
+        traffic = TrafficWorkload(seed=101, cities=("london", "boston"), stations_per_city=3)
+        weather = WeatherWorkload(seed=101, regions=("london",), stations_per_region=2)
+        traffic_raw, traffic_derived = traffic.all_sets(hours=3.0)
+        weather_raw, weather_derived = weather.all_sets(hours=3.0)
+        store = PassStore()
+        for tuple_set in traffic_raw + traffic_derived + weather_raw + weather_derived:
+            store.ingest(tuple_set)
+        return store, traffic_raw, traffic_derived, weather_raw
+
+    def test_historical_aggregation_by_time(self, setting):
+        store, *_ = setting
+        morning = store.query(
+            Query(
+                And(
+                    (
+                        AttributeEquals("domain", "traffic"),
+                        AttributeEquals("stage", "aggregated"),
+                        AttributeRange("window_start", low=Timestamp(0.0), high=Timestamp(3 * 3600.0)),
+                    )
+                )
+            )
+        )
+        assert morning
+
+    def test_geographic_cross_city_query(self, setting):
+        store, *_ = setting
+        near_london = store.query(
+            NearLocation("location", CITY_CENTRES["london"], radius_km=50.0)
+        )
+        near_boston = store.query(
+            NearLocation("location", CITY_CENTRES["boston"], radius_km=50.0)
+        )
+        assert near_london and near_boston
+        assert not set(near_london) & set(near_boston)
+
+    def test_cross_domain_merge_with_provenance(self, setting):
+        store, traffic_raw, traffic_derived, weather_raw = setting
+        merge = MergeOperator(
+            "traffic-weather-join", version="1.0", carry_attributes=("city", "region")
+        )
+        london_traffic = [ts for ts in traffic_derived if ts.provenance.get("city") == "london"][:1]
+        london_weather = weather_raw[:1]
+        joined = merge.apply_many(london_traffic + london_weather)
+        store.ingest(joined)
+        # The joined data set's raw sources span both domains.
+        sources = store.raw_sources(joined.pname)
+        domains = {store.get_record(p).get("domain") for p in sources}
+        assert domains == {"traffic", "weather"}
+
+    def test_suspect_sensor_taint_analysis(self, setting):
+        store, traffic_raw, *_ = setting
+        taint = TaintAnalysis(store)
+        tainted = taint.tainted_by_data(traffic_raw[0].pname)
+        assert len(tainted) > 1
+        # Everything tainted is genuinely downstream of the suspect window.
+        for pname in tainted - {traffic_raw[0].pname}:
+            assert store.is_ancestor(traffic_raw[0].pname, pname)
+
+
+class TestEmergencyMedicineStory:
+    """Section III-C: vitals flow from the incident to the hospital, with privacy."""
+
+    @pytest.fixture(scope="class")
+    def setting(self):
+        workload = MedicalWorkload(seed=55, patients=5, emts=2)
+        raw, derived = workload.all_sets(hours=0.5)
+        store = PassStore()
+        for tuple_set in raw + derived:
+            store.ingest(tuple_set)
+        return workload, store, raw, derived
+
+    def test_patient_and_system_queries(self, setting):
+        workload, store, raw, derived = setting
+        suite = workload.query_suite()
+        per_patient = store.query(suite["everything_for_patient"])
+        per_emt = store.query(suite["handled_by_emt"])
+        assert per_patient and per_emt
+        diagnosis = store.query(suite["patient_diagnosis"])
+        assert len(diagnosis) == 1
+
+    def test_diagnostic_output_traces_back_to_raw_vitals(self, setting):
+        workload, store, raw, derived = setting
+        diagnosis = store.query(
+            And((AttributeEquals("patient", "patient-000"), AttributeEquals("stage", "diagnosis")))
+        )[0]
+        sources = store.raw_sources(diagnosis)
+        assert sources
+        assert all(store.get_record(p).get("patient") == "patient-000" for p in sources)
+
+    def test_policy_blocks_press_but_allows_clinicians(self, setting):
+        workload, store, raw, derived = setting
+        engine = PolicyEngine(
+            rules=[
+                AccessRule(
+                    "clinicians",
+                    applies_to=AttributeEquals("domain", "medical"),
+                    allowed_roles={"doctor", "emt"},
+                )
+            ],
+            protected_domains={"medical"},
+        )
+        target = raw[0]
+        record = store.get_record(target.pname)
+        assert engine.check(Principal("emt-00", "emt"), target.pname, record).allowed
+        assert not engine.check(Principal("reporter", "press"), target.pname, record).allowed
+
+    def test_privacy_aggregate_is_queryable_but_deidentified(self, setting):
+        workload, store, raw, derived = setting
+        aggregator = PrivacyAggregator(
+            group_by=["incident"], identifying_attributes=["patient", "emt"], k=3
+        )
+        report = aggregator.aggregate(raw)
+        assert report.groups_published == 1
+        aggregate = report.aggregates[0]
+        store.ingest(aggregate)
+        found = store.query(AttributeEquals("stage", "privacy-aggregate"))
+        assert found == [aggregate.pname]
+        assert store.get_record(aggregate.pname).get("patient") is None
+        # Lineage still reaches the identified inputs for authorised auditors.
+        assert len(store.ancestors(aggregate.pname)) >= 3
+
+
+class TestDistributedArchiveStory:
+    """Section V's second goal: local PASS installations merged into a global archive."""
+
+    def test_locale_aware_archive_over_sqlite_local_stores(self, tmp_path):
+        topology = standard_topology()
+        archive = LocaleAwarePass(topology)
+        traffic = TrafficWorkload(seed=9, cities=("london", "boston"), stations_per_city=2)
+        raw, derived = traffic.all_sets(hours=1.0)
+        publish_all(archive, raw + derived, topology)
+
+        # A London consumer's query stays in Europe; a taint query started in
+        # Tokyo still finds everything derived from a London window.
+        local = archive.query(Query(AttributeEquals("city", "london")), "london-site")
+        assert local.pnames
+        assert set(local.sites_contacted) <= {"london-site", "boston-site"}
+
+        taint = archive.descendants(raw[0].pname, "tokyo-site")
+        truth = PassStore()
+        for tuple_set in raw + derived:
+            truth.ingest(tuple_set)
+        assert taint.pname_set() == truth.descendants(raw[0].pname)
+
+    def test_durable_local_store_survives_restart_and_reports_lineage(self, tmp_path):
+        path = tmp_path / "site.db"
+        store = PassStore(backend=SQLiteBackend(path))
+        workload = TrafficWorkload(seed=13, stations_per_city=2)
+        raw, derived = workload.all_sets(hours=1.0)
+        for tuple_set in raw + derived:
+            store.ingest(tuple_set)
+        store.add_abstraction_rule(AgentAbstractionRule(agent_kind="sensor-network"))
+        store.backend.close()
+
+        reopened = PassStore(backend=SQLiteBackend(path))
+        assert len(reopened) == len(raw) + len(derived)
+        deepest = derived[-1]
+        assert reopened.ancestors(deepest.pname)
+        hits = reopened.query(AgentIs("hourly-aggregator"))
+        assert hits
+        assert reopened.query(DerivedFrom(raw[0].pname))
