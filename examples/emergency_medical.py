@@ -11,7 +11,8 @@ k-anonymous aggregate whose provenance still reaches the raw vitals.
 Run with:  python examples/emergency_medical.py
 """
 
-from repro.core import AgentIs, And, AttributeEquals, PassStore, Query
+from repro import Q, connect
+from repro.core import AttributeEquals
 from repro.security import AccessRule, PolicyEngine, Principal, PrivacyAggregator
 from repro.sensors.workloads import MedicalWorkload
 
@@ -19,9 +20,9 @@ from repro.sensors.workloads import MedicalWorkload
 def main() -> None:
     workload = MedicalWorkload(seed=5, patients=6, emts=3)
     raw, derived = workload.all_sets(hours=0.5)
-    store = PassStore()
-    for tuple_set in raw + derived:
-        store.ingest(tuple_set)
+    client = connect("memory://")
+    client.publish_many(raw + derived)
+    store = client.store  # the privacy/lineage helpers below use the store directly
     print(f"ingested {len(raw)} raw vitals windows and {len(derived)} derived sets "
           f"for {workload.patients} patients")
 
@@ -29,13 +30,13 @@ def main() -> None:
     # Queries about an individual patient.
     # ------------------------------------------------------------------
     patient = "patient-000"
-    everything = store.query(AttributeEquals("patient", patient))
+    everything = client.query(Q.attr("patient") == patient)
     print(f"[patient] everything we've done for {patient}: {len(everything)} data sets")
 
-    diagnosis = store.query(
-        And((AttributeEquals("patient", patient), AttributeEquals("stage", "diagnosis")))
-    )[0]
-    destination = store.get_record(diagnosis).get("suggested_destination")
+    diagnosis = client.query(
+        (Q.attr("patient") == patient) & (Q.attr("stage") == "diagnosis")
+    ).first()
+    destination = client.describe_record(diagnosis).get("suggested_destination")
     print(f"[patient] diagnostic tool suggests: {destination}")
     print(f"[patient] the suggestion traces back to {len(store.raw_sources(diagnosis))} raw vitals windows")
 
@@ -43,9 +44,9 @@ def main() -> None:
     # Queries about the system.
     # ------------------------------------------------------------------
     emt = workload.emt_for(patient)
-    handled = store.query(AttributeEquals("emt", emt))
+    handled = client.query(Q.attr("emt") == emt)
     print(f"[system]  data sets handled by {emt}: {len(handled)}")
-    filtered = store.query(AgentIs("abnormal-vitals-filter", kind="program"))
+    filtered = client.query(Q.agent("abnormal-vitals-filter", kind="program"))
     print(f"[system]  outputs of the triage filter program: {len(filtered)}")
 
     # ------------------------------------------------------------------
@@ -80,14 +81,14 @@ def main() -> None:
     )
     report = aggregator.aggregate(raw)
     aggregate = report.aggregates[0]
-    store.ingest(aggregate)
+    client.publish(aggregate)
     summary = aggregate.readings[0]
     print(f"[privacy] published {report.groups_published} k={aggregator.k} aggregate "
           f"(suppressed {report.suppressed_groups} small groups)")
     print(f"[privacy] population={aggregate.provenance.get('population')}, "
           f"mean heart rate={summary.value('heart_rate_mean'):.1f}")
     print(f"[privacy] aggregate names no patients but its lineage reaches "
-          f"{len(store.ancestors(aggregate.pname))} identified inputs (for authorised audit)")
+          f"{len(client.ancestors(aggregate))} identified inputs (for authorised audit)")
     print(f"[audit]   policy decisions recorded: {len(engine.audit_log())}, denials: {engine.denials()}")
 
 

@@ -11,11 +11,11 @@ cost, echoing the design-space comparison of Section IV.
 Run with:  python examples/federated_cross_domain.py
 """
 
-from repro.core import AttributeEquals, Or, Query
+from repro import Q, wrap
 from repro.distributed import FederatedDatabase, LocaleAwarePass, SoftStateIndex
 from repro.errors import UnsupportedQueryError
 from repro.eval import ground_truth_store, precision_recall
-from repro.eval.scenario import origin_site_for, publish_all, standard_topology
+from repro.eval.scenario import standard_topology
 from repro.sensors.workloads import TrafficWorkload, WeatherWorkload
 
 
@@ -30,7 +30,7 @@ def main() -> None:
     print(f"two communities published {len(traffic_sets)} traffic and {len(weather_sets)} weather data sets")
 
     # The cross-domain question: everything about London, from either community.
-    question = Query(Or((AttributeEquals("city", "london"), AttributeEquals("region", "london"))))
+    question = (Q.attr("city") == "london") | (Q.attr("region") == "london")
     expected = truth.query(question)
     print(f"ground truth: {len(expected)} data sets concern London across both domains")
 
@@ -53,26 +53,31 @@ def main() -> None:
         "locale-aware-pass": LocaleAwarePass(topology),
     }
 
+    # Every architecture behind the same PassClient façade: publish, query
+    # and lineage code below is identical for all three.
+    clients = {name: wrap(model) for name, model in models.items()}
+
     lineage_target = traffic_sets[0].pname
-    for name, model in models.items():
-        publish_all(model, everything, topology)
-        if isinstance(model, SoftStateIndex):
+    for name, client in clients.items():
+        client.publish_many(everything)
+        if isinstance(client.model, SoftStateIndex):
             # Query once *before* the periodic refresh to show the staleness,
             # then refresh and query again.
-            stale = model.query(question, "london-site")
-            p, r = precision_recall(stale.pnames, expected)
+            stale = client.query(question, origin="london-site")
+            p, r = precision_recall(stale.records, expected)
             print(f"[{name}] before refresh: recall={r:.2f} (soft state has not heard yet)")
-            model.force_refresh()
-        answer = model.query(question, "london-site")
-        precision, recall = precision_recall(answer.pnames, expected)
+            client.refresh()
+        answer = client.query(question, origin="london-site")
+        precision, recall = precision_recall(answer.records, expected)
         try:
-            closure = model.descendants(lineage_target, "london-site")
-            closure_text = f"{len(closure.pnames)} descendants in {closure.latency_ms:.1f} ms"
+            closure = client.descendants(lineage_target, origin="london-site")
+            closure_text = f"{len(closure)} descendants in {closure.cost.latency_ms:.1f} ms"
         except UnsupportedQueryError:
             closure_text = "refused (no transitive closure)"
-        print(f"[{name}] London query: {len(answer.pnames)} results, "
+        print(f"[{name}] London query: {len(answer)} results, "
               f"precision={precision:.2f} recall={recall:.2f}, "
-              f"{answer.latency_ms:.1f} ms, {answer.messages} messages; taint query: {closure_text}")
+              f"{answer.cost.latency_ms:.1f} ms, {answer.cost.messages} messages; "
+              f"taint query: {closure_text}")
 
     print("\nThe federation answers correctly but pays translation and fan-out on every "
           "query; the soft-state index is cheap but stale and cannot follow lineage; the "

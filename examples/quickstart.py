@@ -1,16 +1,19 @@
 #!/usr/bin/env python3
-"""Quickstart: a local provenance-aware store in ~60 lines.
+"""Quickstart: a provenance-aware store behind the PassClient façade.
 
 Creates a small traffic sensor deployment, windows its readings into
 provenance-named tuple sets, derives an hourly aggregate, and runs the
-three query classes the paper cares about: attribute lookup, time-range
-lookup and lineage (transitive closure).
+three query classes the paper cares about -- attribute lookup, time-range
+lookup and lineage (transitive closure) -- through ``connect()``.
+
+The point of the façade: swap ``memory://`` below for
+``sqlite:///pass.db`` (a durable local store) or ``dht://?sites=32``
+(a simulated Chord ring) and the same operations keep working.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import PassStore, Timestamp
-from repro.core import AttributeEquals, AttributeRange, And, Query
+from repro import Q, Timestamp, connect
 from repro.pipeline import AggregateOperator
 from repro.sensors.workloads import TrafficWorkload
 
@@ -22,10 +25,10 @@ def main() -> None:
     print(f"collected {len(raw_windows)} five-minute tuple sets "
           f"({sum(len(ts) for ts in raw_windows)} readings)")
 
-    # 2. Ingest them into a local PASS; the provenance record *is* the name.
-    store = PassStore()
-    for window in raw_windows:
-        store.ingest(window)
+    # 2. Publish them -- batched -- into a local PASS; the provenance
+    #    record *is* the name.
+    client = connect("memory://")
+    client.publish_many(raw_windows)
     first = raw_windows[0]
     print(f"first window is named {first.pname} and carries "
           f"{len(first.provenance.attributes)} provenance attributes")
@@ -34,33 +37,33 @@ def main() -> None:
     aggregate = AggregateOperator("hourly-aggregator", carry_attributes=("city",)).apply_many(
         raw_windows
     )
-    store.ingest(aggregate)
+    client.publish(aggregate)
     print(f"derived {aggregate.pname} from {len(aggregate.provenance.ancestors)} windows")
 
     # 4a. Attribute query: everything recorded in London.
-    in_london = store.query(AttributeEquals("city", "london"))
+    in_london = client.query(Q.attr("city") == "london")
     print(f"attribute query: {len(in_london)} data sets tagged city=london")
 
     # 4b. Time-range query: the first half hour.
-    early = store.query(
-        Query(
-            And(
-                (
-                    AttributeEquals("domain", "traffic"),
-                    AttributeRange("window_start", low=Timestamp(0.0), high=Timestamp(1800.0)),
-                )
-            )
-        )
+    early = client.query(
+        (Q.attr("domain") == "traffic")
+        & Q.attr("window_start").between(Timestamp(0.0), Timestamp(1800.0))
     )
     print(f"time-range query: {len(early)} windows started in the first 30 minutes")
 
     # 4c. Lineage query: which raw data does the aggregate depend on?
-    sources = store.raw_sources(aggregate.pname)
+    sources = client.query(Q.ancestor_of(aggregate) & Q.raw())
     print(f"lineage query: the aggregate was derived from {len(sources)} raw windows")
 
     # 5. Remove a raw window's readings -- its provenance must survive (P4).
+    #    Data removal is a store-level capability; local clients expose the
+    #    underlying PassStore as the escape hatch.
+    store = client.store
     store.remove_data(first.pname)
-    still_there = first.pname in store and first.pname in store.ancestors(aggregate.pname)
+    still_there = (
+        len(client.locate(first)) > 0
+        and first.pname in client.ancestors(aggregate).pname_set()
+    )
     print(f"after deleting its data, the window's provenance survives: {still_there}")
     print(f"store invariants violated: {store.verify_invariants() or 'none'}")
 

@@ -11,7 +11,8 @@ this result", taint analysis when a tool turns out to be buggy, and the
 Run with:  python examples/scientific_derivation.py
 """
 
-from repro.core import Agent, AttributeEquals, PassStore, ProvenanceRecord
+from repro import Q, connect
+from repro.core import Agent, ProvenanceRecord
 from repro.core.abstraction import AgentAbstractionRule
 from repro.pipeline import CalibrationOperator, Pipeline, RollupOperator, TaintAnalysis
 from repro.sensors.workloads import VolcanoWorkload
@@ -20,9 +21,9 @@ from repro.sensors.workloads import VolcanoWorkload
 def main() -> None:
     workload = VolcanoWorkload(seed=3, stations=10)
     raw, events = workload.all_sets(hours=6.0)
-    store = PassStore()
-    for tuple_set in raw + events:
-        store.ingest(tuple_set)
+    client = connect("memory://")
+    client.publish_many(raw + events)
+    store = client.store  # the pipeline and abstraction machinery run on the store
     print(f"array produced {len(raw)} raw windows; {len(events)} eruption events extracted")
 
     # An analysis pipeline over the extracted events: calibrate, then roll up
@@ -44,7 +45,7 @@ def main() -> None:
     print(f"[lineage] the catalogue entry derives from {len(sources)} raw windows")
 
     # Q2: show me what I need to reproduce this result.
-    ancestry = store.ancestors(catalogue.pname)
+    ancestry = client.ancestors(catalogue).pname_set()
     agents = set()
     for pname in ancestry | {catalogue.pname}:
         for agent in store.get_record(pname).agents:
@@ -84,7 +85,7 @@ def main() -> None:
           f"(summary: {list(abstracted.summaries.values())})")
 
     # Cross-check: the instrument's data is still findable by attribute.
-    from_array = store.query(AttributeEquals("volcano", "reventador"))
+    from_array = client.query(Q.attr("volcano") == "reventador")
     print(f"[index]   {len(from_array)} data sets findable by volcano=reventador")
 
 

@@ -10,12 +10,16 @@ The same data serves three audiences:
 3. analysts combining London with Boston and with weather data
    (cross-city and cross-domain queries over the distributed archive).
 
+All storage access goes through the PassClient façade, so the local
+analysis store and the two distributed architectures are driven by the
+same query code.
+
 Run with:  python examples/traffic_congestion_zone.py
 """
 
-from repro.core import And, AttributeEquals, AttributeRange, NearLocation, PassStore, Query, Timestamp
+from repro import Q, Timestamp, connect, wrap
 from repro.distributed import CentralizedWarehouse, LocaleAwarePass
-from repro.eval.scenario import publish_all, standard_topology
+from repro.eval.scenario import standard_topology
 from repro.pipeline import MergeOperator, TaintAnalysis
 from repro.sensors.workloads import CITY_CENTRES, TrafficWorkload, WeatherWorkload
 
@@ -33,37 +37,29 @@ def main() -> None:
     # ------------------------------------------------------------------
     # A single local PASS for the analysis queries.
     # ------------------------------------------------------------------
-    store = PassStore()
-    for tuple_set in everything:
-        store.ingest(tuple_set)
+    client = connect("memory://")
+    client.publish_many(everything)
+    store = client.store  # lineage helpers below use the store directly
 
     # (1) The operator: what happened near the zone centre in the last hour?
-    recent_near_centre = store.query(
-        Query(
-            And(
-                (
-                    AttributeEquals("domain", "traffic"),
-                    NearLocation("location", CITY_CENTRES["london"], radius_km=5.0),
-                    AttributeRange("window_start", low=Timestamp((hours - 1.0) * 3600.0)),
-                )
-            )
-        )
+    recent_near_centre = client.query(
+        (Q.attr("domain") == "traffic")
+        & Q.attr("location").near(CITY_CENTRES["london"], radius_km=5.0)
+        & (Q.attr("window_start") >= Timestamp((hours - 1.0) * 3600.0))
     )
     print(f"[operator]   {len(recent_near_centre)} windows near the zone centre in the last hour")
 
     # (2) The planners: hourly aggregates across the whole period.
-    aggregates = store.query(
-        And((AttributeEquals("city", "london"), AttributeEquals("stage", "aggregated")))
-    )
+    aggregates = client.query((Q.attr("city") == "london") & (Q.attr("stage") == "aggregated"))
     print(f"[planning]   {len(aggregates)} hourly aggregates available for zone-size analysis")
-    sample = aggregates[0]
+    sample = aggregates.first()
     print(f"[planning]   one aggregate derives from {len(store.raw_sources(sample))} raw windows "
-          f"via {len(store.ancestors(sample))} intermediate data sets")
+          f"via {len(client.ancestors(sample))} intermediate data sets")
 
     # (3) The analysts: join London traffic with London weather.
     join = MergeOperator("traffic-weather-join", carry_attributes=("city", "region"))
     joined = join.apply_many([traffic_derived[0], weather_derived[0]])
-    store.ingest(joined)
+    client.publish(joined)
     domains = {store.get_record(p).get("domain") for p in store.raw_sources(joined.pname)}
     print(f"[analysts]   cross-domain join {joined.pname} reaches raw data in domains {sorted(domains)}")
 
@@ -76,24 +72,24 @@ def main() -> None:
     # The same workload over two architectures: locale-aware vs centralized.
     # ------------------------------------------------------------------
     topology = standard_topology()
-    locale_aware = LocaleAwarePass(topology)
-    centralized = CentralizedWarehouse(topology, warehouse_site="warehouse")
-    for model in (locale_aware, centralized):
-        publish_all(model, everything, topology)
+    locale_aware = wrap(LocaleAwarePass(topology))
+    centralized = wrap(CentralizedWarehouse(topology, warehouse_site="warehouse"))
+    for model_client in (locale_aware, centralized):
+        model_client.publish_many(everything)
 
-    london_query = Query(And((AttributeEquals("city", "london"), AttributeEquals("stage", "aggregated"))))
-    for label, model, consumer in (
+    london_query = (Q.attr("city") == "london") & (Q.attr("stage") == "aggregated")
+    for label, model_client, consumer in (
         ("locale-aware, London consumer", locale_aware, "london-site"),
         ("centralized,  London consumer", centralized, "london-site"),
         ("locale-aware, Tokyo consumer ", locale_aware, "tokyo-site"),
         ("centralized,  Tokyo consumer ", centralized, "tokyo-site"),
     ):
-        answer = model.query(london_query, consumer)
-        print(f"[distributed] {label}: {len(answer.pnames)} results in {answer.latency_ms:7.1f} ms "
-              f"({answer.messages} messages)")
+        answer = model_client.query(london_query, origin=consumer)
+        print(f"[distributed] {label}: {len(answer)} results in {answer.cost.latency_ms:7.1f} ms "
+              f"({answer.cost.messages} messages)")
     print("[distributed] publish WAN bytes:",
-          f"locale-aware={locale_aware.network.stats.bytes}",
-          f"centralized={centralized.network.stats.bytes}")
+          f"locale-aware={locale_aware.model.network.stats.bytes}",
+          f"centralized={centralized.model.network.stats.bytes}")
 
 
 if __name__ == "__main__":

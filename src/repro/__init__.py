@@ -8,17 +8,37 @@ federated, soft-state Grid services, hierarchical namespaces, DHT), and
 an evaluation harness that regenerates the paper's design-space
 comparison on synthetic sensor workloads.
 
-Typical use::
+The public surface is the **PassClient façade**: one protocol
+(``publish``, ``publish_many``, ``query``, ``ancestors``,
+``descendants``, ``locate``, ``stats``) over every target, constructed
+from a URL::
 
-    from repro import PassStore, TupleSetWindower, Agent
+    from repro import connect, Q
     from repro.sensors.workloads import TrafficWorkload
 
     workload = TrafficWorkload(seed=7)
-    store = PassStore()
-    for tuple_set in workload.tuple_sets(hours=1):
-        store.ingest(tuple_set)
+    client = connect("memory://")           # or sqlite:///pass.db, dht://?sites=32, ...
+    client.publish_many(workload.tuple_sets(hours=1))
+
+    london = client.query(Q.attr("city") == "london", limit=10)
+    lineage = client.ancestors(london.first())
+
+The same two lines of query code run unchanged against a durable SQLite
+store or any Section IV architecture model over a simulated wide-area
+topology -- which is exactly the comparison the paper is about.  Queries
+are built with the :class:`~repro.api.dsl.Q` DSL (or the raw predicate
+algebra in :mod:`repro.core.query`); every operation returns a
+:class:`~repro.api.results.Result` carrying records, simulated cost and
+pagination.
+
+The lower layers remain importable for finer-grained work:
+:class:`~repro.core.pass_store.PassStore` (the local store engine, also
+reachable as ``client.store`` on local targets), :mod:`repro.distributed`
+(the architecture models), :mod:`repro.eval` (the E1-E14 experiments).
 """
 
+from repro.api import Q, Result, connect
+from repro.api.client import PassClient, wrap
 from repro.core import (
     Agent,
     Annotation,
@@ -36,7 +56,7 @@ from repro.core import (
 )
 from repro.errors import PassError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -45,13 +65,18 @@ __all__ = [
     "Annotation",
     "GeoPoint",
     "PName",
+    "PassClient",
     "PassStore",
     "ProvenanceGraph",
     "ProvenanceRecord",
+    "Q",
     "Query",
+    "Result",
     "SensorReading",
     "Timestamp",
     "TupleSet",
     "TupleSetWindower",
+    "connect",
     "merge_provenance",
+    "wrap",
 ]

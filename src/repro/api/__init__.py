@@ -1,0 +1,61 @@
+"""repro.api -- the unified PassClient façade.
+
+One API over every provenance target this library implements: the local
+PASS stores (in-memory or SQLite-backed) and all six Section IV
+architecture models plus the locale-aware design.  Targets are opened
+from URLs::
+
+    from repro.api import connect, Q
+
+    with connect("sqlite:///pass.db") as client:
+        client.publish_many(tuple_sets)
+        london = client.query(Q.attr("city") == "london", limit=10)
+        lineage = client.ancestors(london.first())
+
+See :mod:`repro.api.registry` for the URL grammar,
+:mod:`repro.api.dsl` for the query DSL and :mod:`repro.api.client` for
+the client protocol.
+
+This module keeps its imports light on purpose: the registry, DSL and
+result types load with :mod:`repro.core`, while the client classes (and
+their dependency on :mod:`repro.distributed`) load lazily on first use,
+so the scheme-registration shims in the store/model modules can import
+``repro.api.registry`` without cycles.
+"""
+
+from repro.api.dsl import Q, QueryBuilder, as_query
+from repro.api.registry import (
+    ConnectionSpec,
+    connect,
+    known_schemes,
+    parse_url,
+    register_scheme,
+)
+from repro.api.results import Cost, Result
+
+__all__ = [
+    "ConnectionSpec",
+    "Cost",
+    "LocalClient",
+    "ModelClient",
+    "PassClient",
+    "Q",
+    "QueryBuilder",
+    "Result",
+    "as_query",
+    "connect",
+    "known_schemes",
+    "parse_url",
+    "register_scheme",
+    "wrap",
+]
+
+_LAZY_CLIENT_NAMES = {"PassClient", "LocalClient", "ModelClient", "wrap"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_CLIENT_NAMES:
+        from repro.api import client as _client
+
+        return getattr(_client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

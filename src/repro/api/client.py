@@ -1,0 +1,342 @@
+"""The :class:`PassClient` façade: one protocol over every provenance target.
+
+Section IV/V of the paper argues the same provenance operations --
+publish, attribute query, lineage closure, locate -- should be
+comparable across a purely local PASS and every distributed
+architecture.  Historically this codebase exposed two disjoint APIs for
+that (``PassStore.ingest``/``query``/... and
+``ArchitectureModel.publish``/``query``/...); the façade collapses them:
+
+* :class:`LocalClient` speaks the protocol against a
+  :class:`~repro.core.pass_store.PassStore`,
+* :class:`ModelClient` speaks it against any
+  :class:`~repro.distributed.base.ArchitectureModel` over its simulated
+  topology,
+
+and both return the uniform :class:`~repro.api.results.Result`
+(records + cost + pagination).  Clients are constructed from URLs via
+:func:`repro.api.connect` or wrapped around existing objects with
+:func:`wrap`.
+
+``publish_many`` is the batched hot path: the local store amortises
+backend writes (one SQLite transaction per batch) and the centralized
+model ships the whole batch in a single simulated round trip.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.api.dsl import as_query, coerce_pname
+from repro.api.results import Cost, Result
+from repro.core.attributes import GeoPoint
+from repro.core.pass_store import PassStore
+from repro.core.provenance import PName, ProvenanceRecord
+from repro.core.tupleset import TupleSet
+from repro.distributed.base import ArchitectureModel, OperationResult
+from repro.errors import ConfigurationError
+from repro.net.topology import Topology
+
+__all__ = ["PassClient", "LocalClient", "ModelClient", "wrap"]
+
+
+def _paginate(pnames: Sequence[PName], limit: Optional[int], offset: int) -> Tuple[List[PName], int]:
+    """Slice a full answer into a page; returns ``(page, total)``."""
+    total = len(pnames)
+    if offset:
+        pnames = pnames[offset:]
+    if limit is not None:
+        pnames = pnames[:limit]
+    return list(pnames), total
+
+
+def _lift_query_limit(queryish, limit: Optional[int]):
+    """Move a Query's own ``limit`` into client-side pagination.
+
+    ``Result.total`` promises the match count *before* pagination, so the
+    target must evaluate the unlimited query (order_by still sorts before
+    any slicing, preserving top-N semantics); the query's limit and the
+    explicit ``limit=`` parameter combine as the stricter of the two.
+    Returns ``(query, effective_limit)``.
+    """
+    query = as_query(queryish)
+    if query.limit is None:
+        return query, limit
+    effective = query.limit if limit is None else min(query.limit, limit)
+    return replace(query, limit=None), effective
+
+
+class PassClient(ABC):
+    """One API over local stores and all the architecture models.
+
+    Every operation returns a :class:`~repro.api.results.Result`; query
+    inputs may be a :class:`~repro.core.query.Predicate` (hand-built or
+    from the :class:`~repro.api.dsl.Q` DSL), a
+    :class:`~repro.api.dsl.QueryBuilder`, a full
+    :class:`~repro.core.query.Query`, or ``None`` for "everything".
+    Lineage arguments accept a ``PName`` or anything carrying one
+    (a ``TupleSet``, a ``ProvenanceRecord``).
+    """
+
+    #: short machine-readable name of the connected target
+    target = "abstract"
+
+    # -- the protocol ----------------------------------------------------
+    @abstractmethod
+    def publish(self, tuple_set: TupleSet, origin: Optional[str] = None) -> Result:
+        """Store/announce one freshly produced tuple set."""
+
+    def publish_many(self, tuple_sets: Sequence[TupleSet], origin: Optional[str] = None) -> Result:
+        """Publish a batch; targets with a bulk path make this cheaper per tuple set."""
+        combined = Result()
+        for tuple_set in tuple_sets:
+            combined.merge(self.publish(tuple_set, origin))
+        return combined
+
+    @abstractmethod
+    def query(
+        self,
+        query=None,
+        *,
+        limit: Optional[int] = None,
+        offset: int = 0,
+        origin: Optional[str] = None,
+    ) -> Result:
+        """Run an attribute/lineage query; ``limit``/``offset`` paginate the answer."""
+
+    @abstractmethod
+    def ancestors(self, pname, origin: Optional[str] = None) -> Result:
+        """Everything ``pname`` was transitively derived from."""
+
+    @abstractmethod
+    def descendants(self, pname, origin: Optional[str] = None) -> Result:
+        """Everything transitively derived from ``pname`` (the taint set)."""
+
+    @abstractmethod
+    def locate(self, pname, origin: Optional[str] = None) -> Result:
+        """The site(s) holding the data for ``pname`` (in ``result.cost.sites``)."""
+
+    @abstractmethod
+    def stats(self) -> Dict[str, object]:
+        """Counters and facts about the connected target."""
+
+    # -- capabilities and lifecycle --------------------------------------
+    @property
+    def supports_lineage(self) -> bool:
+        """Whether the target can answer transitive-closure queries at all."""
+        return True
+
+    def describe_record(self, pname) -> Optional[ProvenanceRecord]:
+        """The provenance record for ``pname``, where the target can serve it.
+
+        Local stores always can; the simulated architecture models treat
+        record retrieval as a data-plane concern and return ``None``.
+        """
+        return None
+
+    def refresh(self) -> None:
+        """Flush any propagation the target delays (soft-state refresh); no-op elsewhere."""
+
+    def close(self) -> None:
+        """Release underlying resources; further use may raise."""
+
+    def __enter__(self) -> "PassClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class LocalClient(PassClient):
+    """The façade over a local :class:`~repro.core.pass_store.PassStore`.
+
+    The wrapped store stays reachable as :attr:`store` -- the escape
+    hatch for store-only capabilities (``remove_data``, abstraction
+    rules, invariant checks) the cross-target protocol does not carry.
+    """
+
+    target = "local"
+
+    def __init__(self, store: PassStore, owns_store: bool = True) -> None:
+        self.store = store
+        # connect() clients own their backend and close it with the client;
+        # wrap() adapts a caller-owned store and must leave it usable.
+        self.owns_store = owns_store
+
+    def _local_cost(self) -> Cost:
+        return Cost(sites=[self.store.site])
+
+    def publish(self, tuple_set: TupleSet, origin: Optional[str] = None) -> Result:
+        pname = self.store.ingest(tuple_set)
+        return Result(records=[pname], cost=self._local_cost())
+
+    def publish_many(self, tuple_sets: Sequence[TupleSet], origin: Optional[str] = None) -> Result:
+        pnames = self.store.ingest_many(tuple_sets)
+        return Result(records=pnames, cost=self._local_cost())
+
+    def query(
+        self,
+        query=None,
+        *,
+        limit: Optional[int] = None,
+        offset: int = 0,
+        origin: Optional[str] = None,
+    ) -> Result:
+        lowered, limit = _lift_query_limit(query, limit)
+        matches = self.store.query(lowered)
+        page, total = _paginate(matches, limit, offset)
+        return Result(records=page, cost=self._local_cost(), total=total, offset=offset)
+
+    def ancestors(self, pname, origin: Optional[str] = None) -> Result:
+        found = self.store.ancestors(coerce_pname(pname))
+        return Result(records=sorted(found, key=lambda p: p.digest), cost=self._local_cost())
+
+    def descendants(self, pname, origin: Optional[str] = None) -> Result:
+        found = self.store.descendants(coerce_pname(pname))
+        return Result(records=sorted(found, key=lambda p: p.digest), cost=self._local_cost())
+
+    def locate(self, pname, origin: Optional[str] = None) -> Result:
+        pname = coerce_pname(pname)
+        if pname not in self.store:
+            return Result(notes=["unknown pname"])
+        result = Result(records=[pname], cost=self._local_cost())
+        if self.store.is_removed(pname):
+            result.notes.append("data removed; provenance retained")
+        return result
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "site": self.store.site,
+            "records": len(self.store),
+            "store": self.store.stats.snapshot(),
+            "backend": self.store.backend.stats.snapshot(),
+        }
+
+    def describe_record(self, pname) -> Optional[ProvenanceRecord]:
+        pname = coerce_pname(pname)
+        if pname not in self.store:
+            return None
+        return self.store.get_record(pname)
+
+    def close(self) -> None:
+        if self.owns_store:
+            self.store.backend.close()
+
+
+class ModelClient(PassClient):
+    """The façade over a Section IV architecture model.
+
+    Operations need an origin site (who is publishing / asking); when
+    none is given, publishes originate from the storage site nearest the
+    tuple set's recorded location and queries from a fixed default
+    origin (configurable via the ``origin`` URL parameter).
+    """
+
+    def __init__(self, model: ArchitectureModel, origin: Optional[str] = None) -> None:
+        self.model = model
+        self.topology: Topology = model.topology
+        storage = [site.name for site in self.topology.sites(kind="storage")]
+        self._storage_sites = storage or list(self.topology.site_names)
+        if origin is not None and origin not in self.topology:
+            raise ConfigurationError(
+                f"origin site {origin!r} is not in the topology ({self.topology.site_names})"
+            )
+        self.default_origin = origin if origin is not None else self._storage_sites[0]
+        self.target = model.name
+
+    # -- origin selection -----------------------------------------------
+    def _origin_for(self, tuple_set: TupleSet) -> str:
+        location = tuple_set.provenance.get("location")
+        if isinstance(location, GeoPoint):
+            try:
+                return self.topology.nearest_site(location, kind="storage").name
+            except Exception:
+                pass
+        return self.default_origin
+
+    # -- the protocol ----------------------------------------------------
+    def publish(self, tuple_set: TupleSet, origin: Optional[str] = None) -> Result:
+        site = origin if origin is not None else self._origin_for(tuple_set)
+        return Result.from_operation(self.model.publish(tuple_set, site))
+
+    def publish_many(self, tuple_sets: Sequence[TupleSet], origin: Optional[str] = None) -> Result:
+        # Group by origin site (preserving first-appearance order) so each
+        # site's batch travels as one bulk publish where the model has one.
+        groups: List[Tuple[str, List[TupleSet]]] = []
+        index: Dict[str, int] = {}
+        for tuple_set in tuple_sets:
+            site = origin if origin is not None else self._origin_for(tuple_set)
+            if site not in index:
+                index[site] = len(groups)
+                groups.append((site, []))
+            groups[index[site]][1].append(tuple_set)
+        combined = Result()
+        for site, batch in groups:
+            combined.merge(Result.from_operation(self.model.publish_batch(batch, site)))
+        return combined
+
+    def query(
+        self,
+        query=None,
+        *,
+        limit: Optional[int] = None,
+        offset: int = 0,
+        origin: Optional[str] = None,
+    ) -> Result:
+        lowered, limit = _lift_query_limit(query, limit)
+        operation = self.model.query(lowered, origin or self.default_origin)
+        page, total = _paginate(operation.pnames, limit, offset)
+        result = Result.from_operation(operation, total=total, offset=offset)
+        result.records = page
+        return result
+
+    def ancestors(self, pname, origin: Optional[str] = None) -> Result:
+        return Result.from_operation(
+            self.model.ancestors(coerce_pname(pname), origin or self.default_origin)
+        )
+
+    def descendants(self, pname, origin: Optional[str] = None) -> Result:
+        return Result.from_operation(
+            self.model.descendants(coerce_pname(pname), origin or self.default_origin)
+        )
+
+    def locate(self, pname, origin: Optional[str] = None) -> Result:
+        return Result.from_operation(
+            self.model.locate(coerce_pname(pname), origin or self.default_origin)
+        )
+
+    def stats(self) -> Dict[str, object]:
+        facts: Dict[str, object] = {"target": self.target}
+        facts.update(self.model.describe())
+        facts["traffic"] = self.model.traffic_snapshot()
+        return facts
+
+    @property
+    def supports_lineage(self) -> bool:
+        return self.model.supports_lineage
+
+    def refresh(self) -> None:
+        force = getattr(self.model, "force_refresh", None)
+        if callable(force):
+            force()
+
+
+def wrap(target, origin: Optional[str] = None) -> PassClient:
+    """Adapt an existing store, model or client to the façade protocol.
+
+    This is how code that already holds a constructed object (the
+    evaluation harness, an example with a custom topology) joins the
+    unified API without going through a URL.
+    """
+    if isinstance(target, PassClient):
+        return target
+    if isinstance(target, PassStore):
+        return LocalClient(target, owns_store=False)
+    if isinstance(target, ArchitectureModel):
+        return ModelClient(target, origin=origin)
+    raise ConfigurationError(
+        f"cannot wrap {type(target).__name__}; expected PassStore, ArchitectureModel or PassClient"
+    )

@@ -1,0 +1,209 @@
+"""URL-style connection registry for the :class:`~repro.api.client.PassClient` façade.
+
+The paper's point is that the *same* provenance operations should be
+comparable across a local PASS and every Section IV distributed
+architecture.  The registry makes the target a configuration detail:
+
+    connect("memory://")                     # local in-memory PASS
+    connect("sqlite:///pass.db")             # local durable PASS
+    connect("centralized://?cities=london,boston")
+    connect("dht://?sites=32")               # 32-node Chord-like ring
+
+Each scheme is registered by the module that implements the target
+(:mod:`repro.core.pass_store` for the local stores, each model module in
+:mod:`repro.distributed` for its architecture), so adding a backend or a
+model automatically extends ``connect()``.
+
+Parsing is strict: unknown schemes, malformed parameter values, unused
+parameters and paths a scheme does not accept all raise
+:class:`~repro.errors.ConfigurationError` rather than being silently
+ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ConnectionSpec",
+    "connect",
+    "known_schemes",
+    "parse_url",
+    "register_scheme",
+]
+
+#: scheme name -> factory(spec) -> PassClient
+_REGISTRY: Dict[str, Callable] = {}
+
+
+@dataclass
+class ConnectionSpec:
+    """A parsed connection URL: scheme, path and query parameters.
+
+    Factories read parameters through the typed accessors below; every
+    accessor marks its parameter as consumed so :func:`connect` can
+    reject parameters no factory understood (a misspelled ``?sties=32``
+    should fail loudly, not silently fall back to a default).
+    """
+
+    scheme: str
+    path: str = ""
+    params: Dict[str, str] = field(default_factory=dict)
+    url: str = ""
+    _consumed: Set[str] = field(default_factory=set, repr=False)
+    _path_used: bool = field(default=False, repr=False)
+
+    # -- typed parameter accessors -------------------------------------
+    def text(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """A string parameter, or ``default`` when absent."""
+        self._consumed.add(name)
+        return self.params.get(name, default)
+
+    def integer(self, name: str, default: Optional[int] = None) -> Optional[int]:
+        """An integer parameter; a non-integer value is a configuration error."""
+        raw = self.text(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"parameter {name!r} of {self.url!r} must be an integer, got {raw!r}"
+            ) from None
+
+    def number(self, name: str, default: Optional[float] = None) -> Optional[float]:
+        """A float parameter; a non-numeric value is a configuration error."""
+        raw = self.text(name)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"parameter {name!r} of {self.url!r} must be a number, got {raw!r}"
+            ) from None
+
+    def listing(self, name: str, default: Optional[List[str]] = None) -> Optional[List[str]]:
+        """A comma-separated list parameter (``?cities=london,boston``)."""
+        raw = self.text(name)
+        if raw is None:
+            return default
+        items = [item.strip() for item in raw.split(",") if item.strip()]
+        if not items:
+            raise ConfigurationError(f"parameter {name!r} of {self.url!r} is an empty list")
+        return items
+
+    def database_path(self) -> str:
+        """The path component interpreted as a database file.
+
+        ``sqlite:///pass.db`` is the relative file ``pass.db``,
+        ``sqlite:////var/pass.db`` is absolute, and an empty path means a
+        private in-memory database (the SQLAlchemy convention).
+        """
+        self._path_used = True
+        raw = self.path
+        if raw.startswith("/"):
+            raw = raw[1:]
+        return raw or ":memory:"
+
+    # -- strictness bookkeeping ----------------------------------------
+    def unconsumed(self) -> List[str]:
+        """Parameters no accessor has read (i.e. the factory ignored them)."""
+        return sorted(set(self.params) - self._consumed)
+
+    def path_was_used(self) -> bool:
+        """True when the factory interpreted the path component."""
+        return self._path_used
+
+
+def parse_url(url: str) -> ConnectionSpec:
+    """Split a connection URL into a :class:`ConnectionSpec`."""
+    parts = urlsplit(url)
+    if not parts.scheme:
+        raise ConfigurationError(
+            f"connection URL {url!r} has no scheme; expected e.g. 'memory://' or 'dht://?sites=32'"
+        )
+    pairs = parse_qsl(parts.query, keep_blank_values=True)
+    params: Dict[str, str] = {}
+    for name, value in pairs:
+        if name in params:
+            raise ConfigurationError(f"duplicate parameter {name!r} in {url!r}")
+        params[name] = value
+    return ConnectionSpec(
+        scheme=parts.scheme,
+        path=unquote(parts.netloc + parts.path),
+        params=params,
+        url=url,
+    )
+
+
+def register_scheme(scheme: str, *aliases: str) -> Callable:
+    """Class/function decorator registering a connect factory for ``scheme``.
+
+    The factory receives a :class:`ConnectionSpec` and returns a
+    :class:`~repro.api.client.PassClient`.
+    """
+
+    def decorator(factory: Callable) -> Callable:
+        for name in (scheme, *aliases):
+            _REGISTRY[name] = factory
+        return factory
+
+    return decorator
+
+
+def known_schemes() -> List[str]:
+    """Every scheme ``connect`` currently understands."""
+    _load_builtin_schemes()
+    return sorted(_REGISTRY)
+
+
+def _load_builtin_schemes() -> None:
+    """Import the modules that register the shipped schemes.
+
+    Registration rides on module import (each target registers itself),
+    so connect() only has to make sure those modules are loaded.
+    """
+    import repro.core.pass_store  # noqa: F401  registers memory:// and sqlite://
+    import repro.distributed  # noqa: F401  registers the Section IV architectures
+
+
+def connect(url: str):
+    """Open a :class:`~repro.api.client.PassClient` onto the target named by ``url``.
+
+    This is the one constructor of the unified API: the same client
+    protocol (``publish``, ``publish_many``, ``query``, ``ancestors``,
+    ``descendants``, ``locate``, ``stats``) comes back whatever the
+    target -- a local in-memory or SQLite-backed PASS, or any of the
+    paper's architecture models over a simulated topology.
+    """
+    spec = parse_url(url)
+    _load_builtin_schemes()
+    try:
+        factory = _REGISTRY[spec.scheme]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown connection scheme {spec.scheme!r}; known schemes: {sorted(_REGISTRY)}"
+        ) from None
+    client = factory(spec)
+    try:
+        leftover = spec.unconsumed()
+        if leftover:
+            raise ConfigurationError(
+                f"unknown parameter(s) {leftover} for scheme {spec.scheme!r} in {url!r}"
+            )
+        if spec.path and not spec.path_was_used():
+            raise ConfigurationError(
+                f"scheme {spec.scheme!r} takes no path, got {spec.path!r} in {url!r} "
+                "(did you mean '?' before the parameters?)"
+            )
+    except ConfigurationError:
+        # Don't leak the freshly opened target (e.g. a live SQLite
+        # connection) when the URL fails the strictness checks.
+        client.close()
+        raise
+    return client

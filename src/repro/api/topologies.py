@@ -1,0 +1,82 @@
+"""Topology construction for URL-connected architecture models.
+
+``connect("dht://?sites=32")`` has to put 32 sites *somewhere*; this
+module turns the topology parameters of a connection URL into a
+:class:`~repro.net.topology.Topology`:
+
+* ``cities=london,boston`` -- one storage site per named city (the
+  city centres the sensor workloads use), mirroring the evaluation
+  harness's standard scenario;
+* ``sites=32`` -- a synthetic worldwide spread of numbered storage
+  sites, for scale sweeps no city list covers;
+* neither -- the standard four-city scenario (london, boston, seattle,
+  tokyo).
+
+Every topology also carries a ``warehouse`` site mid-North-America so
+the centralized model always has its warehouse and the other models pay
+realistic wide-area latencies to it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.attributes import GeoPoint
+from repro.errors import ConfigurationError
+from repro.net.topology import Site, Topology
+from repro.sensors.workloads import CITY_CENTRES
+
+__all__ = ["DEFAULT_CITIES", "synthetic_sites", "topology_from_spec"]
+
+DEFAULT_CITIES: Sequence[str] = ("london", "boston", "seattle", "tokyo")
+
+_WAREHOUSE_LOCATION = GeoPoint(41.0, -87.0)
+
+
+def synthetic_sites(count: int) -> List[Site]:
+    """``count`` deterministic storage sites spread over the globe.
+
+    Latitudes sweep the habitable band and longitudes advance by an
+    irrational fraction of the circle, so any prefix of the sequence is
+    reasonably spread out -- good enough for latency realism without a
+    geography database.
+    """
+    if count < 1:
+        raise ConfigurationError("a topology needs at least one site")
+    sites = []
+    for k in range(count):
+        latitude = -55.0 + 110.0 * (k / max(count - 1, 1))
+        longitude = -180.0 + 360.0 * ((k * 0.618033988749895) % 1.0)
+        sites.append(Site(f"site-{k:02d}", GeoPoint(latitude, longitude), kind="storage"))
+    return sites
+
+
+def topology_from_spec(spec) -> Topology:
+    """Build the topology a connection URL describes.
+
+    Consumes the ``sites`` and ``cities`` parameters of a
+    :class:`~repro.api.registry.ConnectionSpec`; giving both is a
+    configuration error.
+    """
+    site_count: Optional[int] = spec.integer("sites")
+    cities: Optional[List[str]] = spec.listing("cities")
+    if site_count is not None and cities is not None:
+        raise ConfigurationError(
+            f"give either 'sites' or 'cities' in {spec.url!r}, not both"
+        )
+
+    topology = Topology()
+    if site_count is not None:
+        for site in synthetic_sites(site_count):
+            topology.add_site(site)
+    else:
+        for city in cities if cities is not None else DEFAULT_CITIES:
+            try:
+                centre = CITY_CENTRES[city]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown city {city!r} in {spec.url!r}; known: {sorted(CITY_CENTRES)}"
+                ) from None
+            topology.add_site(Site(f"{city}-site", centre, kind="storage"))
+    topology.add_site(Site("warehouse", _WAREHOUSE_LOCATION, kind="warehouse"))
+    return topology

@@ -4,14 +4,18 @@ Three subcommands cover what a user wants from a terminal:
 
 * ``experiments`` -- run one or more of the E1-E14 experiments and print
   their regenerated tables (optionally writing them to a file),
-* ``workload`` -- generate a synthetic workload, ingest it into a local
-  PASS and print a summary (sanity-checking a deployment's shape before
-  writing code against it),
-* ``query`` -- run a simple ``name=value`` attribute query against a
-  freshly generated workload, printing the matching provenance records.
+* ``workload`` -- generate a synthetic workload, publish it into a
+  ``connect()`` target (``--store memory://`` by default) and print a
+  summary (sanity-checking a deployment's shape before writing code
+  against it),
+* ``query`` -- run a simple ``name=value`` attribute query through the
+  PassClient façade against a freshly generated workload.
 
-The CLI is intentionally a thin veneer over the library; everything it
-does is available programmatically.
+The CLI is a thin veneer over the library; everything it does is
+available programmatically, and the storage/architecture target is a
+``--store`` URL (``memory://``, ``sqlite:///pass.db``,
+``centralized://``, ``dht://?sites=32``, ...) exactly as accepted by
+:func:`repro.api.connect`.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.core import AttributeEquals, PassStore
+from repro.api import Q, connect
 from repro.eval import format_experiment, run_all
 from repro.sensors.workloads import (
     MedicalWorkload,
@@ -67,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("domain", choices=sorted(_WORKLOADS), help="which domain to simulate")
     workload.add_argument("--hours", type=float, default=1.0, help="simulated duration")
     workload.add_argument("--seed", type=int, default=0, help="workload seed")
+    workload.add_argument(
+        "--store",
+        default="memory://",
+        help="connect() URL of the publish target (default: memory://)",
+    )
 
     query = subcommands.add_parser(
         "query", help="run an attribute query against a freshly generated workload"
@@ -76,16 +85,28 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--hours", type=float, default=1.0)
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--limit", type=int, default=10, help="maximum records to print")
+    query.add_argument(
+        "--store",
+        default="memory://",
+        help="connect() URL of the query target (default: memory://)",
+    )
     return parser
 
 
-def _build_store(domain: str, hours: float, seed: int):
+def _build_client(domain: str, hours: float, seed: int, url: str = "memory://"):
+    """Generate a workload and publish it (batched) into a connect() target."""
     workload = _WORKLOADS[domain](seed=seed)
     raw, derived = workload.all_sets(hours=hours)
-    store = PassStore()
-    for tuple_set in raw + derived:
-        store.ingest(tuple_set)
-    return workload, store, raw, derived
+    client = connect(url)
+    client.publish_many(raw + derived)
+    client.refresh()
+    return workload, client, raw, derived
+
+
+def _build_store(domain: str, hours: float, seed: int):
+    """Deprecated: kept for embedders; use :func:`_build_client` / connect()."""
+    workload, client, raw, derived = _build_client(domain, hours, seed, "memory://")
+    return workload, client.store, raw, derived
 
 
 def _cmd_experiments(args, out) -> int:
@@ -103,19 +124,28 @@ def _cmd_experiments(args, out) -> int:
 
 
 def _cmd_workload(args, out) -> int:
-    workload, store, raw, derived = _build_store(args.domain, args.hours, args.seed)
+    workload, client, raw, derived = _build_client(args.domain, args.hours, args.seed, args.store)
     facts = workload.describe()
+    stats = client.stats()
     print(f"domain:            {facts['domain']}", file=out)
     print(f"networks:          {', '.join(facts['networks'])}", file=out)
     print(f"sensors:           {facts['sensors']}", file=out)
     print(f"simulated hours:   {args.hours}", file=out)
+    print(f"store:             {args.store} (target: {stats['target']})", file=out)
     print(f"raw tuple sets:    {len(raw)}", file=out)
     print(f"derived tuple sets:{len(derived)}", file=out)
     print(f"readings:          {sum(len(ts) for ts in raw)}", file=out)
-    print(f"store size:        {len(store)} records", file=out)
-    print(f"derivation depth:  {max(store.graph.ancestry_depth_distribution() or {0: 0})}", file=out)
-    violations = store.verify_invariants()
-    print(f"invariants:        {'ok' if not violations else violations}", file=out)
+    store = getattr(client, "store", None)
+    if store is not None:
+        print(f"store size:        {len(store)} records", file=out)
+        print(
+            f"derivation depth:  {max(store.graph.ancestry_depth_distribution() or {0: 0})}",
+            file=out,
+        )
+        violations = store.verify_invariants()
+        print(f"invariants:        {'ok' if not violations else violations}", file=out)
+    else:
+        print(f"published:         {stats.get('published', len(raw) + len(derived))}", file=out)
     return 0
 
 
@@ -131,19 +161,22 @@ def _cmd_query(args, out) -> int:
             break
         except ValueError:
             continue
-    _, store, *_ = _build_store(args.domain, args.hours, args.seed)
-    matches = store.query(AttributeEquals(name, value))
-    print(f"{len(matches)} data sets match {name}={value!r}", file=out)
-    for pname in matches[: args.limit]:
-        record = store.get_record(pname)
+    _, client, *_ = _build_client(args.domain, args.hours, args.seed, args.store)
+    answer = client.query(Q.attr(name) == value, limit=args.limit)
+    print(f"{answer.total} data sets match {name}={value!r}", file=out)
+    for pname in answer:
+        record = client.describe_record(pname)
+        if record is None:
+            print(f"  {pname.short}", file=out)
+            continue
         summary = ", ".join(
             f"{key}={record.get(key)}"
             for key in ("domain", "network", "stage", "window_start")
             if record.get(key) is not None
         )
         print(f"  {pname.short}  {summary}", file=out)
-    if len(matches) > args.limit:
-        print(f"  ... and {len(matches) - args.limit} more", file=out)
+    if answer.has_more:
+        print(f"  ... and {answer.total - len(answer)} more", file=out)
     return 0
 
 

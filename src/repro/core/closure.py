@@ -72,6 +72,21 @@ class ClosureStrategy(ABC):
         """Zero the operation counter (benchmarks call this between phases)."""
         self.operations = 0
 
+    def for_graph(self, graph: ProvenanceGraph) -> "ClosureStrategy":
+        """A strategy of the same class bound to ``graph``.
+
+        A strategy instance carries auxiliary state derived from *its*
+        graph (caches, reachability labels), so a store never adopts a
+        caller's instance directly -- rebinding ``.graph`` under an
+        instance shared with another store would silently corrupt both.
+        Instead the store asks for a sibling bound to its own graph.
+        Subclasses whose constructor takes more than the graph must
+        override this.
+        """
+        if self.graph is graph:
+            return self
+        return type(self)(graph)
+
     # -- queries ---------------------------------------------------------
     @abstractmethod
     def ancestors(self, pname: PName) -> Set[PName]:

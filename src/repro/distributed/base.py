@@ -61,6 +61,27 @@ class OperationResult:
         """The result as a set (order-insensitive comparisons in tests)."""
         return set(self.pnames)
 
+    def add_site(self, site: str) -> None:
+        """Record a participating site exactly once, in first-contact order."""
+        if site not in self.sites_contacted:
+            self.sites_contacted.append(site)
+
+    def merge(self, other: "OperationResult") -> "OperationResult":
+        """Fold another operation's answer and cost into this one.
+
+        The one way to combine results: batched publishes and multi-step
+        operations use this instead of hand-summing the cost fields.
+        Returns ``self`` for chaining.
+        """
+        self.pnames.extend(other.pnames)
+        self.latency_ms += other.latency_ms
+        self.messages += other.messages
+        self.bytes += other.bytes
+        for site in other.sites_contacted:
+            self.add_site(site)
+        self.notes.extend(other.notes)
+        return self
+
 
 class ArchitectureModel(ABC):
     """Base class every architecture model extends."""
@@ -84,6 +105,19 @@ class ArchitectureModel(ABC):
     @abstractmethod
     def publish(self, tuple_set: TupleSet, origin_site: str) -> OperationResult:
         """Announce (and place) a freshly produced tuple set from ``origin_site``."""
+
+    def publish_batch(self, tuple_sets: Sequence[TupleSet], origin_site: str) -> OperationResult:
+        """Publish several tuple sets produced at one site as a batch.
+
+        The default pays the full per-publish cost and merges the
+        results; models with a genuinely cheaper bulk path (one round
+        trip for the whole batch) override it.  The façade's
+        ``publish_many`` routes per-site batches through here.
+        """
+        combined = OperationResult()
+        for tuple_set in tuple_sets:
+            combined.merge(self.publish(tuple_set, origin_site))
+        return combined
 
     @abstractmethod
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:
@@ -126,8 +160,8 @@ class ArchitectureModel(ABC):
         result.latency_ms += latency_ms
         result.messages += messages
         result.bytes += size_bytes
-        if site is not None and site not in result.sites_contacted:
-            result.sites_contacted.append(site)
+        if site is not None:
+            result.add_site(site)
 
     # ------------------------------------------------------------------
     # Reporting

@@ -120,6 +120,38 @@ class CentralizedWarehouse(ArchitectureModel):
         self.published += 1
         return result
 
+    def publish_batch(self, tuple_sets, origin_site: str) -> OperationResult:
+        """Ship a whole batch of provenance records in one round trip.
+
+        The warehouse still charges indexing (and queueing, when
+        saturated) per record, but the batch pays wide-area latency and
+        per-message overhead once -- the bulk-update path a real central
+        warehouse would expose.
+        """
+        result = OperationResult()
+        if not tuple_sets:
+            return result
+        batch_bytes = sum(estimate_record_bytes(ts) for ts in tuple_sets)
+        message = self.network.send(
+            origin_site, self.warehouse_site, batch_bytes, "publish-provenance-batch"
+        )
+        indexing_ms = 0.0
+        for tuple_set in tuple_sets:
+            self.index.ingest_record(tuple_set.provenance)
+            self._data_location[tuple_set.pname.digest] = origin_site
+            indexing_ms += self.indexing_ms_per_update + self._queueing_delay_ms()
+            result.pnames.append(tuple_set.pname)
+        ack = self.network.send(self.warehouse_site, origin_site, 64, "publish-batch-ack")
+        self._charge(
+            result,
+            message.latency_ms + indexing_ms + ack.latency_ms,
+            2,
+            batch_bytes + 64,
+            self.warehouse_site,
+        )
+        self.published += len(tuple_sets)
+        return result
+
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:
         query = self._as_query(query)
         result = OperationResult()
@@ -187,7 +219,7 @@ class CentralizedWarehouse(ArchitectureModel):
         if pname.digest in self._broken_links:
             result.notes.append("dangling link")
             return result
-        result.sites_contacted.append(site)
+        result.add_site(site)
         result.pnames = [pname]
         return result
 
@@ -213,3 +245,24 @@ class CentralizedWarehouse(ArchitectureModel):
         if not self._data_location:
             return 0.0
         return len(self._broken_links) / len(self._data_location)
+
+
+# ----------------------------------------------------------------------
+# PassClient façade registration (repro.api)
+# ----------------------------------------------------------------------
+from repro.api.registry import register_scheme  # noqa: E402
+
+
+@register_scheme("centralized")
+def _connect_centralized(spec):
+    """``centralized://?cities=london,boston&rate=2000`` -- the warehouse model."""
+    from repro.api.client import ModelClient
+    from repro.api.topologies import topology_from_spec
+
+    topology = topology_from_spec(spec)
+    model = CentralizedWarehouse(
+        topology,
+        warehouse_site=spec.text("warehouse", "warehouse"),
+        max_updates_per_second=spec.number("rate", 2000.0),
+    )
+    return ModelClient(model, origin=spec.text("origin"))

@@ -244,7 +244,7 @@ class DistributedHashTable(ArchitectureModel):
             matches.extend(local)
             result.messages += 2
             result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
-            result.sites_contacted.append(site)
+            result.add_site(site)
         result.latency_ms += slowest + reply_latency
         result.pnames = sorted(set(matches), key=lambda p: p.digest)
         if query.limit is not None:
@@ -302,7 +302,7 @@ class DistributedHashTable(ArchitectureModel):
         )
         self._charge(result, latency, messages, sent, owner)
         if pname.digest in self._records[owner]:
-            result.sites_contacted.append(owner)
+            result.add_site(owner)
             result.pnames = [pname]
         else:
             result.notes.append("unknown pname")
@@ -332,3 +332,23 @@ class DistributedHashTable(ArchitectureModel):
             raise ConfigurationError("publish rate must be positive")
         per_updater_load = publishes_per_updater_per_second * self.updates_per_publish()
         return int(self.ring_update_capacity() / per_updater_load)
+
+
+# ----------------------------------------------------------------------
+# PassClient façade registration (repro.api)
+# ----------------------------------------------------------------------
+from repro.api.registry import register_scheme  # noqa: E402
+
+
+@register_scheme("dht")
+def _connect_dht(spec):
+    """``dht://?sites=32&index=city,domain`` -- a Chord-like ring over N sites."""
+    from repro.api.client import ModelClient
+    from repro.api.topologies import topology_from_spec
+
+    model = DistributedHashTable(
+        topology_from_spec(spec),
+        indexed_attributes=spec.listing("index"),
+        per_node_updates_per_second=spec.number("rate", 50.0),
+    )
+    return ModelClient(model, origin=spec.text("origin"))

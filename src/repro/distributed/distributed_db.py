@@ -187,9 +187,8 @@ class DistributedDatabase(ArchitectureModel):
                 result.messages += 2
                 result.bytes += 128 + _POINTER_BYTES * max(1, len(neighbours))
             result.latency_ms += round_latency
-            for site in contacted:
-                if site not in result.sites_contacted:
-                    result.sites_contacted.append(site)
+            for site in sorted(contacted):
+                result.add_site(site)
             found |= next_frontier
             frontier = next_frontier
         result.pnames = sorted(found, key=lambda p: p.digest)
@@ -209,6 +208,22 @@ class DistributedDatabase(ArchitectureModel):
         if site is None:
             result.notes.append("unknown pname")
         else:
-            result.sites_contacted.append(site)
+            result.add_site(site)
             result.pnames = [pname]
         return result
+
+
+# ----------------------------------------------------------------------
+# PassClient façade registration (repro.api)
+# ----------------------------------------------------------------------
+from repro.api.registry import register_scheme  # noqa: E402
+
+
+@register_scheme("distributed-db", "ddb")
+def _connect_distributed_db(spec):
+    """``distributed-db://?sites=8`` -- hash-partitioned strongly consistent storage."""
+    from repro.api.client import ModelClient
+    from repro.api.topologies import topology_from_spec
+
+    model = DistributedDatabase(topology_from_spec(spec))
+    return ModelClient(model, origin=spec.text("origin"))

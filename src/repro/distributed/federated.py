@@ -188,7 +188,7 @@ class FederatedDatabase(ArchitectureModel):
             matches.extend(local)
             result.messages += 2
             result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
-            result.sites_contacted.append(site)
+            result.add_site(site)
         result.latency_ms += slowest
         result.pnames = sorted(set(matches), key=lambda p: p.digest)
         self.queries_run += 1
@@ -256,3 +256,22 @@ class FederatedDatabase(ArchitectureModel):
         )
         result.pnames = [pname]
         return result
+
+
+# ----------------------------------------------------------------------
+# PassClient façade registration (repro.api)
+# ----------------------------------------------------------------------
+from repro.api.registry import register_scheme  # noqa: E402
+
+
+@register_scheme("federated")
+def _connect_federated(spec):
+    """``federated://?translation=1.5`` -- autonomous per-site databases behind a mediator."""
+    from repro.api.client import ModelClient
+    from repro.api.topologies import topology_from_spec
+
+    model = FederatedDatabase(
+        topology_from_spec(spec),
+        translation_ms=spec.number("translation", 1.5),
+    )
+    return ModelClient(model, origin=spec.text("origin"))

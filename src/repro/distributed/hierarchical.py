@@ -141,7 +141,7 @@ class HierarchicalNamespace(ArchitectureModel):
             matches.extend(local)
             result.messages += 2
             result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
-            result.sites_contacted.append(server)
+            result.add_site(server)
         result.latency_ms += slowest
         result.pnames = sorted(set(matches), key=lambda p: p.digest)
         if len(targets) == len(self._sites):
@@ -228,6 +228,25 @@ class HierarchicalNamespace(ArchitectureModel):
         )
         site = self._data_location.get(pname.digest)
         if site is not None:
-            result.sites_contacted.append(site)
+            result.add_site(site)
             result.pnames = [pname]
         return result
+
+
+# ----------------------------------------------------------------------
+# PassClient façade registration (repro.api)
+# ----------------------------------------------------------------------
+from repro.api.registry import register_scheme  # noqa: E402
+
+
+@register_scheme("hierarchical")
+def _connect_hierarchical(spec):
+    """``hierarchical://?order=city,domain,window_start`` -- a partitioned namespace."""
+    from repro.api.client import ModelClient
+    from repro.api.topologies import topology_from_spec
+
+    model = HierarchicalNamespace(
+        topology_from_spec(spec),
+        significance_order=spec.listing("order", ["city", "domain", "window_start"]),
+    )
+    return ModelClient(model, origin=spec.text("origin"))

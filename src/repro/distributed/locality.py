@@ -154,7 +154,7 @@ class LocaleAwarePass(ArchitectureModel):
             matches.extend(local)
             result.messages += 2
             result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
-            result.sites_contacted.append(site)
+            result.add_site(site)
         result.latency_ms += slowest
         result.pnames = sorted(set(matches), key=lambda p: p.digest)
         self.queries_run += 1
@@ -266,7 +266,7 @@ class LocaleAwarePass(ArchitectureModel):
         self._charge(
             result, request.latency_ms + response.latency_ms, 2, 128 + _POINTER_BYTES, home
         )
-        result.sites_contacted.append(home)
+        result.add_site(home)
         result.pnames = [pname]
         return result
 
@@ -281,3 +281,19 @@ class LocaleAwarePass(ArchitectureModel):
     def store_at(self, site: str):
         """The local PASS store at ``site`` (used by tests and examples)."""
         return self._stores.store(site)
+
+
+# ----------------------------------------------------------------------
+# PassClient façade registration (repro.api)
+# ----------------------------------------------------------------------
+from repro.api.registry import register_scheme  # noqa: E402
+
+
+@register_scheme("locale-aware-pass", "locale")
+def _connect_locale_aware(spec):
+    """``locale-aware-pass://?cities=london,boston`` -- the paper's proposed design."""
+    from repro.api.client import ModelClient
+    from repro.api.topologies import topology_from_spec
+
+    model = LocaleAwarePass(topology_from_spec(spec))
+    return ModelClient(model, origin=spec.text("origin"))

@@ -192,6 +192,12 @@ class SoftStateIndex(ArchitectureModel):
 
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:
         query = self._as_query(query)
+        if query.requires_lineage:
+            # The zone indexes only know *pushed* records, so closure over
+            # them could silently be wrong; refuse like ancestors() does.
+            raise UnsupportedQueryError(
+                "the soft-state metadata model denies transitive closure (Section IV-B)"
+            )
         result = OperationResult()
         matches: List[PName] = []
         slowest = 0.0
@@ -205,7 +211,7 @@ class SoftStateIndex(ArchitectureModel):
             matches.extend(local)
             result.messages += 2
             result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
-            result.sites_contacted.append(index_site)
+            result.add_site(index_site)
         result.latency_ms += slowest
         result.pnames = sorted(set(matches), key=lambda p: p.digest)
         self.queries_run += 1
@@ -240,8 +246,49 @@ class SoftStateIndex(ArchitectureModel):
             if known and site is not None:
                 if self._stores.store(site).is_removed(pname):
                     result.notes.append("stale index entry: data was removed")
-                result.sites_contacted.append(site)
+                result.add_site(site)
                 result.pnames = [pname]
                 return result
         result.notes.append("not found in any zone index (possibly not yet refreshed)")
         return result
+
+
+# ----------------------------------------------------------------------
+# PassClient façade registration (repro.api)
+# ----------------------------------------------------------------------
+from repro.api.registry import register_scheme  # noqa: E402
+
+
+@register_scheme("soft-state")
+def _connect_soft_state(spec):
+    """``soft-state://?refresh=300&zones=2`` -- RLS/SRB-style zoned soft state.
+
+    Storage sites are split round-robin-by-halves into ``zones`` zones,
+    each indexed at its first member site (mirroring the evaluation
+    harness's standard scenario).
+    """
+    from repro.api.client import ModelClient
+    from repro.api.topologies import topology_from_spec
+    from repro.errors import ConfigurationError
+
+    topology = topology_from_spec(spec)
+    storage = [site.name for site in topology.sites(kind="storage")]
+    zone_count = spec.integer("zones", 2)
+    if zone_count < 1:
+        raise ConfigurationError("zones must be at least 1")
+    zone_count = min(zone_count, len(storage))
+    per_zone = max(1, len(storage) // zone_count)
+    zones = {}
+    for index in range(zone_count):
+        members = storage[index * per_zone:(index + 1) * per_zone]
+        if index == zone_count - 1:
+            members = storage[index * per_zone:]
+        if not members:
+            continue
+        zones[f"zone-{index}"] = (members[0], members)
+    model = SoftStateIndex(
+        topology,
+        zones=zones,
+        refresh_interval_seconds=spec.number("refresh", 300.0),
+    )
+    return ModelClient(model, origin=spec.text("origin"))

@@ -4,13 +4,20 @@
 functions that run them; :func:`run_experiment` and :func:`run_all` are
 the entry points the benchmarks, tests and the ``EXPERIMENTS.md``
 generator all share.
+
+:func:`run_query_matrix` is the façade-era entry point: it drives the
+same publish + query workload through any set of ``connect()`` targets
+(local stores and architecture models alike) and tabulates answers and
+costs, which is the paper's design-space comparison reduced to one
+function call.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
-from repro.errors import UnknownEntityError
+from repro.api import connect
+from repro.errors import UnknownEntityError, UnsupportedQueryError
 from repro.eval.experiments_core import run_e1, run_e13, run_e14, run_e2, run_e3, run_e4
 from repro.eval.experiments_distributed import (
     run_e10,
@@ -25,7 +32,7 @@ from repro.eval.experiments_distributed import (
 from repro.eval.report import format_experiment, format_many
 from repro.eval.result import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "render_all"]
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "render_all", "run_query_matrix"]
 
 #: experiment id -> zero-argument callable producing its result
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
@@ -66,6 +73,43 @@ def run_all(ids: Optional[Iterable[str]] = None) -> List[ExperimentResult]:
 def render_all(ids: Optional[Iterable[str]] = None) -> str:
     """Run and render experiments as one text report."""
     return format_many(run_all(ids))
+
+
+def run_query_matrix(
+    urls: Sequence[str],
+    tuple_sets: Sequence,
+    queries: Mapping[str, object],
+) -> List[Dict[str, object]]:
+    """Publish one workload into several ``connect()`` targets and query them all.
+
+    For each URL the returned row carries the publish cost of the whole
+    batch (``publish_ms``/``publish_messages``) and, per named query,
+    the match count and latency (or ``"unsupported"`` where the target
+    refuses the query class, e.g. closure on soft state).  Query values
+    may be anything :func:`repro.api.as_query` accepts -- ``Q`` DSL
+    predicates, builders, or full ``Query`` objects.
+    """
+    rows: List[Dict[str, object]] = []
+    for url in urls:
+        with connect(url) as client:
+            published = client.publish_many(tuple_sets)
+            client.refresh()
+            row: Dict[str, object] = {
+                "target": url,
+                "publish_ms": round(published.cost.latency_ms, 2),
+                "publish_messages": published.cost.messages,
+            }
+            for label, query in queries.items():
+                try:
+                    answer = client.query(query)
+                except UnsupportedQueryError:
+                    row[label] = "unsupported"
+                    row[f"{label}_ms"] = "unsupported"
+                    continue
+                row[label] = len(answer)
+                row[f"{label}_ms"] = round(answer.cost.latency_ms, 2)
+            rows.append(row)
+    return rows
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.api import connect
+from repro.api.client import PassClient, wrap
 from repro.core.attributes import GeoPoint
 from repro.core.pass_store import PassStore
 from repro.core.provenance import PName
@@ -34,6 +36,7 @@ from repro.sensors.workloads import CITY_CENTRES
 __all__ = [
     "standard_topology",
     "build_all_models",
+    "build_all_clients",
     "origin_site_for",
     "publish_all",
     "ground_truth_store",
@@ -104,6 +107,25 @@ def build_all_models(
     return models
 
 
+def build_all_clients(
+    topology: Topology,
+    refresh_interval_seconds: float = 300.0,
+    significance_order: Sequence[str] = ("city", "domain", "window_start"),
+) -> Dict[str, PassClient]:
+    """Every architecture model behind the unified :class:`PassClient` façade.
+
+    Same construction as :func:`build_all_models`, wrapped so consumers
+    can drive all targets (and the local stores from ``connect()``)
+    through one protocol.
+    """
+    models = build_all_models(
+        topology,
+        refresh_interval_seconds=refresh_interval_seconds,
+        significance_order=significance_order,
+    )
+    return {name: wrap(model) for name, model in models.items()}
+
+
 def origin_site_for(tuple_set: TupleSet, topology: Topology) -> str:
     """The storage site where a tuple set is produced (nearest to its location)."""
     location = tuple_set.provenance.get("location")
@@ -114,30 +136,33 @@ def origin_site_for(tuple_set: TupleSet, topology: Topology) -> str:
 
 
 def publish_all(
-    model: ArchitectureModel,
+    model: "ArchitectureModel | PassClient",
     tuple_sets: Sequence[TupleSet],
     topology: Topology,
     origin_fn: Optional[Callable[[TupleSet], str]] = None,
 ) -> List[Tuple[PName, str, float, int, int]]:
     """Publish every tuple set into ``model``; return per-publish cost samples.
 
+    ``model`` may be a bare architecture model or an already-wrapped
+    client; either way publication runs through the PassClient façade.
     Each returned tuple is ``(pname, origin_site, latency_ms, messages,
     bytes)`` so experiments can aggregate however they like.
     """
+    client = wrap(model)
     samples = []
     for tuple_set in tuple_sets:
         origin = origin_fn(tuple_set) if origin_fn else origin_site_for(tuple_set, topology)
-        result = model.publish(tuple_set, origin)
-        samples.append((tuple_set.pname, origin, result.latency_ms, result.messages, result.bytes))
+        result = client.publish(tuple_set, origin=origin)
+        cost = result.cost
+        samples.append((tuple_set.pname, origin, cost.latency_ms, cost.messages, cost.bytes))
     return samples
 
 
 def ground_truth_store(tuple_sets: Sequence[TupleSet]) -> PassStore:
     """A single local PASS holding everything: the oracle for precision/recall."""
-    store = PassStore()
-    for tuple_set in tuple_sets:
-        store.ingest(tuple_set)
-    return store
+    client = connect("memory://")
+    client.publish_many(tuple_sets)
+    return client.store
 
 
 def ground_truth_answer(store: PassStore, query: Query) -> List[PName]:

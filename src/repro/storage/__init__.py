@@ -1,6 +1,7 @@
 """Storage substrates: in-memory and SQLite backends, WAL, replication."""
 
 from repro.storage.backend import StorageBackend, StorageStats
+from repro.storage.factory import BACKEND_KINDS, make_backend
 from repro.storage.memory import MemoryBackend
 from repro.storage.replication import ReplicationManager
 from repro.storage.sqlite import SQLiteBackend
@@ -9,6 +10,8 @@ from repro.storage.wal import ReplayReport, WalEntry, WriteAheadLog
 __all__ = [
     "StorageBackend",
     "StorageStats",
+    "BACKEND_KINDS",
+    "make_backend",
     "MemoryBackend",
     "SQLiteBackend",
     "WriteAheadLog",

@@ -1,0 +1,38 @@
+"""Backend factory: construct a storage backend from a kind name.
+
+The PassClient registry (``connect("memory://")`` /
+``connect("sqlite:///pass.db")``) and anything else that configures
+storage by name goes through here, so the set of shipped backends lives
+in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.storage.backend import StorageBackend
+from repro.storage.memory import MemoryBackend
+from repro.storage.sqlite import SQLiteBackend
+
+__all__ = ["BACKEND_KINDS", "make_backend"]
+
+#: the backend kinds make_backend understands
+BACKEND_KINDS = ("memory", "sqlite")
+
+
+def make_backend(kind: str, path: Optional[str] = None, **options) -> StorageBackend:
+    """Build a storage backend by kind name.
+
+    ``path`` only applies to durable backends (``sqlite``); extra
+    keyword options are forwarded to the backend constructor.
+    """
+    if kind == "memory":
+        if path is not None:
+            raise ConfigurationError("the memory backend takes no path")
+        return MemoryBackend(**options)
+    if kind == "sqlite":
+        return SQLiteBackend(path if path is not None else ":memory:", **options)
+    raise ConfigurationError(
+        f"unknown storage backend kind {kind!r}; known: {list(BACKEND_KINDS)}"
+    )

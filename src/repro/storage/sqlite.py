@@ -123,6 +123,46 @@ class SQLiteBackend(StorageBackend):
             )
         self.stats.puts += 1
 
+    def put_batch(self, entries) -> None:
+        """Commit a whole batch of records (and payloads) in one transaction.
+
+        The crash-injection counter is charged up front for every write
+        the batch would perform: the batch is atomic, so an injected
+        crash loses the whole batch rather than a prefix of it.
+        """
+        self._check_open()
+        entries = list(entries)
+        for record, payload in entries:
+            self._maybe_crash()
+            if payload is not None:
+                self._maybe_crash()
+        with self._connection:
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO records (pname, body) VALUES (?, ?)",
+                [(record.pname().digest, record.to_json()) for record, _ in entries],
+            )
+            self._connection.executemany(
+                "INSERT OR IGNORE INTO ancestry (child, parent) VALUES (?, ?)",
+                [
+                    (record.pname().digest, ancestor.digest)
+                    for record, _ in entries
+                    for ancestor in record.ancestors
+                ],
+            )
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO payloads (pname, body) VALUES (?, ?)",
+                [
+                    (record.pname().digest, bytes(payload))
+                    for record, payload in entries
+                    if payload is not None
+                ],
+            )
+        for record, payload in entries:
+            self.stats.puts += 1
+            if payload is not None:
+                self.stats.puts += 1
+                self.stats.payload_bytes += len(payload)
+
     def get_record(self, pname: PName) -> Optional[ProvenanceRecord]:
         self._check_open()
         self.stats.gets += 1

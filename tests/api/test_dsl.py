@@ -1,0 +1,160 @@
+"""Tests for the Q query-builder DSL and its lowering to the Predicate algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Q, QueryBuilder, as_query
+from repro.api.dsl import coerce_pname
+from repro.core import GeoPoint, ProvenanceRecord, Timestamp
+from repro.core.query import (
+    AgentIs,
+    AncestorOf,
+    And,
+    AnnotationMatches,
+    AttributeContains,
+    AttributeEquals,
+    AttributeExists,
+    AttributeIn,
+    AttributeRange,
+    DerivedFrom,
+    IsRaw,
+    NearLocation,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    TRUE,
+)
+from repro.core.tupleset import TupleSet
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def record():
+    return ProvenanceRecord({"domain": "traffic", "city": "london", "vehicle_count": 42})
+
+
+class TestAttrLowering:
+    def test_equality_lowers_to_AttributeEquals(self):
+        predicate = Q.attr("city") == "london"
+        assert predicate == AttributeEquals("city", "london")
+
+    def test_inequality_lowers_to_Not_equals(self):
+        predicate = Q.attr("city") != "london"
+        assert isinstance(predicate, Not)
+        assert predicate.part == AttributeEquals("city", "london")
+
+    def test_comparisons_lower_to_ranges(self):
+        assert (Q.attr("n") < 5) == AttributeRange("n", high=5, include_high=False)
+        assert (Q.attr("n") <= 5) == AttributeRange("n", high=5)
+        assert (Q.attr("n") > 5) == AttributeRange("n", low=5, include_low=False)
+        assert (Q.attr("n") >= 5) == AttributeRange("n", low=5)
+
+    def test_between(self):
+        predicate = Q.attr("window_start").between(Timestamp(0.0), Timestamp(60.0))
+        assert predicate == AttributeRange("window_start", Timestamp(0.0), Timestamp(60.0))
+
+    def test_contains_one_of_exists_near(self):
+        assert Q.attr("description").contains("zone") == AttributeContains("description", "zone")
+        assert Q.attr("city").one_of("london", "boston") == AttributeIn(
+            "city", ("london", "boston")
+        )
+        assert Q.attr("patient").exists() == AttributeExists("patient")
+        centre = GeoPoint(51.5, -0.12)
+        assert Q.attr("location").near(centre, 5.0) == NearLocation("location", centre, 5.0)
+
+    def test_one_of_requires_values(self):
+        with pytest.raises(QueryError):
+            Q.attr("city").one_of()
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(QueryError):
+            Q.attr("")
+
+    def test_dsl_predicates_evaluate(self, record):
+        pname = record.pname()
+        assert (Q.attr("city") == "london").matches(pname, record)
+        assert not (Q.attr("city") == "boston").matches(pname, record)
+        assert (Q.attr("vehicle_count") > 40).matches(pname, record)
+
+
+class TestLineageAndOtherEntryPoints:
+    def test_derived_from_accepts_pname_and_carriers(self, record):
+        pname = record.pname()
+        assert Q.derived_from(pname) == DerivedFrom(pname)
+        assert Q.derived_from(record) == DerivedFrom(pname)
+        tuple_set = TupleSet([], record)
+        assert Q.derived_from(tuple_set) == DerivedFrom(pname)
+
+    def test_ancestor_of(self, record):
+        pname = record.pname()
+        assert Q.ancestor_of(pname, include_self=True) == AncestorOf(pname, include_self=True)
+
+    def test_coerce_pname_rejects_garbage(self):
+        with pytest.raises(QueryError):
+            coerce_pname("not-a-pname")
+
+    def test_agent_annotated_raw(self):
+        assert Q.agent("sharpen", kind="program") == AgentIs("sharpen", kind="program")
+        assert Q.annotated("flag", 1) == AnnotationMatches("flag", 1)
+        assert Q.raw() == IsRaw(True)
+        assert Q.raw(False) == IsRaw(False)
+
+    def test_combinator_entry_points(self):
+        a, b = AttributeEquals("x", 1), AttributeEquals("y", 2)
+        assert Q.all(a, b) == And((a, b))
+        assert Q.any(a, b) == Or((a, b))
+        assert Q.none(a) == Not(a)
+        assert Q.everything() is TRUE
+
+    def test_dsl_composes_with_core_combinators(self, record):
+        pname = record.pname()
+        predicate = (Q.attr("city") == "london") & ~(Q.attr("domain") == "weather")
+        assert isinstance(predicate, Predicate)
+        assert predicate.matches(pname, record)
+
+    def test_q_is_a_namespace(self):
+        with pytest.raises(TypeError):
+            Q()
+
+
+class TestQueryBuilderAndAsQuery:
+    def test_builder_collects_options(self):
+        query = (
+            Q.find(Q.attr("city") == "london")
+            .where(Q.attr("domain") == "traffic")
+            .limit(5)
+            .order_by("window_start")
+            .exclude_removed()
+            .build()
+        )
+        assert isinstance(query, Query)
+        assert query.limit == 5
+        assert query.order_by == "window_start"
+        assert not query.include_removed
+        assert isinstance(query.predicate, And)
+
+    def test_builder_defaults_to_everything(self):
+        query = Q.find().build()
+        assert query.predicate is TRUE
+        assert query.limit is None and query.include_removed
+
+    def test_builder_rejects_non_predicates(self):
+        with pytest.raises(QueryError):
+            QueryBuilder("city=london")
+
+    def test_as_query_accepts_all_shapes(self):
+        assert as_query(None).predicate is TRUE
+        predicate = Q.attr("city") == "london"
+        assert as_query(predicate).predicate is predicate
+        builder = Q.find(predicate).limit(3)
+        assert as_query(builder).limit == 3
+        query = Query(predicate=predicate)
+        assert as_query(query) is query
+
+    def test_as_query_rejects_bare_attr_and_garbage(self):
+        with pytest.raises(QueryError):
+            as_query(Q.attr("city"))
+        with pytest.raises(QueryError):
+            as_query(42)

@@ -70,6 +70,50 @@ class TestIngest:
         assert pname in store
         assert store.get_readings(pname) == []
 
+    def test_ingest_many_matches_looped_ingest(self):
+        sets = [_tuple_set(f"batch-{i}") for i in range(6)]
+        child = TupleSet(
+            [], sets[0].provenance.derive({"stage": "derived", "domain": "traffic"})
+        )
+        looped = PassStore()
+        for tuple_set in sets + [child]:
+            looped.ingest(tuple_set)
+        batched = PassStore()
+        pnames = batched.ingest_many(sets + [child])
+        assert pnames == [ts.pname for ts in sets + [child]]
+        assert len(batched) == len(looped)
+        assert batched.ancestors(child.pname) == looped.ancestors(child.pname)
+        assert batched.stats.ingested == looped.stats.ingested
+        assert batched.verify_invariants() == []
+
+    def test_ingest_many_is_idempotent_and_checks_duplicates(self, store):
+        ts = _tuple_set("a", readings_count=3)
+        store.ingest_many([ts, ts])  # duplicate within a batch is fine
+        assert len(store) == 1
+        store.ingest_many([ts])  # already stored is fine
+        assert len(store) == 1
+        impostor = TupleSet(ts.readings[:1], ts.provenance)
+        with pytest.raises(DuplicateProvenanceError):
+            store.ingest_many([impostor])
+        with pytest.raises(DuplicateProvenanceError):
+            PassStore().ingest_many([ts, impostor])
+
+    def test_ingest_many_attaches_payload_to_metadata_only_record(self, store):
+        ts = _tuple_set("a")
+        store.ingest_record(ts.provenance)
+        assert store.get_readings(ts.pname) == []
+        store.ingest_many([ts])
+        assert len(store.get_readings(ts.pname)) == len(ts)
+
+    def test_ingest_many_on_sqlite_backend(self, tmp_path):
+        store = PassStore(backend=SQLiteBackend(tmp_path / "batch.db"))
+        sets = [_tuple_set(f"durable-{i}") for i in range(5)]
+        store.ingest_many(sets)
+        reopened = PassStore(backend=SQLiteBackend(tmp_path / "batch.db"))
+        assert len(reopened) == 5
+        for tuple_set in sets:
+            assert tuple_set.pname in reopened
+
     def test_readings_round_trip(self, store):
         ts = _tuple_set("a")
         store.ingest(ts)
@@ -210,6 +254,25 @@ class TestLineage:
             sets = self._chain(store, depth=5)
             answers[strategy] = store.ancestors(sets[-1].pname)
         assert answers["naive"] == answers["memoized"] == answers["labelled"]
+
+    def test_shared_closure_instance_is_not_corrupted(self):
+        """Passing one strategy instance to two stores must not alias state."""
+        from repro.core.closure import LabelledClosure
+
+        shared = LabelledClosure()
+        first = PassStore(closure=shared)
+        second = PassStore(closure=shared)
+        # Each store got its own sibling bound to its own graph.
+        assert first.closure is not shared and second.closure is not shared
+        assert first.closure is not second.closure
+        assert first.closure.graph is first.graph
+        assert second.closure.graph is second.graph
+        # The caller's instance keeps its own (empty) graph untouched.
+        first.ingest(_tuple_set("a"))
+        second.ingest(_tuple_set("b"))
+        assert len(shared.graph) == 0
+        assert _tuple_set("b").pname not in first.graph
+        assert _tuple_set("a").pname not in second.graph
 
 
 class TestPassProperties:

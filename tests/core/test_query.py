@@ -150,6 +150,51 @@ class TestCombinators:
         assert sorted(predicate.attributes_referenced()) == ["a", "b", "c"]
 
 
+class TestCombinatorOperators:
+    """The ``&`` / ``|`` / ``~`` overloads build the right predicate tree."""
+
+    def test_and_operator_builds_And(self):
+        left = AttributeEquals("city", "london")
+        right = AttributeEquals("domain", "traffic")
+        combined = left & right
+        assert isinstance(combined, And)
+        assert combined.parts == (left, right)
+
+    def test_or_operator_builds_Or(self):
+        left = AttributeEquals("city", "london")
+        right = AttributeEquals("city", "boston")
+        combined = left | right
+        assert isinstance(combined, Or)
+        assert combined.parts == (left, right)
+
+    def test_invert_operator_builds_Not(self):
+        part = AttributeExists("patient")
+        negated = ~part
+        assert isinstance(negated, Not)
+        assert negated.part is part
+
+    def test_double_negation_wraps_twice(self, record, pname):
+        part = AttributeEquals("city", "london")
+        twice = ~~part
+        assert isinstance(twice, Not) and isinstance(twice.part, Not)
+        assert twice.matches(pname, record) == part.matches(pname, record)
+
+    def test_operators_nest_and_evaluate(self, record, pname):
+        predicate = (AttributeEquals("city", "london") | AttributeEquals("city", "boston")) & ~(
+            AttributeEquals("domain", "weather")
+        )
+        assert isinstance(predicate, And)
+        assert predicate.matches(pname, record)
+
+    def test_operators_propagate_requires_lineage(self, pname):
+        lineage = DerivedFrom(pname)
+        plain = AttributeEquals("a", 1)
+        assert (plain & lineage).requires_lineage
+        assert (plain | lineage).requires_lineage
+        assert (~lineage).requires_lineage
+        assert not (plain & plain).requires_lineage
+
+
 class TestLineagePredicates:
     def test_lineage_without_oracle_raises(self, record, pname):
         with pytest.raises(QueryError):
