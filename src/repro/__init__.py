@@ -9,7 +9,7 @@ an evaluation harness that regenerates the paper's design-space
 comparison on synthetic sensor workloads.
 
 The public surface is the **PassClient façade**: one protocol
-(``publish``, ``publish_many``, ``query``, ``ancestors``,
+(``publish``, ``publish_many``, ``query``, ``explain``, ``ancestors``,
 ``descendants``, ``locate``, ``stats``) over every target, constructed
 from a URL::
 
@@ -31,10 +31,17 @@ algebra in :mod:`repro.core.query`); every operation returns a
 :class:`~repro.api.results.Result` carrying records, simulated cost and
 pagination.
 
+Every query runs through the cost-based planner in :mod:`repro.query`,
+which serves time-window, geographic-radius, attribute and membership
+predicates from the store's indexes per site; ``client.explain(q)``
+shows the chosen access path with estimated vs. actual rows (see
+``docs/EXPLAIN.md``).
+
 The lower layers remain importable for finer-grained work:
 :class:`~repro.core.pass_store.PassStore` (the local store engine, also
 reachable as ``client.store`` on local targets), :mod:`repro.distributed`
-(the architecture models), :mod:`repro.eval` (the E1-E14 experiments).
+(the architecture models), :mod:`repro.query` (the planner),
+:mod:`repro.eval` (the E1-E14 experiments).
 """
 
 from repro.api import Q, Result, connect

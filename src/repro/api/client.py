@@ -38,6 +38,7 @@ from repro.core.tupleset import TupleSet
 from repro.distributed.base import ArchitectureModel, OperationResult
 from repro.errors import ConfigurationError
 from repro.net.topology import Topology
+from repro.query.explain import Explain
 
 __all__ = ["PassClient", "LocalClient", "ModelClient", "wrap"]
 
@@ -122,6 +123,15 @@ class PassClient(ABC):
     def stats(self) -> Dict[str, object]:
         """Counters and facts about the connected target."""
 
+    @abstractmethod
+    def explain(self, query=None, *, origin: Optional[str] = None) -> Explain:
+        """Execute a query and report how the planner served it.
+
+        The query genuinely runs, so the :class:`~repro.query.explain.Explain`
+        carries estimated *and* actual row counts.  Distributed targets
+        return an aggregate root with one child per participating site.
+        """
+
     # -- capabilities and lifecycle --------------------------------------
     @property
     def supports_lineage(self) -> bool:
@@ -185,9 +195,15 @@ class LocalClient(PassClient):
         origin: Optional[str] = None,
     ) -> Result:
         lowered, limit = _lift_query_limit(query, limit)
-        matches = self.store.query(lowered)
-        page, total = _paginate(matches, limit, offset)
-        return Result(records=page, cost=self._local_cost(), total=total, offset=offset)
+        pairs, explain = self.store.query_explain(lowered)
+        page, total = _paginate([pname for pname, _ in pairs], limit, offset)
+        cost = self._local_cost()
+        cost.rows_scanned = explain.rows_scanned
+        return Result(records=page, cost=cost, total=total, offset=offset)
+
+    def explain(self, query=None, *, origin: Optional[str] = None) -> Explain:
+        lowered, _ = _lift_query_limit(query, None)
+        return self.store.explain(lowered)
 
     def ancestors(self, pname, origin: Optional[str] = None) -> Result:
         found = self.store.ancestors(coerce_pname(pname))
@@ -213,6 +229,10 @@ class LocalClient(PassClient):
             "records": len(self.store),
             "store": self.store.stats.snapshot(),
             "backend": self.store.backend.stats.snapshot(),
+            "planner": {
+                "cache": self.store.planner.cache_snapshot(),
+                "statistics": self.store.statistics.snapshot(),
+            },
         }
 
     def describe_record(self, pname) -> Optional[ProvenanceRecord]:
@@ -306,6 +326,23 @@ class ModelClient(PassClient):
     def locate(self, pname, origin: Optional[str] = None) -> Result:
         return Result.from_operation(
             self.model.locate(coerce_pname(pname), origin or self.default_origin)
+        )
+
+    def explain(self, query=None, *, origin: Optional[str] = None) -> Explain:
+        lowered, _ = _lift_query_limit(query, None)
+        operation = self.model.query(lowered, origin or self.default_origin)
+        children = self.model.query_explains()
+        return Explain(
+            site=self.target,
+            path=f"scatter/gather over {len(children)} site plan(s)",
+            path_kind="distributed",
+            estimated_rows=sum(child.estimated_rows for child in children),
+            actual_rows=len(operation.pnames),
+            rows_scanned=operation.rows_scanned,
+            cache_hit=bool(children) and all(child.cache_hit for child in children),
+            used_index=any(child.used_index for child in children),
+            notes=list(operation.notes),
+            children=children,
         )
 
     def stats(self) -> Dict[str, object]:

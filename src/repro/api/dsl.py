@@ -44,6 +44,7 @@ from repro.core.query import (
     Or,
     Predicate,
     Query,
+    TimeWindowOverlaps,
     TRUE,
 )
 from repro.errors import QueryError
@@ -144,6 +145,34 @@ class Q:
     def attr(name: str) -> Attr:
         """An attribute, ready for comparison: ``Q.attr('city') == 'london'``."""
         return Attr(name)
+
+    # -- temporal / spatial fast paths ----------------------------------
+    @staticmethod
+    def between(start, end) -> Predicate:
+        """Tuple sets whose time window overlaps ``[start, end]``.
+
+        Accepts :class:`~repro.core.attributes.Timestamp` bounds (or
+        plain seconds, which are coerced).  Served by the store's
+        temporal index through the planner -- this is the indexed fast
+        path for the paper's time-window query class.
+        """
+        from repro.core.attributes import Timestamp
+
+        if not isinstance(start, Timestamp):
+            start = Timestamp(float(start))
+        if not isinstance(end, Timestamp):
+            end = Timestamp(float(end))
+        return TimeWindowOverlaps(start, end)
+
+    @staticmethod
+    def near(centre: GeoPoint, radius_km: float, attribute: str = "location") -> Predicate:
+        """Tuple sets whose ``attribute`` lies within ``radius_km`` of ``centre``.
+
+        With the default attribute (``location``, the one ingest feeds
+        the spatial index) the planner serves this from the spatial grid
+        index -- the indexed fast path for geographic-radius queries.
+        """
+        return NearLocation(attribute, centre, radius_km)
 
     # -- lineage predicates ---------------------------------------------
     @staticmethod

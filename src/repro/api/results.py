@@ -30,6 +30,8 @@ class Cost:
     latency_ms: float = 0.0
     messages: int = 0
     bytes: int = 0
+    #: records materialized and evaluated to answer (planner-honest)
+    rows_scanned: int = 0
     sites: List[str] = field(default_factory=list)
 
     def add(self, other: "Cost") -> "Cost":
@@ -37,6 +39,7 @@ class Cost:
         self.latency_ms += other.latency_ms
         self.messages += other.messages
         self.bytes += other.bytes
+        self.rows_scanned += other.rows_scanned
         for site in other.sites:
             if site not in self.sites:
                 self.sites.append(site)
@@ -99,6 +102,7 @@ class Result:
                 latency_ms=operation.latency_ms,
                 messages=operation.messages,
                 bytes=operation.bytes,
+                rows_scanned=getattr(operation, "rows_scanned", 0),
                 sites=list(operation.sites_contacted),
             ),
             notes=list(operation.notes),

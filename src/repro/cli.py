@@ -9,7 +9,13 @@ Three subcommands cover what a user wants from a terminal:
   summary (sanity-checking a deployment's shape before writing code
   against it),
 * ``query`` -- run a simple ``name=value`` attribute query through the
-  PassClient façade against a freshly generated workload.
+  PassClient façade against a freshly generated workload,
+* ``explain`` -- run a query the same way and print the planner's
+  EXPLAIN: the access path chosen, estimated vs. actual rows, rows
+  scanned and plan-cache status.  Beyond ``name=value``, the predicate
+  grammar accepts ``name<=v``/``name>=v``/``name<v``/``name>v`` ranges
+  and ``name~substring``; ``--window START,END`` and
+  ``--near LAT,LON,KM`` AND in the temporal and spatial fast paths.
 
 The CLI is a thin veneer over the library; everything it does is
 available programmatically, and the storage/architecture target is a
@@ -90,6 +96,35 @@ def build_parser() -> argparse.ArgumentParser:
         default="memory://",
         help="connect() URL of the query target (default: memory://)",
     )
+
+    explain = subcommands.add_parser(
+        "explain", help="run a query and print the planner's EXPLAIN output"
+    )
+    explain.add_argument("domain", choices=sorted(_WORKLOADS))
+    explain.add_argument(
+        "predicates",
+        nargs="*",
+        help="predicates, e.g. city=london stage=raw sequence>=10 name~cam",
+    )
+    explain.add_argument(
+        "--window",
+        default=None,
+        metavar="START,END",
+        help="AND a time-window overlap (seconds), e.g. --window 0,1800",
+    )
+    explain.add_argument(
+        "--near",
+        default=None,
+        metavar="LAT,LON,KM",
+        help="AND a geographic radius, e.g. --near 51.5,-0.12,5",
+    )
+    explain.add_argument("--hours", type=float, default=1.0)
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument(
+        "--store",
+        default="memory://",
+        help="connect() URL of the target (default: memory://)",
+    )
     return parser
 
 
@@ -149,18 +184,98 @@ def _cmd_workload(args, out) -> int:
     return 0
 
 
+def _coerce_scalar(raw_value: str):
+    """CLI values arrive as text; prefer int, then float, then string."""
+    for caster in (int, float):
+        try:
+            return caster(raw_value)
+        except ValueError:
+            continue
+    return raw_value
+
+
+_CLI_OPERATORS = (
+    (">=", lambda name, value: Q.attr(name) >= value),
+    ("<=", lambda name, value: Q.attr(name) <= value),
+    (">", lambda name, value: Q.attr(name) > value),
+    ("<", lambda name, value: Q.attr(name) < value),
+    ("=", lambda name, value: Q.attr(name) == value),
+    ("~", lambda name, value: Q.attr(name).contains(str(value))),
+)
+
+
+def _parse_cli_predicate(text: str):
+    """One ``name<op>value`` term, or None for malformed input.
+
+    The *leftmost* operator occurrence splits name from value (longest
+    operator winning a tie), so values containing operator characters
+    (``note=x>y``) parse as the user wrote them.
+    """
+    best = None
+    for op, build in _CLI_OPERATORS:
+        position = text.find(op)
+        if position <= 0:
+            continue  # no hit, or an empty attribute name
+        if best is None or position < best[0] or (position == best[0] and len(op) > len(best[1])):
+            best = (position, op, build)
+    if best is None:
+        return None
+    position, op, build = best
+    name = text[:position]
+    raw_value = text[position + len(op):]
+    return build(name, _coerce_scalar(raw_value))
+
+
+def _build_explain_predicate(args):
+    """AND together the term predicates and the --window/--near options."""
+    from repro.core.attributes import GeoPoint
+    from repro.errors import ConfigurationError, QueryError
+
+    parts = []
+    for text in args.predicates:
+        predicate = _parse_cli_predicate(text)
+        if predicate is None:
+            return None, f"malformed predicate {text!r} (expected name=value or name<=value ...)"
+        parts.append(predicate)
+    if args.window is not None:
+        try:
+            start_text, _, end_text = args.window.partition(",")
+            parts.append(Q.between(float(start_text), float(end_text)))
+        except (ValueError, QueryError) as error:
+            return None, f"bad --window {args.window!r} (expected START,END seconds): {error}"
+    if args.near is not None:
+        try:
+            lat_text, lon_text, radius_text = args.near.split(",")
+            radius = float(radius_text)
+            if radius < 0:
+                raise ConfigurationError("radius must be non-negative")
+            parts.append(Q.near(GeoPoint(float(lat_text), float(lon_text)), radius))
+        except (ValueError, ConfigurationError) as error:
+            return None, f"bad --near {args.near!r} (expected LAT,LON,KM): {error}"
+    if not parts:
+        return Q.everything(), None
+    if len(parts) == 1:
+        return parts[0], None
+    return Q.all(*parts), None
+
+
+def _cmd_explain(args, out) -> int:
+    predicate, error = _build_explain_predicate(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _, client, *_ = _build_client(args.domain, args.hours, args.seed, args.store)
+    explain = client.explain(predicate)
+    print(explain.format(), file=out)
+    return 0
+
+
 def _cmd_query(args, out) -> int:
     if "=" not in args.predicate:
         print("error: predicate must look like name=value", file=sys.stderr)
         return 2
     name, _, raw_value = args.predicate.partition("=")
-    value: object = raw_value
-    for caster in (int, float):
-        try:
-            value = caster(raw_value)
-            break
-        except ValueError:
-            continue
+    value = _coerce_scalar(raw_value)
     _, client, *_ = _build_client(args.domain, args.hours, args.seed, args.store)
     answer = client.query(Q.attr(name) == value, limit=args.limit)
     print(f"{answer.total} data sets match {name}={value!r}", file=out)
@@ -191,6 +306,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_workload(args, out)
     if args.command == "query":
         return _cmd_query(args, out)
+    if args.command == "explain":
+        return _cmd_explain(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

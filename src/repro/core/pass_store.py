@@ -48,6 +48,10 @@ from repro.errors import (
 from repro.index.attribute_index import AttributeIndex
 from repro.index.spatial_index import SpatialIndex
 from repro.index.temporal_index import TemporalIndex
+from repro.query.executor import execute as _execute_plan
+from repro.query.explain import Explain
+from repro.query.planner import QueryPlanner
+from repro.query.statistics import Statistics
 from repro.storage.backend import StorageBackend
 from repro.storage.memory import MemoryBackend
 
@@ -55,7 +59,18 @@ __all__ = ["PassStore", "StoreStatistics"]
 
 
 class StoreStatistics:
-    """Counters the evaluation harness reads off a store."""
+    """Counters the evaluation harness reads off a store.
+
+    Accounting rules (kept honest by the planner's executor):
+
+    * ``records_scanned`` -- records materialized and evaluated to
+      answer queries (index-served candidates included),
+    * ``index_hits`` -- index *probes* executed, each counted exactly
+      once; probes whose results are discarded are never charged,
+    * ``full_scans`` -- queries that fell back to scanning every record,
+    * ``plan_cache_hits`` -- queries whose predicate shape was already
+      analysed by the planner.
+    """
 
     def __init__(self) -> None:
         self.ingested = 0
@@ -63,6 +78,8 @@ class StoreStatistics:
         self.lineage_queries = 0
         self.records_scanned = 0
         self.index_hits = 0
+        self.full_scans = 0
+        self.plan_cache_hits = 0
 
     def snapshot(self) -> dict:
         """The counters as a plain dict."""
@@ -72,6 +89,8 @@ class StoreStatistics:
             "lineage_queries": self.lineage_queries,
             "records_scanned": self.records_scanned,
             "index_hits": self.index_hits,
+            "full_scans": self.full_scans,
+            "plan_cache_hits": self.plan_cache_hits,
         }
 
 
@@ -113,6 +132,10 @@ class PassStore(LineageOracle):
         self.spatial_index = SpatialIndex()
         self.site = site
         self.stats = StoreStatistics()
+        self.statistics = Statistics(
+            self.attribute_index, self.temporal_index, self.spatial_index
+        )
+        self.planner = QueryPlanner(self)
         self._abstraction_rules: List[AbstractionRule] = []
         # Rebuild in-memory structures if the backend already has records
         # (e.g. a SQLite file reopened after a crash).
@@ -211,6 +234,11 @@ class PassStore(LineageOracle):
             self.closure.add_node(ancestor)
             self.closure.add_edge(pname, ancestor)
 
+        self._maintain_indexes(pname, record)
+        self.stats.ingested += 1
+
+    def _maintain_indexes(self, pname: PName, record: ProvenanceRecord) -> None:
+        """Multi-dimensional index + statistics maintenance for one record."""
         self.attribute_index.add(pname, record)
         start = record.get("window_start")
         end = record.get("window_end")
@@ -219,8 +247,7 @@ class PassStore(LineageOracle):
         location = record.get("location")
         if isinstance(location, GeoPoint):
             self.spatial_index.add(pname, location)
-
-        self.stats.ingested += 1
+        self.statistics.observe(record)
 
     # ------------------------------------------------------------------
     # Basic retrieval
@@ -293,55 +320,58 @@ class PassStore(LineageOracle):
     def query(self, query: Query | Predicate) -> List[PName]:
         """Execute a query and return matching PNames.
 
-        A bare predicate is wrapped in a default :class:`Query`.  The
-        store narrows candidates with the attribute index where an
-        equality predicate on an indexed attribute is available, then
-        evaluates the full predicate on the survivors.
+        A bare predicate is wrapped in a default :class:`Query`.
+        Execution goes through the cost-based planner
+        (:mod:`repro.query`): the predicate is normalized, the cheapest
+        index access path (or a full scan) generates candidates, and the
+        full predicate is evaluated on the survivors.
+        """
+        pairs, _ = self.query_explain(query)
+        return [pname for pname, _ in pairs]
+
+    def query_records(self, query: Query | Predicate) -> List[Tuple[PName, ProvenanceRecord]]:
+        """Like :meth:`query` but returns ``(PName, record)`` pairs.
+
+        The pairs come straight from the executor's candidate
+        materialization -- records are read from the backend once, not
+        re-fetched per result.
+        """
+        pairs, _ = self.query_explain(query)
+        return pairs
+
+    def query_explain(
+        self, query: Query | Predicate, force_full_scan: bool = False
+    ) -> Tuple[List[Tuple[PName, ProvenanceRecord]], Explain]:
+        """Planned execution returning ``(pairs, Explain)``.
+
+        ``force_full_scan`` bypasses the planner's path choice (parity
+        tests and benchmark baselines use it).
         """
         if isinstance(query, Predicate):
             query = Query(predicate=query)
         self.stats.queries += 1
         if query.requires_lineage:
             self.stats.lineage_queries += 1
+        return _execute_plan(self, query, force_full_scan=force_full_scan)
 
-        candidates = self._candidates_for(query)
-        self.stats.records_scanned += len(candidates)
-        return query.evaluate(candidates, lineage=self, removed=self.is_removed)
+    def explain(self, query: Query | Predicate) -> Explain:
+        """Execute ``query`` and report what the planner did.
 
-    def query_records(self, query: Query | Predicate) -> List[Tuple[PName, ProvenanceRecord]]:
-        """Like :meth:`query` but returns ``(PName, record)`` pairs."""
-        return [(pname, self.get_record(pname)) for pname in self.query(query)]
+        The query genuinely runs (estimated *and* actual row counts are
+        reported); use :meth:`query_explain` to also keep the results.
+        """
+        _, explain = self.query_explain(query)
+        return explain
 
     def lookup_attribute(self, name: str, value) -> List[PName]:
         """Direct equality lookup through the attribute index."""
         self.stats.queries += 1
         hits = self.attribute_index.lookup(name, value)
-        self.stats.index_hits += len(hits)
+        # One probe, counted once; the hits are materialized for the
+        # caller, so they count as scanned records.
+        self.stats.index_hits += 1
+        self.stats.records_scanned += len(hits)
         return sorted(hits, key=lambda p: p.digest)
-
-    def _candidates_for(self, query: Query) -> List[Tuple[PName, ProvenanceRecord]]:
-        """Choose the cheapest candidate set the indexes can provide."""
-        from repro.core.query import And, AttributeEquals
-
-        predicate = query.predicate
-        equality_parts: List[AttributeEquals] = []
-        if isinstance(predicate, AttributeEquals):
-            equality_parts = [predicate]
-        elif isinstance(predicate, And):
-            equality_parts = [
-                part for part in predicate.parts if isinstance(part, AttributeEquals)
-            ]
-        best: Optional[Set[PName]] = None
-        for part in equality_parts:
-            if not self.attribute_index.covers(part.name):
-                continue
-            hits = self.attribute_index.lookup(part.name, part.value)
-            self.stats.index_hits += len(hits)
-            if best is None or len(hits) < len(best):
-                best = hits
-        if best is not None:
-            return [(pname, self.get_record(pname)) for pname in sorted(best, key=lambda p: p.digest)]
-        return list(self.backend.iter_records())
 
     # ------------------------------------------------------------------
     # Lineage queries (transitive closure)
@@ -430,14 +460,7 @@ class PassStore(LineageOracle):
             for ancestor in record.ancestors:
                 self.closure.add_node(ancestor)
                 self.closure.add_edge(pname, ancestor)
-            self.attribute_index.add(pname, record)
-            start = record.get("window_start")
-            end = record.get("window_end")
-            if isinstance(start, Timestamp) and isinstance(end, Timestamp):
-                self.temporal_index.add(pname, start, end)
-            location = record.get("location")
-            if isinstance(location, GeoPoint):
-                self.spatial_index.add(pname, location)
+            self._maintain_indexes(pname, record)
             if self.backend.is_removed(pname) and pname in self.graph:
                 self.graph.mark_removed(pname)
 

@@ -48,6 +48,7 @@ __all__ = [
     "AttributeIn",
     "AttributeExists",
     "NearLocation",
+    "TimeWindowOverlaps",
     "AgentIs",
     "AnnotationMatches",
     "IsRaw",
@@ -244,6 +245,48 @@ class NearLocation(Predicate):
 
     def attributes_referenced(self) -> List[str]:
         return [self.name]
+
+
+@dataclass(frozen=True)
+class TimeWindowOverlaps(Predicate):
+    """The record's time window overlaps the closed interval [start, end].
+
+    Tuple sets are "collections of readings grouped by some property,
+    typically time", so the canonical temporal query asks which tuple
+    sets' ``[window_start, window_end]`` intervals intersect a query
+    window.  Records lacking either endpoint (or carrying non-timestamp
+    values there) never match -- exactly the population the store's
+    :class:`~repro.index.temporal_index.TemporalIndex` maintains, which
+    is what lets the planner serve this predicate from that index.
+    """
+
+    start: "AttributeValue"
+    end: "AttributeValue"
+    start_attr: str = "window_start"
+    end_attr: str = "window_end"
+
+    def __post_init__(self) -> None:
+        from repro.core.attributes import Timestamp
+
+        if not isinstance(self.start, Timestamp) or not isinstance(self.end, Timestamp):
+            raise QueryError("TimeWindowOverlaps bounds must be Timestamps")
+        if self.end.seconds < self.start.seconds:
+            raise QueryError("TimeWindowOverlaps end precedes its start")
+
+    def matches(self, pname, record, lineage=None) -> bool:
+        from repro.core.attributes import Timestamp
+
+        window_start = record.get(self.start_attr)
+        window_end = record.get(self.end_attr)
+        if not isinstance(window_start, Timestamp) or not isinstance(window_end, Timestamp):
+            return False
+        return (
+            window_start.seconds <= self.end.seconds
+            and window_end.seconds >= self.start.seconds
+        )
+
+    def attributes_referenced(self) -> List[str]:
+        return [self.start_attr, self.end_attr]
 
 
 @dataclass(frozen=True)
@@ -456,6 +499,20 @@ class Query:
         ``candidates`` first and then call this for the residual
         predicate.
         """
+        return [pname for pname, _ in self.evaluate_pairs(candidates, lineage, removed)]
+
+    def evaluate_pairs(
+        self,
+        candidates: Iterable[tuple],
+        lineage: Optional[LineageOracle] = None,
+        removed: Optional[Callable[[PName], bool]] = None,
+    ) -> List[tuple]:
+        """Like :meth:`evaluate` but keeps the ``(PName, record)`` pairs.
+
+        The planner's executor uses this so callers wanting records
+        (``query_records``) do not have to re-fetch what the candidate
+        step already materialized.
+        """
         matched: List[tuple] = []
         for pname, record in candidates:
             if not self.include_removed and removed is not None and removed(pname):
@@ -472,7 +529,6 @@ class Query:
                 return (0, canonical_encode(value))
 
             matched.sort(key=sort_key)
-        results = [pname for pname, _ in matched]
         if self.limit is not None:
-            results = results[: self.limit]
-        return results
+            matched = matched[: self.limit]
+        return matched

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Set
 from repro.core.pass_store import PassStore
 from repro.core.provenance import PName
 from repro.core.query import Predicate, Query
+from repro.query.explain import Explain
 from repro.core.tupleset import TupleSet
 from repro.errors import UnknownEntityError
 from repro.net.simulator import NetworkSimulator
@@ -52,6 +53,8 @@ class OperationResult:
     latency_ms: float = 0.0
     messages: int = 0
     bytes: int = 0
+    #: records materialized and evaluated across all participating sites
+    rows_scanned: int = 0
     #: sites that had to participate to answer
     sites_contacted: List[str] = field(default_factory=list)
     #: model-specific notes ("stale index entry", "dangling link", ...)
@@ -77,6 +80,7 @@ class OperationResult:
         self.latency_ms += other.latency_ms
         self.messages += other.messages
         self.bytes += other.bytes
+        self.rows_scanned += other.rows_scanned
         for site in other.sites_contacted:
             self.add_site(site)
         self.notes.extend(other.notes)
@@ -98,6 +102,8 @@ class ArchitectureModel(ABC):
         self.network = network if network is not None else NetworkSimulator(topology)
         self.published = 0
         self.queries_run = 0
+        #: per-site Explains of the most recent query (ModelClient.explain)
+        self._query_explains: List["Explain"] = []
 
     # ------------------------------------------------------------------
     # Interface
@@ -147,6 +153,46 @@ class ArchitectureModel(ABC):
         if isinstance(query, Query):
             return query
         return Query(predicate=query)
+
+    def _start_query(self, query: Query | Predicate) -> Query:
+        """Query prologue: reset the per-site explain trace and lower the input.
+
+        Every model's :meth:`query` calls this first so the trace always
+        describes the most recent query.
+        """
+        self._query_explains = []
+        return self._as_query(query)
+
+    def _planned_query(self, store: PassStore, query: Query, result: OperationResult) -> List[PName]:
+        """Run ``query`` on one site's store through its planner.
+
+        Charges the rows the site actually scanned onto ``result`` and
+        records the site's :class:`~repro.query.explain.Explain` for
+        :meth:`query_explains` -- the one way models consult a per-site
+        PASS store on the query path.
+        """
+        pairs, explain = store.query_explain(query)
+        result.rows_scanned += explain.rows_scanned
+        self._query_explains.append(explain)
+        return [pname for pname, _ in pairs]
+
+    def _trace_scan(self, site: str, rows_scanned: int, matched: int, what: str) -> None:
+        """Record a non-planner scan (models keeping raw record maps) in the trace."""
+        self._query_explains.append(
+            Explain(
+                site=site,
+                path=what,
+                path_kind="model-scan",
+                estimated_rows=rows_scanned,
+                actual_rows=matched,
+                rows_scanned=rows_scanned,
+                used_index=False,
+            )
+        )
+
+    def query_explains(self) -> List["Explain"]:
+        """Per-site Explains of the most recent :meth:`query` call."""
+        return list(self._query_explains)
 
     def _charge(
         self,

@@ -153,12 +153,12 @@ class CentralizedWarehouse(ArchitectureModel):
         return result
 
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:
-        query = self._as_query(query)
+        query = self._start_query(query)
         result = OperationResult()
         request = self.network.send(
             origin_site, self.warehouse_site, _QUERY_REQUEST_BYTES, "query"
         )
-        matches = self.index.query(query)
+        matches = self._planned_query(self.index, query, result)
         response_bytes = _POINTER_BYTES * max(1, len(matches))
         response = self.network.send(
             self.warehouse_site, origin_site, response_bytes, "query-response"

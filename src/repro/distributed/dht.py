@@ -191,7 +191,7 @@ class DistributedHashTable(ArchitectureModel):
         return result
 
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:
-        query = self._as_query(query)
+        query = self._start_query(query)
         result = OperationResult()
         equality = self._routable_equality(query)
         if equality is None:
@@ -214,6 +214,13 @@ class DistributedHashTable(ArchitectureModel):
             self._charge(result, fetch_latency, fetch_messages, fetch_bytes, record_owner)
             if record is not None and query.predicate.matches(pname, record, None):
                 matches.append(pname)
+        result.rows_scanned += len(digests)
+        self._trace_scan(
+            owner,
+            len(digests),
+            len(matches),
+            f"DHT index-entry probe on {attribute!r} + per-candidate record fetch",
+        )
         self._charge(result, latency, messages, sent, owner)
         result.pnames = sorted(matches, key=lambda p: p.digest)
         if query.limit is not None:
@@ -237,6 +244,10 @@ class DistributedHashTable(ArchitectureModel):
                 pname = PName(digest)
                 if query.predicate.matches(pname, record, None):
                     local.append(pname)
+            result.rows_scanned += len(self._records[site])
+            self._trace_scan(
+                site, len(self._records[site]), len(local), "DHT flood: scan of one node's records"
+            )
             response = self.network.send(
                 site, origin_site, _POINTER_BYTES * max(1, len(local)), "dht-flood-reply"
             )

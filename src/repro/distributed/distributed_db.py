@@ -120,7 +120,7 @@ class DistributedDatabase(ArchitectureModel):
         return result
 
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:
-        query = self._as_query(query)
+        query = self._start_query(query)
         result = OperationResult()
         # Scatter to every partition, gather the matches.
         scatter_latency = self.network.broadcast(
@@ -129,7 +129,7 @@ class DistributedDatabase(ArchitectureModel):
         matches: List[PName] = []
         gather_latency = 0.0
         for site in self._sites:
-            local = self._stores.store(site).query(query)
+            local = self._planned_query(self._stores.store(site), query, result)
             matches.extend(local)
             response = self.network.send(
                 site, origin_site, _POINTER_BYTES * max(1, len(local)), "query-response"

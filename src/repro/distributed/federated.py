@@ -164,7 +164,7 @@ class FederatedDatabase(ArchitectureModel):
         return result
 
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:
-        query = self._as_query(query)
+        query = self._start_query(query)
         result = OperationResult()
         slowest = 0.0
         matches: List[PName] = []
@@ -177,7 +177,7 @@ class FederatedDatabase(ArchitectureModel):
             mapping = self._schemas[site]
             _ = _rename_predicate(query.predicate, mapping)
             request = self.network.send(origin_site, site, _QUERY_REQUEST_BYTES, "federated-query")
-            local = self._stores.store(site).query(query)
+            local = self._planned_query(self._stores.store(site), query, result)
             response = self.network.send(
                 site, origin_site, _POINTER_BYTES * max(1, len(local)), "federated-response"
             )

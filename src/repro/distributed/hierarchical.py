@@ -126,14 +126,14 @@ class HierarchicalNamespace(ArchitectureModel):
         return result
 
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:
-        query = self._as_query(query)
+        query = self._start_query(query)
         result = OperationResult()
         targets = self._route(query)
         slowest = 0.0
         matches: List[PName] = []
         for server in targets:
             request = self.network.send(origin_site, server, _QUERY_REQUEST_BYTES, "query")
-            local = self._stores.store(server).query(query)
+            local = self._planned_query(self._stores.store(server), query, result)
             response = self.network.send(
                 server, origin_site, _POINTER_BYTES * max(1, len(local)), "query-response"
             )

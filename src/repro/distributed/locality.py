@@ -139,14 +139,14 @@ class LocaleAwarePass(ArchitectureModel):
         return result
 
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:
-        query = self._as_query(query)
+        query = self._start_query(query)
         result = OperationResult()
         targets = self._route(query, origin_site)
         matches: List[PName] = []
         slowest = 0.0
         for site in targets:
             request = self.network.send(origin_site, site, _QUERY_REQUEST_BYTES, "query")
-            local = self._stores.store(site).query(query)
+            local = self._planned_query(self._stores.store(site), query, result)
             response = self.network.send(
                 site, origin_site, _POINTER_BYTES * max(1, len(local)), "query-response"
             )

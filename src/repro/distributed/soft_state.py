@@ -191,7 +191,7 @@ class SoftStateIndex(ArchitectureModel):
         self._stores.store(site).remove_data(pname)
 
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:
-        query = self._as_query(query)
+        query = self._start_query(query)
         if query.requires_lineage:
             # The zone indexes only know *pushed* records, so closure over
             # them could silently be wrong; refuse like ancestors() does.
@@ -203,7 +203,7 @@ class SoftStateIndex(ArchitectureModel):
         slowest = 0.0
         for zone, (index_site, _) in sorted(self._zones.items()):
             request = self.network.send(origin_site, index_site, _QUERY_REQUEST_BYTES, "query")
-            local = self._zone_indexes[zone].query(query)
+            local = self._planned_query(self._zone_indexes[zone], query, result)
             response = self.network.send(
                 index_site, origin_site, _POINTER_BYTES * max(1, len(local)), "query-response"
             )

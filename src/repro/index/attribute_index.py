@@ -17,6 +17,7 @@ store and of the centralized / distributed architecture models.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.attributes import (
@@ -48,8 +49,14 @@ class AttributeIndex:
         # attribute -> list of (value, canonical) kept for range scans;
         # rebuilt lazily when dirty.
         self._values: Dict[str, List[Tuple[AttributeValue, str]]] = {}
+        # attribute -> parallel list of (kind, sort_key) tuples, bisected
+        # by lookup_range so a range touches only the distinct values
+        # inside it instead of every distinct value of the attribute.
+        self._sort_keys: Dict[str, List[Tuple[str, object]]] = {}
         self._dirty: Set[str] = set()
         self._entries = 0
+        # attribute -> number of postings, for planner cost estimates.
+        self._attr_entries: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -78,6 +85,7 @@ class AttributeIndex:
             if bucket and pname.digest in bucket:
                 bucket.discard(pname.digest)
                 self._entries -= 1
+                self._attr_entries[name] = self._attr_entries.get(name, 1) - 1
                 if not bucket:
                     del postings[encoded]
                     self._dirty.add(name)
@@ -92,6 +100,7 @@ class AttributeIndex:
         if digest not in bucket:
             bucket.add(digest)
             self._entries += 1
+            self._attr_entries[name] = self._attr_entries.get(name, 0) + 1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -137,16 +146,64 @@ class AttributeIndex:
         """Range lookup over order-compatible values of one attribute.
 
         Values of a kind incompatible with the bounds are skipped (they
-        cannot fall inside the range).
+        cannot fall inside the range).  The sorted per-attribute view is
+        bisected on the bounds, so the lookup touches only the distinct
+        values actually inside the range (O(log d + matches)).
         """
         if low is None and high is None:
             raise ConfigurationError("range lookup needs at least one bound")
         result: Set[str] = set()
-        for value, encoded in self._sorted_values(attribute):
-            if not self._in_range(value, low, high, include_low, include_high):
-                continue
-            result |= self._postings.get(attribute, {}).get(encoded, set())
+        postings = self._postings.get(attribute, {})
+        for _, encoded in self._range_slice(attribute, low, high, include_low, include_high):
+            result |= postings.get(encoded, set())
         return {PName(d) for d in result}
+
+    def lookup_all(self, attribute: str) -> Set[PName]:
+        """Every PName carrying ``attribute`` at all (the 'exists' lookup)."""
+        result: Set[str] = set()
+        for bucket in self._postings.get(attribute, {}).values():
+            result |= bucket
+        return {PName(d) for d in result}
+
+    # ------------------------------------------------------------------
+    # Cardinality estimates (planner cost model; never fetch records)
+    # ------------------------------------------------------------------
+    def count(self, attribute: str, value: AttributeValue) -> int:
+        """Exact posting count for one value (free: one dict probe)."""
+        return len(self._postings.get(attribute, {}).get(canonical_encode(value), ()))
+
+    def count_any(self, attribute: str, values: Iterable[AttributeValue]) -> int:
+        """Upper bound on a multi-probe's result size (buckets may overlap)."""
+        return sum(self.count(attribute, value) for value in values)
+
+    def attribute_entry_count(self, attribute: str) -> int:
+        """Total postings under ``attribute`` (records carrying it, counted per value)."""
+        return self._attr_entries.get(attribute, 0)
+
+    def estimate_range(
+        self,
+        attribute: str,
+        low: Optional[AttributeValue] = None,
+        high: Optional[AttributeValue] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> int:
+        """Estimated postings inside a range: distinct-in-range x mean bucket size.
+
+        Costs two bisections; it never walks buckets, so the planner can
+        afford to estimate every candidate range before choosing one.
+        """
+        bounds = self._range_bounds(attribute, low, high, include_low, include_high)
+        if bounds is None:
+            # Unorderable bound kinds: assume the whole attribute qualifies.
+            return self.attribute_entry_count(attribute)
+        entries, lo_idx, hi_idx = bounds
+        distinct_in_range = max(0, hi_idx - lo_idx)
+        cardinality = len(entries)
+        if cardinality == 0 or distinct_in_range == 0:
+            return 0
+        mean_bucket = self.attribute_entry_count(attribute) / cardinality
+        return max(1, round(distinct_in_range * mean_bucket))
 
     def distinct_values(self, attribute: str) -> List[AttributeValue]:
         """Every distinct value indexed under ``attribute`` (sorted when possible)."""
@@ -175,8 +232,79 @@ class AttributeIndex:
             decoded = [(self._decode_for_sort(encoded), encoded) for encoded in postings]
             decoded.sort(key=lambda item: (item[0][0], item[0][1]))
             self._values[attribute] = [(key[2], encoded) for key, encoded in decoded]
+            self._sort_keys[attribute] = [(key[0], key[1]) for key, _ in decoded]
             self._dirty.discard(attribute)
         return self._values[attribute]
+
+    def _range_bounds(
+        self, attribute, low, high, include_low, include_high
+    ) -> Optional[Tuple[List[Tuple[AttributeValue, str]], int, int]]:
+        """Bisect the sorted view down to ``(entries, lo_idx, hi_idx)``.
+
+        Returns ``None`` when a bound's kind cannot be bisected (list
+        values) -- callers then fall back to the linear filter.
+        """
+        entries = self._sorted_values(attribute)
+        keys = self._sort_keys.get(attribute, [])
+        low_key = self._bound_key(low) if low is not None else None
+        high_key = self._bound_key(high) if high is not None else None
+        if (low is not None and low_key is None) or (high is not None and high_key is None):
+            return None
+        kinds = {key[0] for key in (low_key, high_key) if key is not None}
+        if len(kinds) > 1:
+            # Bounds of different kinds: no value can satisfy both.
+            return entries, 0, 0
+        kind = kinds.pop()
+        if low_key is None:
+            lo_idx = bisect_left(keys, (kind,))
+        elif include_low:
+            lo_idx = bisect_left(keys, low_key)
+        else:
+            lo_idx = bisect_right(keys, low_key)
+        if high_key is None:
+            # A string strictly greater than the bare kind tag bounds the
+            # whole segment of that kind from above.
+            hi_idx = bisect_left(keys, (kind + "\uffff",))
+        elif include_high:
+            hi_idx = bisect_right(keys, high_key)
+        else:
+            hi_idx = bisect_left(keys, high_key)
+        return entries, lo_idx, max(lo_idx, hi_idx)
+
+    def _range_slice(
+        self, attribute, low, high, include_low, include_high
+    ) -> List[Tuple[AttributeValue, str]]:
+        bounds = self._range_bounds(attribute, low, high, include_low, include_high)
+        if bounds is None:
+            return [
+                (value, encoded)
+                for value, encoded in self._sorted_values(attribute)
+                if self._in_range(value, low, high, include_low, include_high)
+            ]
+        entries, lo_idx, hi_idx = bounds
+        return entries[lo_idx:hi_idx]
+
+    @staticmethod
+    def _bound_key(value: AttributeValue) -> Optional[Tuple[str, object]]:
+        """The (kind, sort_key) a bound occupies in the sorted view, or None.
+
+        Delegates to the same ordering the comparison predicates use
+        (:func:`repro.core.attributes.compare_values` via
+        ``_ordering_key``), so a bisected range can never disagree with
+        predicate evaluation.  List bounds sort under the ``zzz``
+        catch-all segment, which has no total order against the
+        ordering key -- return None so the caller falls back to the
+        linear filter.
+        """
+        from repro.core.attributes import _ordering_key
+
+        try:
+            kind, key = _ordering_key(value)
+        except ConfigurationError:
+            return None
+        if kind == "list":
+            return None
+        return (kind, key)
 
     @staticmethod
     def _decode_for_sort(encoded: str):

@@ -92,6 +92,19 @@ class SpatialIndex:
                 result.add(PName(digest))
         return result
 
+    def estimate_within(self, centre: GeoPoint, radius_km: float) -> int:
+        """Upper bound on :meth:`within_radius`'s result size.
+
+        Sums the populations of the candidate grid cells without
+        computing a single great-circle distance, so the planner can
+        afford it while choosing a path.
+        """
+        if radius_km < 0:
+            raise ConfigurationError("radius_km must be non-negative")
+        return sum(
+            len(self._cells.get(cell, ())) for cell in self._candidate_cells(centre, radius_km)
+        )
+
     def nearest(self, centre: GeoPoint, count: int = 1) -> List[PName]:
         """The ``count`` indexed PNames closest to ``centre``."""
         if count <= 0:
@@ -110,7 +123,7 @@ class SpatialIndex:
             int(math.floor(point.longitude / self._cell)),
         )
 
-    def _candidates(self, centre: GeoPoint, radius_km: float) -> Iterable[str]:
+    def _candidate_cells(self, centre: GeoPoint, radius_km: float) -> Iterable[Tuple[int, int]]:
         # Convert the radius into a conservative number of cells.  One
         # degree of latitude is ~111 km; a degree of longitude shrinks
         # with latitude, so the longitude span must be widened by
@@ -123,9 +136,12 @@ class SpatialIndex:
         centre_cell = self._cell_of(centre)
         for d_lat in range(-lat_span, lat_span + 1):
             for d_lon in range(-lon_span, lon_span + 1):
-                cell = (centre_cell[0] + d_lat, centre_cell[1] + d_lon)
-                for digest in self._cells.get(cell, ()):  # pragma: no branch
-                    yield digest
+                yield (centre_cell[0] + d_lat, centre_cell[1] + d_lon)
+
+    def _candidates(self, centre: GeoPoint, radius_km: float) -> Iterable[str]:
+        for cell in self._candidate_cells(centre, radius_km):
+            for digest in self._cells.get(cell, ()):  # pragma: no branch
+                yield digest
 
     @staticmethod
     def _lon_between(lon: float, west: float, east: float) -> bool:

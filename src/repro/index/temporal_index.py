@@ -91,6 +91,21 @@ class TemporalIndex:
         """PNames whose interval covers a single instant."""
         return self.overlapping(instant, instant)
 
+    def estimate_overlapping(self, start: Timestamp, end: Timestamp) -> int:
+        """Upper bound on :meth:`overlapping`'s result size, in O(log n).
+
+        Counts the intervals the scan would visit (start within
+        ``[query start - max_duration, query end]``); some of those miss
+        the window, so this over-estimates, which is safe for a planner
+        deciding whether the index beats a full scan.
+        """
+        if end.seconds < start.seconds:
+            raise ConfigurationError("query end precedes its start")
+        begin = self._lower_bound(start.seconds - self._max_duration)
+        # First interval starting strictly after the query end.
+        finish = bisect_left(self._intervals, (end.seconds, float("inf"), "\uffff"))
+        return max(0, finish - begin)
+
     def span(self) -> Optional[Tuple[Timestamp, Timestamp]]:
         """(earliest start, latest end) over everything indexed, or None."""
         if not self._intervals:

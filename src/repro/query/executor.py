@@ -1,0 +1,67 @@
+"""The executor: run a plan, account for it honestly, explain it.
+
+The executor is the one place candidate records are materialized and
+the residual predicate is evaluated, which gives it two jobs beyond
+producing ``(PName, record)`` pairs:
+
+* **accounting** -- each index probe bumps ``index_hits`` exactly once,
+  every record fetched for evaluation bumps ``records_scanned``, and
+  full scans are counted separately, so ``client.stats()`` reports what
+  actually happened;
+* **explanation** -- every execution yields an
+  :class:`~repro.query.explain.Explain` comparing the planner's estimate
+  with the rows actually scanned and matched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Tuple
+
+from repro.core.provenance import PName, ProvenanceRecord
+from repro.core.query import Query
+from repro.query.explain import Explain
+from repro.query.paths import FullScanPath
+
+__all__ = ["execute"]
+
+
+def execute(
+    store, query: Query, force_full_scan: bool = False
+) -> Tuple[List[Tuple[PName, ProvenanceRecord]], Explain]:
+    """Plan and run ``query`` against ``store``.
+
+    Returns the matching ``(PName, record)`` pairs (ordered and limited
+    per the query's options) plus the :class:`Explain` of what ran.
+    """
+    plan = store.planner.plan(query, force_full_scan=force_full_scan)
+    full_scan = isinstance(plan.path, FullScanPath)
+    if full_scan:
+        candidates = list(store.backend.iter_records())
+        store.stats.full_scans += 1
+    else:
+        hits = plan.path.probe(store)
+        store.stats.index_hits += plan.path.probes_run()
+        # Digest order keeps index-served answers deterministic across
+        # backends and runs (sets have no stable iteration order); the
+        # bulk fetch keeps durable backends at one statement per chunk
+        # instead of one per candidate.
+        candidates = store.backend.get_records(sorted(hits, key=lambda p: p.digest))
+    store.stats.records_scanned += len(candidates)
+    if plan.cache_hit:
+        store.stats.plan_cache_hits += 1
+
+    residual = replace(query, predicate=plan.predicate)
+    pairs = residual.evaluate_pairs(candidates, lineage=store, removed=store.is_removed)
+    explain = Explain(
+        site=store.site,
+        path=plan.path.describe(),
+        path_kind=plan.path.kind,
+        estimated_rows=plan.estimated_rows,
+        actual_rows=len(pairs),
+        rows_scanned=len(candidates),
+        cache_hit=plan.cache_hit,
+        used_index=not full_scan,
+        shape=plan.shape,
+    )
+    return pairs, explain

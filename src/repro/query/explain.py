@@ -1,0 +1,80 @@
+"""Structured EXPLAIN output for planned queries.
+
+Every planned execution produces an :class:`Explain`: which access path
+ran, what the planner expected, what actually happened, and whether the
+plan cache already knew the query's shape.  Distributed targets nest one
+child per participating site under an aggregate root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["Explain"]
+
+
+@dataclass
+class Explain:
+    """What one query execution did and what the planner predicted."""
+
+    #: which target/site executed ("local", a site name, a model name)
+    site: str
+    #: access-path description ("full scan ...", "temporal-overlap ...")
+    path: str
+    #: machine-readable path kind ("full-scan", "attr-eq", ...)
+    path_kind: str
+    #: planner's candidate-row estimate
+    estimated_rows: int
+    #: records that matched the predicate
+    actual_rows: int
+    #: records materialized and evaluated to answer
+    rows_scanned: int
+    #: True when the predicate shape was already in the plan cache
+    cache_hit: bool = False
+    #: True when an index (not a full scan) produced the candidates
+    used_index: bool = False
+    #: value-free predicate shape (the plan-cache key)
+    shape: Optional[str] = None
+    notes: List[str] = field(default_factory=list)
+    #: per-site explains for distributed targets
+    children: List["Explain"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """The explain tree as plain data (reports, JSON)."""
+        data = {
+            "site": self.site,
+            "path": self.path,
+            "path_kind": self.path_kind,
+            "estimated_rows": self.estimated_rows,
+            "actual_rows": self.actual_rows,
+            "rows_scanned": self.rows_scanned,
+            "cache_hit": self.cache_hit,
+            "used_index": self.used_index,
+            "shape": self.shape,
+        }
+        if self.notes:
+            data["notes"] = list(self.notes)
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+    def format(self, indent: int = 0) -> str:
+        """Render the explain tree as indented text (the CLI's output)."""
+        pad = "  " * indent
+        lines = [
+            f"{pad}[{self.site}] {self.path}",
+            f"{pad}  estimated rows: {self.estimated_rows}"
+            f"   actual rows: {self.actual_rows}"
+            f"   rows scanned: {self.rows_scanned}",
+            f"{pad}  index used: {'yes' if self.used_index else 'no'}"
+            f"   plan cache: {'hit' if self.cache_hit else 'miss'}",
+        ]
+        for note in self.notes:
+            lines.append(f"{pad}  note: {note}")
+        for child in self.children:
+            lines.append(child.format(indent + 1))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format()

@@ -1,0 +1,134 @@
+"""Predicate normalization: the planner's front door.
+
+Queries arrive in whatever shape the caller composed -- DSL sugar,
+nested conjunctions, double negations.  The planner wants one canonical
+shape so that (a) sargable conjuncts are easy to extract and (b) queries
+that differ only in their constants share a plan-cache entry.
+
+:func:`normalize` applies the classic rewrites:
+
+* ``Not`` is pushed inward (De Morgan; double negation cancels),
+* nested ``And``/``Or`` are flattened into one n-ary node,
+* duplicate sub-predicates are dropped (order-preserving),
+* trivial ``TRUE`` conjuncts disappear,
+* single-child ``And``/``Or`` collapse to the child.
+
+:func:`shape_key` reduces a (normalized) predicate to a string that
+keeps structure, predicate types and attribute names but drops the
+constants -- two time-window queries over different windows share a
+shape, which is exactly what makes the plan cache useful for the
+paper's sliding-window workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.query import (
+    AgentIs,
+    AncestorOf,
+    And,
+    AnnotationMatches,
+    AttributeContains,
+    AttributeEquals,
+    AttributeExists,
+    AttributeIn,
+    AttributeRange,
+    DerivedFrom,
+    IsRaw,
+    NearLocation,
+    Not,
+    Or,
+    Predicate,
+    TimeWindowOverlaps,
+    TRUE,
+)
+
+__all__ = ["normalize", "shape_key"]
+
+
+def normalize(predicate: Predicate) -> Predicate:
+    """Rewrite ``predicate`` into the canonical planner shape."""
+    return _normalize(predicate, negated=False)
+
+
+def _normalize(predicate: Predicate, negated: bool) -> Predicate:
+    if isinstance(predicate, Not):
+        return _normalize(predicate.part, not negated)
+    if isinstance(predicate, (And, Or)):
+        # De Morgan: a negated And becomes an Or of negated parts (and
+        # vice versa), so negation only ever rests on the leaves.
+        flip = isinstance(predicate, And) == negated
+        parts: List[Predicate] = []
+        for part in predicate.parts:
+            lowered = _normalize(part, negated)
+            same_shape = isinstance(lowered, Or) if flip else isinstance(lowered, And)
+            if same_shape:
+                parts.extend(lowered.parts)  # type: ignore[union-attr]
+            else:
+                parts.append(lowered)
+        kept: List[Predicate] = []
+        for part in parts:
+            if part is TRUE:
+                if flip:
+                    return TRUE  # a TRUE branch makes the disjunction trivial
+                continue  # TRUE conjuncts never constrain anything
+            if part not in kept:
+                kept.append(part)
+        if not kept:
+            return TRUE
+        if len(kept) == 1:
+            return kept[0]
+        return Or(tuple(kept)) if flip else And(tuple(kept))
+    if negated:
+        return Not(predicate)
+    return predicate
+
+
+def shape_key(predicate: Predicate) -> str:
+    """A value-free structural key for the plan cache.
+
+    Commutative children are keyed in sorted order so ``a=1 & b=2`` and
+    ``b=2 & a=1`` share one cache entry.
+    """
+    if isinstance(predicate, Not):
+        return f"not({shape_key(predicate.part)})"
+    if isinstance(predicate, And):
+        return "and(" + ",".join(sorted(shape_key(p) for p in predicate.parts)) + ")"
+    if isinstance(predicate, Or):
+        return "or(" + ",".join(sorted(shape_key(p) for p in predicate.parts)) + ")"
+    if isinstance(predicate, AttributeEquals):
+        return f"eq[{predicate.name}]"
+    if isinstance(predicate, AttributeRange):
+        bounds = (
+            f"{'l' if predicate.low is not None else ''}"
+            f"{'L' if predicate.include_low else ''}"
+            f"{'h' if predicate.high is not None else ''}"
+            f"{'H' if predicate.include_high else ''}"
+        )
+        return f"range[{predicate.name}:{bounds}]"
+    if isinstance(predicate, AttributeIn):
+        return f"in[{predicate.name}:{len(predicate.values)}]"
+    if isinstance(predicate, AttributeContains):
+        return f"contains[{predicate.name}]"
+    if isinstance(predicate, AttributeExists):
+        return f"exists[{predicate.name}]"
+    if isinstance(predicate, NearLocation):
+        return f"near[{predicate.name}]"
+    if isinstance(predicate, TimeWindowOverlaps):
+        return f"window[{predicate.start_attr}:{predicate.end_attr}]"
+    if isinstance(predicate, AgentIs):
+        return "agent"
+    if isinstance(predicate, AnnotationMatches):
+        return f"annotation[{predicate.key}]"
+    if isinstance(predicate, IsRaw):
+        return f"raw[{predicate.raw}]"
+    if isinstance(predicate, DerivedFrom):
+        return "derived-from"
+    if isinstance(predicate, AncestorOf):
+        return "ancestor-of"
+    if predicate is TRUE:
+        return "true"
+    # Unknown predicate classes are keyed by type so user extensions
+    # still cache (conservatively: one entry per extension type).
+    return f"other[{type(predicate).__name__}]"

@@ -1,0 +1,289 @@
+"""Access paths: the physical operators the planner chooses among.
+
+Each path knows three things:
+
+* how to *estimate* its result cardinality from the store's
+  :class:`~repro.query.statistics.Statistics` and index metadata without
+  fetching a single record,
+* how to *probe* the store's indexes for the candidate PNames,
+* how many index probes it performs (so the store's counters can charge
+  each probe exactly once).
+
+Paths only have to be **complete** -- return a superset of the true
+matches among stored records -- because the executor always evaluates
+the full predicate on the candidates.  Soundness therefore never
+depends on estimate quality; only performance does.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.attributes import AttributeValue, GeoPoint, Timestamp
+from repro.core.provenance import PName
+
+__all__ = [
+    "AccessPath",
+    "FullScanPath",
+    "EqualityProbe",
+    "MultiProbe",
+    "RangeProbe",
+    "ExistsProbe",
+    "TemporalOverlapProbe",
+    "SpatialRadiusProbe",
+    "IndexIntersection",
+    "IndexUnion",
+]
+
+
+class AccessPath(ABC):
+    """One way of producing candidate PNames for a query."""
+
+    #: short machine-readable operator name, shown in Explain output
+    kind = "abstract"
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable operator description for Explain output."""
+
+    @abstractmethod
+    def estimate(self, store) -> int:
+        """Estimated candidate rows; must not fetch records."""
+
+    @abstractmethod
+    def probe(self, store) -> Set[PName]:
+        """Execute the index probe(s) and return the candidate set."""
+
+    @property
+    def probe_count(self) -> int:
+        """How many index probes :meth:`probe` performs (stats accounting)."""
+        return 1
+
+    def probes_run(self) -> int:
+        """Probes actually executed by the last :meth:`probe` call.
+
+        Equals :attr:`probe_count` except for operators that can
+        short-circuit (an intersection stops once empty); the executor
+        charges this, so ``index_hits`` never counts a skipped probe.
+        """
+        return self.probe_count
+
+
+class FullScanPath(AccessPath):
+    """Scan every stored record; the plan of last resort."""
+
+    kind = "full-scan"
+
+    def describe(self) -> str:
+        return "full scan over all records"
+
+    def estimate(self, store) -> int:
+        return store.statistics.record_count
+
+    def probe(self, store) -> Set[PName]:  # pragma: no cover - executor special-cases
+        return {pname for pname, _ in store.backend.iter_records()}
+
+    @property
+    def probe_count(self) -> int:
+        return 0
+
+
+class EqualityProbe(AccessPath):
+    """One inverted-index bucket: ``attribute == value``."""
+
+    kind = "attr-eq"
+
+    def __init__(self, name: str, value: AttributeValue) -> None:
+        self.name = name
+        self.value = value
+
+    def describe(self) -> str:
+        return f"attribute-equality index probe on {self.name!r}"
+
+    def estimate(self, store) -> int:
+        # Bucket sizes are known exactly: one dict probe, no fetches.
+        return store.attribute_index.count(self.name, self.value)
+
+    def probe(self, store) -> Set[PName]:
+        return store.attribute_index.lookup(self.name, self.value)
+
+
+class MultiProbe(AccessPath):
+    """Union of several equality buckets: ``attribute IN (v1, v2, ...)``."""
+
+    kind = "attr-in"
+
+    def __init__(self, name: str, values: Sequence[AttributeValue]) -> None:
+        self.name = name
+        self.values = tuple(values)
+
+    def describe(self) -> str:
+        return f"attribute multi-probe on {self.name!r} ({len(self.values)} values)"
+
+    def estimate(self, store) -> int:
+        return store.attribute_index.count_any(self.name, self.values)
+
+    def probe(self, store) -> Set[PName]:
+        return store.attribute_index.lookup_any(self.name, self.values)
+
+    @property
+    def probe_count(self) -> int:
+        return len(self.values)
+
+
+class RangeProbe(AccessPath):
+    """Bisected scan of an attribute's sorted value view."""
+
+    kind = "attr-range"
+
+    def __init__(
+        self,
+        name: str,
+        low: Optional[AttributeValue],
+        high: Optional[AttributeValue],
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> None:
+        self.name = name
+        self.low = low
+        self.high = high
+        self.include_low = include_low
+        self.include_high = include_high
+
+    def describe(self) -> str:
+        low = "-inf" if self.low is None else str(self.low)
+        high = "+inf" if self.high is None else str(self.high)
+        return f"attribute-range index scan on {self.name!r} [{low} .. {high}]"
+
+    def estimate(self, store) -> int:
+        return store.attribute_index.estimate_range(
+            self.name, self.low, self.high, self.include_low, self.include_high
+        )
+
+    def probe(self, store) -> Set[PName]:
+        return store.attribute_index.lookup_range(
+            self.name, self.low, self.high, self.include_low, self.include_high
+        )
+
+
+class ExistsProbe(AccessPath):
+    """Union of every bucket of one attribute (``attribute exists``)."""
+
+    kind = "attr-exists"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def describe(self) -> str:
+        return f"attribute-exists index scan on {self.name!r}"
+
+    def estimate(self, store) -> int:
+        return store.attribute_index.attribute_entry_count(self.name)
+
+    def probe(self, store) -> Set[PName]:
+        return store.attribute_index.lookup_all(self.name)
+
+
+class TemporalOverlapProbe(AccessPath):
+    """Time-window overlap through the temporal index."""
+
+    kind = "temporal-overlap"
+
+    def __init__(self, start: Timestamp, end: Timestamp) -> None:
+        self.start = start
+        self.end = end
+
+    def describe(self) -> str:
+        return f"temporal-overlap index scan [{self.start} .. {self.end}]"
+
+    def estimate(self, store) -> int:
+        return store.temporal_index.estimate_overlapping(self.start, self.end)
+
+    def probe(self, store) -> Set[PName]:
+        return store.temporal_index.overlapping(self.start, self.end)
+
+
+class SpatialRadiusProbe(AccessPath):
+    """Geographic radius through the spatial grid index."""
+
+    kind = "spatial-radius"
+
+    def __init__(self, centre: GeoPoint, radius_km: float) -> None:
+        self.centre = centre
+        self.radius_km = radius_km
+
+    def describe(self) -> str:
+        return f"spatial-radius index scan ({self.radius_km} km around {self.centre})"
+
+    def estimate(self, store) -> int:
+        return store.spatial_index.estimate_within(self.centre, self.radius_km)
+
+    def probe(self, store) -> Set[PName]:
+        return store.spatial_index.within_radius(self.centre, self.radius_km)
+
+
+class IndexIntersection(AccessPath):
+    """Intersect several index paths (conjunctions of selective conjuncts)."""
+
+    kind = "index-intersection"
+
+    def __init__(self, paths: Sequence[AccessPath]) -> None:
+        self.paths = list(paths)
+        self._probes_run = 0
+
+    def describe(self) -> str:
+        inner = " & ".join(path.describe() for path in self.paths)
+        return f"intersection of [{inner}]"
+
+    def estimate(self, store) -> int:
+        # Candidates fetched = the intersection; bounded by the smallest input.
+        return min(path.estimate(store) for path in self.paths)
+
+    def probe(self, store) -> Set[PName]:
+        result: Optional[Set[PName]] = None
+        self._probes_run = 0
+        # Probe cheapest-first so later intersections shrink fast.
+        for path in sorted(self.paths, key=lambda p: p.estimate(store)):
+            hits = path.probe(store)
+            self._probes_run += path.probes_run()
+            result = hits if result is None else (result & hits)
+            if not result:
+                break  # short-circuit: remaining probes never execute
+        return result if result is not None else set()
+
+    @property
+    def probe_count(self) -> int:
+        return sum(path.probe_count for path in self.paths)
+
+    def probes_run(self) -> int:
+        return self._probes_run
+
+
+class IndexUnion(AccessPath):
+    """Union of index paths (a disjunction whose branches are all sargable)."""
+
+    kind = "index-union"
+
+    def __init__(self, paths: Sequence[AccessPath]) -> None:
+        self.paths = list(paths)
+
+    def describe(self) -> str:
+        inner = " | ".join(path.describe() for path in self.paths)
+        return f"union of [{inner}]"
+
+    def estimate(self, store) -> int:
+        return sum(path.estimate(store) for path in self.paths)
+
+    def probe(self, store) -> Set[PName]:
+        result: Set[PName] = set()
+        for path in self.paths:
+            result |= path.probe(store)
+        return result
+
+    @property
+    def probe_count(self) -> int:
+        return sum(path.probe_count for path in self.paths)
+
+    def probes_run(self) -> int:
+        return sum(path.probes_run() for path in self.paths)

@@ -1,0 +1,247 @@
+"""The cost-based query planner.
+
+Given a :class:`~repro.core.query.Query`, the planner:
+
+1. normalizes the predicate (:mod:`repro.query.normalize`),
+2. extracts every *sargable* conjunct -- one the store's indexes can
+   answer -- and builds a candidate access path for each
+   (:mod:`repro.query.paths`),
+3. estimates each candidate's cardinality from the store's
+   :class:`~repro.query.statistics.Statistics` and index metadata,
+4. picks the cheapest path, upgrading to an index intersection when a
+   second conjunct is selective enough to pay for its probe,
+5. caches the analysis keyed by the predicate's *shape* (structure and
+   attribute names, constants stripped), so the paper's sliding-window
+   workloads -- same query, moving constants -- skip straight to path
+   construction.
+
+The planner only chooses *candidate generation*; the executor always
+evaluates the full predicate on the candidates, so a bad estimate can
+cost time but never correctness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.query import (
+    And,
+    AttributeEquals,
+    AttributeExists,
+    AttributeIn,
+    AttributeRange,
+    NearLocation,
+    Or,
+    Predicate,
+    Query,
+    TimeWindowOverlaps,
+)
+from repro.query.normalize import normalize, shape_key
+from repro.query.paths import (
+    AccessPath,
+    EqualityProbe,
+    ExistsProbe,
+    FullScanPath,
+    IndexIntersection,
+    IndexUnion,
+    MultiProbe,
+    RangeProbe,
+    SpatialRadiusProbe,
+    TemporalOverlapProbe,
+)
+
+__all__ = ["Plan", "QueryPlanner"]
+
+#: Re-analyse a cached shape once the store has grown/shrunk this much.
+_CACHE_STALENESS_FACTOR = 4.0
+#: LRU bound on cached shapes (long-lived stores see unbounded shape
+#: variety, e.g. AttributeIn arities; the cache must not grow with them).
+_CACHE_MAX_SHAPES = 512
+#: A second index probe joins an intersection only when it narrows to
+#: at most this fraction of the store.
+_INTERSECTION_SELECTIVITY = 0.5
+
+
+@dataclass
+class Plan:
+    """The outcome of planning one query."""
+
+    query: Query
+    #: normalized predicate (what the executor evaluates on candidates)
+    predicate: Predicate
+    #: chosen candidate generator
+    path: AccessPath
+    #: value-free cache key of the predicate
+    shape: str
+    #: True when the shape's analysis came from the plan cache
+    cache_hit: bool
+    #: estimated candidate rows at plan time
+    estimated_rows: int
+
+
+@dataclass
+class _ShapeAnalysis:
+    """What the cache remembers about one predicate shape.
+
+    ``selection`` records *which strategy won*, by the shape keys of the
+    chosen conjuncts -- ``("full",)``, ``("single", conjunct_shape)`` or
+    ``("intersect", shape_a, shape_b)``.  Constants are rebound from the
+    incoming predicate on every hit, so sliding-window workloads reuse
+    the analysis without re-ranking every option.  Rebinding by shape is
+    always *sound*: for a conjunction, any sargable conjunct (or
+    intersection of conjuncts) is a complete candidate generator.
+    """
+
+    #: record count when the analysis was made (staleness guard)
+    record_count: int
+    selection: Tuple[str, ...]
+    hits: int = 0
+
+
+class QueryPlanner:
+    """Plans queries for one :class:`~repro.core.pass_store.PassStore`."""
+
+    def __init__(self, store) -> None:
+        self._store = store
+        self._cache: "OrderedDict[str, _ShapeAnalysis]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def plan(self, query: Query, force_full_scan: bool = False) -> Plan:
+        """Choose an access path for ``query``."""
+        predicate = normalize(query.predicate)
+        shape = shape_key(predicate)
+        if force_full_scan:
+            path: AccessPath = FullScanPath()
+            return Plan(query, predicate, path, shape, False, path.estimate(self._store))
+
+        cached = self._cache.get(shape)
+        if cached is not None and not self._stale(cached):
+            path = self._rebuild(predicate, cached.selection)
+            if path is not None:
+                cached.hits += 1
+                self._cache.move_to_end(shape)
+                return Plan(query, predicate, path, shape, True, path.estimate(self._store))
+
+        path, selection = self._choose_path(predicate)
+        self._cache[shape] = _ShapeAnalysis(
+            self._store.statistics.record_count, selection
+        )
+        self._cache.move_to_end(shape)
+        while len(self._cache) > _CACHE_MAX_SHAPES:
+            self._cache.popitem(last=False)
+        return Plan(query, predicate, path, shape, False, path.estimate(self._store))
+
+    def cache_snapshot(self) -> dict:
+        """Plan-cache facts for ``client.stats()`` and tests."""
+        return {
+            "entries": len(self._cache),
+            "hits": sum(entry.hits for entry in self._cache.values()),
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _stale(self, cached: _ShapeAnalysis) -> bool:
+        now = self._store.statistics.record_count
+        then = max(1, cached.record_count)
+        return now > then * _CACHE_STALENESS_FACTOR or now * _CACHE_STALENESS_FACTOR < then
+
+    @staticmethod
+    def _conjuncts_of(predicate: Predicate) -> Tuple[Predicate, ...]:
+        if isinstance(predicate, And):
+            return predicate.parts
+        return (predicate,)
+
+    def _choose_path(self, predicate: Predicate) -> Tuple[AccessPath, Tuple[str, ...]]:
+        """Full analysis: rank every sargable conjunct, return (path, selection)."""
+        store = self._store
+        record_count = store.statistics.record_count
+        options: List[Tuple[AccessPath, str]] = []
+        for conjunct in self._conjuncts_of(predicate):
+            path = self._sargable(conjunct)
+            if path is not None:
+                options.append((path, shape_key(conjunct)))
+        if not options:
+            return FullScanPath(), ("full",)
+
+        ranked = sorted(options, key=lambda item: item[0].estimate(store))
+        best, best_shape = ranked[0]
+        if best.estimate(store) >= record_count:
+            # The "index" would touch everything; scanning is cheaper
+            # than probing plus fetching every record by name.
+            return FullScanPath(), ("full",)
+        if (
+            len(ranked) > 1
+            and ranked[1][0].estimate(store) <= record_count * _INTERSECTION_SELECTIVITY
+        ):
+            second, second_shape = ranked[1]
+            return IndexIntersection([best, second]), ("intersect", best_shape, second_shape)
+        return best, ("single", best_shape)
+
+    def _rebuild(self, predicate: Predicate, selection: Tuple[str, ...]) -> Optional[AccessPath]:
+        """Re-instantiate a cached strategy with the new predicate's constants.
+
+        Returns ``None`` when the selection no longer applies (a conjunct
+        shape disappeared) -- the caller then falls back to full analysis.
+        """
+        if selection[0] == "full":
+            return FullScanPath()
+        wanted = list(selection[1:])
+        chosen: List[AccessPath] = []
+        for conjunct in self._conjuncts_of(predicate):
+            if not wanted:
+                break
+            conjunct_shape = shape_key(conjunct)
+            if conjunct_shape in wanted:
+                path = self._sargable(conjunct)
+                if path is None:
+                    return None
+                chosen.append(path)
+                wanted.remove(conjunct_shape)
+        if wanted:
+            return None
+        if selection[0] == "intersect":
+            return IndexIntersection(chosen)
+        return chosen[0]
+
+    def _sargable(self, conjunct: Predicate) -> Optional[AccessPath]:
+        """An index path answering ``conjunct`` completely, or None."""
+        store = self._store
+        if isinstance(conjunct, AttributeEquals) and store.attribute_index.covers(conjunct.name):
+            return EqualityProbe(conjunct.name, conjunct.value)
+        if isinstance(conjunct, AttributeIn) and store.attribute_index.covers(conjunct.name):
+            return MultiProbe(conjunct.name, conjunct.values)
+        if isinstance(conjunct, AttributeRange) and store.attribute_index.covers(conjunct.name):
+            return RangeProbe(
+                conjunct.name,
+                conjunct.low,
+                conjunct.high,
+                conjunct.include_low,
+                conjunct.include_high,
+            )
+        if isinstance(conjunct, AttributeExists) and store.attribute_index.covers(conjunct.name):
+            return ExistsProbe(conjunct.name)
+        if isinstance(conjunct, TimeWindowOverlaps):
+            # The temporal index is keyed on exactly these two attributes;
+            # windows over any other pair fall back to a scan.
+            if conjunct.start_attr == "window_start" and conjunct.end_attr == "window_end":
+                return TemporalOverlapProbe(conjunct.start, conjunct.end)
+            return None
+        if isinstance(conjunct, NearLocation):
+            # The spatial index tracks the 'location' attribute (what
+            # ingest indexes); radii over other geo attributes scan.  A
+            # degenerate negative radius matches nothing -- scan (and
+            # find nothing) rather than let the index probe raise.
+            if conjunct.name == "location" and conjunct.radius_km >= 0:
+                return SpatialRadiusProbe(conjunct.centre, conjunct.radius_km)
+            return None
+        if isinstance(conjunct, Or):
+            branches = [self._sargable(part) for part in conjunct.parts]
+            if all(branch is not None for branch in branches):
+                return IndexUnion([branch for branch in branches if branch is not None])
+            return None
+        return None

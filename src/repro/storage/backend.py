@@ -69,6 +69,21 @@ class StorageBackend(ABC):
     def has_record(self, pname: PName) -> bool:
         """True when a record with this PName is stored."""
 
+    def get_records(self, pnames: "List[PName]") -> "List[Tuple[PName, ProvenanceRecord]]":
+        """Fetch several records, preserving input order; missing PNames are skipped.
+
+        The planner's executor feeds index-served candidate sets through
+        here.  The default loops :meth:`get_record`; backends with a
+        cheaper bulk read (one statement instead of one per record)
+        override it.
+        """
+        result: List[Tuple[PName, ProvenanceRecord]] = []
+        for pname in pnames:
+            record = self.get_record(pname)
+            if record is not None:
+                result.append((pname, record))
+        return result
+
     @abstractmethod
     def iter_records(self) -> Iterator[Tuple[PName, ProvenanceRecord]]:
         """Iterate over every stored ``(PName, record)`` pair."""

@@ -173,6 +173,26 @@ class SQLiteBackend(StorageBackend):
             return None
         return ProvenanceRecord.from_json(row[0])
 
+    def get_records(self, pnames):
+        """Bulk fetch: chunked ``IN`` selects instead of one statement per record."""
+        self._check_open()
+        pnames = list(pnames)
+        self.stats.gets += len(pnames)
+        found = {}
+        chunk_size = 500  # stay far below SQLite's bound-parameter limit
+        for start in range(0, len(pnames), chunk_size):
+            chunk = pnames[start : start + chunk_size]
+            placeholders = ",".join("?" for _ in chunk)
+            rows = self._connection.execute(
+                f"SELECT pname, body FROM records WHERE pname IN ({placeholders})",
+                [pname.digest for pname in chunk],
+            ).fetchall()
+            for digest, body in rows:
+                found[digest] = ProvenanceRecord.from_json(body)
+        return [
+            (pname, found[pname.digest]) for pname in pnames if pname.digest in found
+        ]
+
     def has_record(self, pname: PName) -> bool:
         self._check_open()
         row = self._connection.execute(

@@ -1,0 +1,106 @@
+"""``client.explain()`` and rows-scanned cost reporting across targets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Q, connect
+from repro.core.attributes import GeoPoint
+from repro.query import Explain
+from repro.sensors.workloads import TrafficWorkload
+
+TARGETS = [
+    "memory://",
+    "sqlite://",
+    "centralized://",
+    "distributed-db://",
+    "federated://",
+    "soft-state://",
+    "hierarchical://",
+    "dht://",
+    "locale-aware-pass://",
+]
+
+
+@pytest.fixture(scope="module")
+def workload_sets():
+    workload = TrafficWorkload(seed=5, cities=("london", "boston"), stations_per_city=2)
+    raw, derived = workload.all_sets(hours=0.5)
+    return raw + derived
+
+
+@pytest.fixture(params=TARGETS, scope="module")
+def target(request, workload_sets):
+    client = connect(request.param)
+    client.publish_many(workload_sets)
+    client.refresh()
+    return client
+
+
+class TestExplainAcrossTargets:
+    def test_explain_returns_structured_output(self, target):
+        explain = target.explain(Q.attr("city") == "london")
+        assert isinstance(explain, Explain)
+        assert explain.rows_scanned >= explain.actual_rows >= 0
+        assert explain.format()
+
+    def test_explain_actuals_match_query(self, target):
+        question = Q.attr("city") == "london"
+        explain = target.explain(question)
+        assert explain.actual_rows == target.query(question).total
+
+    def test_query_cost_reports_rows_scanned(self, target):
+        result = target.query(Q.attr("city") == "london")
+        assert result.cost.rows_scanned > 0
+
+    def test_selective_query_scans_less_than_everything(self, target):
+        if target.target == "dht":
+            pytest.skip("the DHT fetches per-candidate records, not store scans")
+        total = target.query(None).total
+        selective = target.query(Q.attr("city") == "london")
+        # An indexed equality must not scan every record at every site.
+        assert selective.cost.rows_scanned <= total * 2
+
+
+class TestDistributedExplain:
+    def test_model_explain_nests_per_site_plans(self):
+        client = connect("distributed-db://")
+        workload = TrafficWorkload(seed=5, cities=("london",), stations_per_city=2)
+        raw, derived = workload.all_sets(hours=0.5)
+        client.publish_many(raw + derived)
+        explain = client.explain(Q.attr("city") == "london")
+        assert explain.path_kind == "distributed"
+        assert explain.children
+        for child in explain.children:
+            assert isinstance(child, Explain)
+            assert child.site
+        assert explain.rows_scanned == sum(c.rows_scanned for c in explain.children)
+
+    def test_temporal_fast_path_reaches_every_site(self):
+        client = connect("centralized://")
+        workload = TrafficWorkload(seed=5, cities=("london",), stations_per_city=2)
+        raw, derived = workload.all_sets(hours=0.5)
+        client.publish_many(raw + derived)
+        explain = client.explain(Q.between(0.0, 600.0))
+        child_kinds = {child.path_kind for child in explain.children}
+        assert "temporal-overlap" in child_kinds
+
+
+class TestQBetweenAndNear:
+    def test_between_takes_temporal_path(self, workload_sets):
+        client = connect("memory://")
+        client.publish_many(workload_sets)
+        explain = client.explain(Q.between(0.0, 600.0))
+        assert explain.path_kind == "temporal-overlap"
+        assert explain.used_index
+
+    def test_near_takes_spatial_path_when_selective(self, workload_sets):
+        client = connect("memory://")
+        client.publish_many(workload_sets)
+        # London and Boston are ~5300 km apart; a city-scale radius is
+        # selective and must ride the spatial grid.
+        explain = client.explain(Q.near(GeoPoint(51.5074, -0.1278), 30.0))
+        assert explain.path_kind in ("spatial-radius", "full-scan")
+        matches = client.query(Q.near(GeoPoint(51.5074, -0.1278), 30.0))
+        everything = client.query(None)
+        assert 0 < matches.total < everything.total

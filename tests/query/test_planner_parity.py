@@ -1,0 +1,211 @@
+"""Property test: planner answers == forced-full-scan answers, always.
+
+The planner's one safety argument is that access paths only *generate
+candidates* and the full predicate is evaluated on them; if that ever
+breaks, queries silently lose rows.  This suite generates random data
+sets and random predicates from every class Section III derives --
+equals, range, contains, in, exists, near, time-window, and/or/not and
+lineage -- and asserts the planned execution returns exactly what a
+forced full scan returns, on both the ``memory://`` and ``sqlite:///``
+targets.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import GeoPoint, Timestamp
+from repro.core.pass_store import PassStore
+from repro.core.provenance import ProvenanceRecord
+from repro.core.query import (
+    And,
+    AncestorOf,
+    AttributeContains,
+    AttributeEquals,
+    AttributeExists,
+    AttributeIn,
+    AttributeRange,
+    DerivedFrom,
+    NearLocation,
+    Not,
+    Or,
+    TimeWindowOverlaps,
+)
+from repro.core.tupleset import TupleSet
+from repro.storage.factory import make_backend
+
+CITIES = ("london", "boston", "paris", "oslo")
+DOMAINS = ("traffic", "medical")
+
+# ----------------------------------------------------------------------
+# Data strategies: a small population with attribute variety, optional
+# windows/locations (so index membership differs from store membership)
+# and parent links for lineage predicates.
+# ----------------------------------------------------------------------
+record_specs = st.lists(
+    st.fixed_dictionaries(
+        {
+            "city": st.sampled_from(CITIES),
+            "domain": st.sampled_from(DOMAINS),
+            "seq": st.integers(min_value=0, max_value=40),
+            "windowed": st.booleans(),
+            "located": st.booleans(),
+            "start": st.floats(min_value=0, max_value=3000, allow_nan=False),
+            "duration": st.floats(min_value=1, max_value=600, allow_nan=False),
+            "lat": st.floats(min_value=40, max_value=50, allow_nan=False),
+            "lon": st.floats(min_value=-5, max_value=5, allow_nan=False),
+            "parent": st.one_of(st.none(), st.integers(min_value=0, max_value=60)),
+        }
+    ),
+    min_size=4,
+    max_size=25,
+)
+
+
+def _build_records(specs):
+    records = []
+    for index, spec in enumerate(specs):
+        attributes = {
+            "city": spec["city"],
+            "domain": spec["domain"],
+            "seq": spec["seq"],
+            "serial": index,  # keeps identical specs distinct (P3)
+        }
+        if spec["windowed"]:
+            attributes["window_start"] = Timestamp(spec["start"])
+            attributes["window_end"] = Timestamp(spec["start"] + spec["duration"])
+        if spec["located"]:
+            attributes["location"] = GeoPoint(spec["lat"], spec["lon"])
+        ancestors = ()
+        if spec["parent"] is not None and records:
+            ancestors = (records[spec["parent"] % len(records)].pname(),)
+        records.append(ProvenanceRecord(attributes, ancestors=ancestors))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Predicate strategies: every Section III query class, composed with
+# and/or/not up to depth 2.
+# ----------------------------------------------------------------------
+def _leaf_predicates():
+    return st.one_of(
+        st.builds(AttributeEquals, st.just("city"), st.sampled_from(CITIES)),
+        st.builds(AttributeEquals, st.just("seq"), st.integers(0, 40)),
+        st.builds(
+            lambda low, span: AttributeRange("seq", low=low, high=low + span),
+            st.integers(0, 40),
+            st.integers(0, 15),
+        ),
+        st.builds(AttributeContains, st.just("city"), st.sampled_from(("on", "os", "zz"))),
+        st.builds(
+            lambda values: AttributeIn("city", tuple(values)),
+            st.lists(st.sampled_from(CITIES), min_size=1, max_size=3),
+        ),
+        st.builds(AttributeExists, st.sampled_from(("location", "window_start", "seq"))),
+        st.builds(
+            lambda lat, lon, radius: NearLocation("location", GeoPoint(lat, lon), radius),
+            st.floats(min_value=40, max_value=50, allow_nan=False),
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            st.floats(min_value=1, max_value=500, allow_nan=False),
+        ),
+        st.builds(
+            lambda start, span: TimeWindowOverlaps(
+                Timestamp(start), Timestamp(start + span)
+            ),
+            st.floats(min_value=0, max_value=3000, allow_nan=False),
+            st.floats(min_value=1, max_value=900, allow_nan=False),
+        ),
+        # Lineage: the index is resolved against the population at run time.
+        st.builds(
+            lambda index, up: ("lineage", index, up),
+            st.integers(min_value=0, max_value=60),
+            st.booleans(),
+        ),
+    )
+
+
+def _combined(leaves):
+    return st.one_of(
+        leaves,
+        st.builds(lambda parts: And(tuple(parts)), st.lists(leaves, min_size=2, max_size=3)),
+        st.builds(lambda parts: Or(tuple(parts)), st.lists(leaves, min_size=2, max_size=3)),
+        st.builds(Not, leaves),
+        st.builds(
+            lambda a, b: And((a, Not(b))),
+            leaves,
+            leaves,
+        ),
+    )
+
+
+predicates = _combined(_leaf_predicates())
+
+
+def _resolve(predicate, records):
+    """Replace ('lineage', i, up) placeholders with real PNames."""
+    if isinstance(predicate, tuple) and predicate and predicate[0] == "lineage":
+        _, index, up = predicate
+        target = records[index % len(records)].pname()
+        return DerivedFrom(target) if up else AncestorOf(target)
+    if isinstance(predicate, And):
+        return And(tuple(_resolve(part, records) for part in predicate.parts))
+    if isinstance(predicate, Or):
+        return Or(tuple(_resolve(part, records) for part in predicate.parts))
+    if isinstance(predicate, Not):
+        return Not(_resolve(predicate.part, records))
+    return predicate
+
+
+def _assert_parity(store: PassStore, predicate) -> None:
+    planned, explain = store.query_explain(predicate)
+    scanned, baseline = store.query_explain(predicate, force_full_scan=True)
+    assert {p for p, _ in planned} == {p for p, _ in scanned}, (
+        f"planner ({explain.path}) and full scan disagree for {predicate!r}"
+    )
+    assert baseline.path_kind == "full-scan"
+
+
+COMMON_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(specs=record_specs, predicate=predicates)
+@COMMON_SETTINGS
+def test_planner_matches_full_scan_in_memory(specs, predicate):
+    records = _build_records(specs)
+    store = PassStore()
+    store.ingest_many([TupleSet([], record) for record in records])
+    _assert_parity(store, _resolve(predicate, records))
+
+
+@given(specs=record_specs, predicate=predicates)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_planner_matches_full_scan_on_sqlite(specs, predicate):
+    import tempfile
+    import os
+
+    records = _build_records(specs)
+    handle, path = tempfile.mkstemp(suffix=".db")
+    os.close(handle)
+    try:
+        store = PassStore(backend=make_backend("sqlite", path=path))
+        store.ingest_many([TupleSet([], record) for record in records])
+        _assert_parity(store, _resolve(predicate, records))
+        store.backend.close()
+    finally:
+        os.unlink(path)
+
+
+@given(specs=record_specs, predicate=predicates)
+@COMMON_SETTINGS
+def test_removed_data_parity(specs, predicate):
+    """Planner parity survives P4 removals (records without data still match)."""
+    records = _build_records(specs)
+    store = PassStore()
+    pnames = store.ingest_many([TupleSet([], record) for record in records])
+    store.remove_data(pnames[0])
+    _assert_parity(store, _resolve(predicate, records))

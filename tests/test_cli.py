@@ -57,6 +57,73 @@ class TestQueryCommand:
         assert main(["query", "traffic", "city:london"], out=io.StringIO()) == 2
 
 
+class TestExplainCommand:
+    def test_equality_predicate_explained(self):
+        out = io.StringIO()
+        code = main(["explain", "traffic", "city=london", "--hours", "0.5"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "estimated rows" in text
+        assert "plan cache" in text
+
+    def test_window_option_uses_temporal_path(self):
+        out = io.StringIO()
+        code = main(["explain", "traffic", "--window", "0,900", "--hours", "0.5"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "temporal-overlap" in text
+        assert "index used: yes" in text
+
+    def test_near_option_parsed(self):
+        out = io.StringIO()
+        code = main(
+            ["explain", "traffic", "--near", "51.5,-0.12,5", "--hours", "0.5"], out=out
+        )
+        assert code == 0
+        assert "rows scanned" in out.getvalue()
+
+    def test_range_operator_parsed(self):
+        out = io.StringIO()
+        code = main(["explain", "traffic", "reading_count>=1", "--hours", "0.5"], out=out)
+        assert code == 0
+
+    def test_distributed_target_nests_site_plans(self):
+        out = io.StringIO()
+        code = main(
+            ["explain", "traffic", "city=london", "--hours", "0.5", "--store", "centralized://"],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "[centralized]" in text
+        assert "[warehouse]" in text
+
+    def test_malformed_predicate_rejected(self):
+        assert main(["explain", "traffic", "city:london"], out=io.StringIO()) == 2
+
+    def test_malformed_window_rejected(self):
+        assert main(["explain", "traffic", "--window", "abc"], out=io.StringIO()) == 2
+
+    def test_reversed_window_rejected_cleanly(self):
+        assert main(["explain", "traffic", "--window", "900,0"], out=io.StringIO()) == 2
+
+    def test_malformed_near_rejected(self):
+        assert main(["explain", "traffic", "--near", "1,2"], out=io.StringIO()) == 2
+
+    def test_negative_radius_rejected_cleanly(self):
+        assert main(["explain", "traffic", "--near", "51.5,-0.12,-5"], out=io.StringIO()) == 2
+
+    def test_leftmost_operator_wins(self):
+        from repro.cli import _parse_cli_predicate
+        from repro.core.query import AttributeContains, AttributeEquals
+
+        # A value containing an operator character still splits on the
+        # leftmost operator, not the highest-priority one.
+        assert _parse_cli_predicate("note=x>y") == AttributeEquals("note", "x>y")
+        assert _parse_cli_predicate("name~a=b") == AttributeContains("name", "a=b")
+        assert _parse_cli_predicate("=value") is None
+
+
 class TestExperimentsCommand:
     def test_single_experiment_to_file(self, tmp_path):
         out = io.StringIO()
