@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Live monitoring: standing queries over a streaming sensor workload.
+
+The paper's consumers are *triggers*: a medical alert fires the moment a
+worrying reading lands, a congestion dashboard wants per-window
+aggregates, an auditor wants to know whenever anything is derived from a
+suspect capture.  This example drives one emergency-medical workload
+through four standing subscriptions instead of polling queries:
+
+1. an **alert callback** on one patient's tuple sets (delivered
+   synchronously, post-commit, as each set is published),
+2. a **window aggregation** counting case records per 10-minute window,
+3. a **lineage trigger** watching a raw capture for new descendants,
+4. the same alert subscription on a **centralized architecture model**,
+   where every delivery is charged as a simulated ``notify`` message --
+   dissemination cost becomes part of the Section IV comparison.
+
+Run with:  python examples/live_monitoring.py
+"""
+
+from repro import Q, WindowSpec, connect
+from repro.sensors.workloads import MedicalWorkload
+
+
+def main() -> None:
+    workload = MedicalWorkload(seed=13, patients=4, emts=2)
+    raw, derived = workload.all_sets(hours=2.0)
+    stream = raw + derived
+    print(f"streaming {len(stream)} tuple sets from {workload.describe()['domain']!r}")
+
+    # ------------------------------------------------------------------
+    # Local PASS: subscribe first, then let the data stream in.
+    # ------------------------------------------------------------------
+    client = connect("memory://")
+
+    patient = raw[0].provenance.get("patient")
+    alerts = []
+    client.subscribe(
+        Q.attr("patient") == patient,
+        callback=lambda event: alerts.append(event),
+        name=f"alert:{patient}",
+    )
+
+    caseload = client.subscribe(
+        Q.attr("domain") == "medical",
+        window=WindowSpec(size_seconds=600.0, aggregate="count"),
+        name="caseload-per-10min",
+    )
+
+    watched = raw[0]
+    audit = client.subscribe_descendants(watched, name="taint-watch")
+
+    client.publish_many(stream)
+    client.flush_windows()  # close the trailing partial window
+
+    print(f"[alert]   {len(alerts)} tuple set(s) for patient {patient!r} "
+          "delivered the moment they were published")
+    windows = caseload.drain()
+    busiest = max(windows, key=lambda w: w.count)
+    print(f"[windows] {len(windows)} ten-minute windows; busiest held "
+          f"{busiest.count} case records "
+          f"[{busiest.window_start:.0f}s, {busiest.window_end:.0f}s)")
+    descendants = audit.drain()
+    print(f"[lineage] {len(descendants)} descendant(s) of the watched capture "
+          f"{watched.pname.short} announced incrementally")
+
+    stats = client.stats()["stream"]
+    print(f"[engine]  {stats['records_seen']} records dispatched against "
+          f"{stats['subscriptions']} standing queries: "
+          f"{stats['candidates_checked']} candidate evaluations instead of "
+          f"{stats['naive_checks']} naive ones")
+
+    # ------------------------------------------------------------------
+    # The same subscription on an architecture model: dissemination as
+    # measurable network traffic.
+    # ------------------------------------------------------------------
+    warehouse = connect("centralized://")
+    site = warehouse.topology.site_names[0]
+    warehouse.subscribe(Q.attr("patient") == patient, origin=site, name="remote-alert")
+    warehouse.publish_many(stream)
+    traffic = warehouse.stats()["traffic"]["by_kind"]["notify"]
+    print(f"[notify]  centralized target pushed {traffic['messages']} notification(s) "
+          f"({traffic['bytes']} bytes) to the consumer at {site!r}")
+
+
+if __name__ == "__main__":
+    main()

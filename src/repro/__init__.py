@@ -37,6 +37,14 @@ predicates from the store's indexes per site; ``client.explain(q)``
 shows the chosen access path with estimated vs. actual rows (see
 ``docs/EXPLAIN.md``).
 
+The pull API has a push counterpart: ``client.subscribe(predicate)``
+registers a *standing* query matched incrementally on the ingest path
+(:mod:`repro.stream`), with window aggregations
+(:class:`~repro.stream.windows.WindowSpec`) and lineage triggers
+(``client.subscribe_descendants``) on top; on distributed targets each
+delivery is charged as a simulated ``notify`` message (see
+``docs/STREAMS.md``).
+
 The lower layers remain importable for finer-grained work:
 :class:`~repro.core.pass_store.PassStore` (the local store engine, also
 reachable as ``client.store`` on local targets), :mod:`repro.distributed`
@@ -62,8 +70,16 @@ from repro.core import (
     merge_provenance,
 )
 from repro.errors import PassError
+from repro.stream import (
+    LineageEvent,
+    MatchEvent,
+    StreamEngine,
+    Subscription,
+    WindowEvent,
+    WindowSpec,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -71,6 +87,8 @@ __all__ = [
     "Agent",
     "Annotation",
     "GeoPoint",
+    "LineageEvent",
+    "MatchEvent",
     "PName",
     "PassClient",
     "PassStore",
@@ -80,9 +98,13 @@ __all__ = [
     "Query",
     "Result",
     "SensorReading",
+    "StreamEngine",
+    "Subscription",
     "Timestamp",
     "TupleSet",
     "TupleSetWindower",
+    "WindowEvent",
+    "WindowSpec",
     "connect",
     "merge_provenance",
     "wrap",

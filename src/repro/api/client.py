@@ -36,9 +36,12 @@ from repro.core.pass_store import PassStore
 from repro.core.provenance import PName, ProvenanceRecord
 from repro.core.tupleset import TupleSet
 from repro.distributed.base import ArchitectureModel, OperationResult
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PassError
 from repro.net.topology import Topology
 from repro.query.explain import Explain
+from repro.stream.engine import StreamEngine
+from repro.stream.subscription import Subscription
+from repro.stream.windows import WindowSpec
 
 __all__ = ["PassClient", "LocalClient", "ModelClient", "wrap"]
 
@@ -132,6 +135,122 @@ class PassClient(ABC):
         return an aggregate root with one child per participating site.
         """
 
+    # -- live subscriptions (repro.stream) -------------------------------
+    def subscribe(
+        self,
+        query=None,
+        *,
+        callback=None,
+        window: Optional[WindowSpec] = None,
+        origin: Optional[str] = None,
+        maxsize: int = 256,
+        overflow: str = "drop-oldest",
+        name: Optional[str] = None,
+    ) -> Subscription:
+        """Register a standing query matched incrementally on the ingest path.
+
+        Every tuple set published *through this client* after
+        registration is matched against the (normalized) predicate; hits
+        are delivered to ``callback`` or onto the subscription's bounded
+        pull queue (``maxsize``/``overflow``).  ``window`` turns the
+        subscription into a window aggregation
+        (:class:`~repro.stream.windows.WindowSpec`).  On distributed
+        targets ``origin`` names the consuming site and each delivery is
+        charged as one simulated ``notify`` message to it.
+        """
+        engine = self._stream_engine(create=True)
+        return engine.subscribe(
+            query,
+            callback=callback,
+            window=window,
+            site=self._subscriber_site(origin),
+            maxsize=maxsize,
+            overflow=overflow,
+            name=name,
+        )
+
+    def subscribe_descendants(
+        self,
+        pname,
+        *,
+        callback=None,
+        origin: Optional[str] = None,
+        maxsize: int = 256,
+        overflow: str = "drop-oldest",
+        name: Optional[str] = None,
+    ) -> Subscription:
+        """Fire whenever a new (transitive) descendant of ``pname`` is published.
+
+        The lineage trigger is fed incrementally from publish-time
+        ancestry edges -- no transitive-closure query runs per ingest.
+        Registration itself runs one closure query against the target
+        (when it supports lineage) so descent through *pre-existing*
+        intermediates is caught too.
+        """
+        engine = self._stream_engine(create=True)
+        site = self._subscriber_site(origin)
+        return engine.subscribe_descendants(
+            pname,
+            callback=callback,
+            site=site,
+            maxsize=maxsize,
+            overflow=overflow,
+            name=name,
+            known_descendants=self._lineage_backfill(pname, site),
+        )
+
+    def unsubscribe(self, subscription) -> bool:
+        """Cancel a subscription (by object or id); True when it existed."""
+        engine = self._stream_engine(create=False)
+        if engine is None:
+            return False
+        return engine.unsubscribe(subscription)
+
+    def subscriptions(self) -> List[Subscription]:
+        """Every active subscription registered through this client."""
+        engine = self._stream_engine(create=False)
+        if engine is None:
+            return []
+        return engine.subscriptions()
+
+    def flush_windows(self) -> int:
+        """Force-close every open window aggregation; returns events emitted.
+
+        A consumer-side operation (end of stream / shutdown): the
+        trailing partial windows are delivered like any other window
+        event, but -- unlike ingest-driven emissions on distributed
+        targets -- no ``notify`` traffic is charged, because nothing
+        crossed the simulated network.
+        """
+        engine = self._stream_engine(create=False)
+        if engine is None:
+            return 0
+        return len(engine.flush_windows())
+
+    def _stream_engine(self, create: bool) -> Optional[StreamEngine]:
+        """The target's stream engine, wired into its ingest path on first use."""
+        raise NotImplementedError  # pragma: no cover - both clients implement
+
+    def _subscriber_site(self, origin: Optional[str]) -> Optional[str]:
+        """Which site a subscription's deliveries are addressed to."""
+        return origin
+
+    def _lineage_backfill(self, pname, site: Optional[str]) -> List[PName]:
+        """The target's *current* descendants of ``pname`` (watch-label seed)."""
+        return []
+
+    def _stream_stats(self) -> Dict[str, object]:
+        """The ``stream`` block of :meth:`stats`.
+
+        The shape is identical whether or not anything ever subscribed
+        (a never-subscribed client reports a zeroed engine), so
+        dashboards can key on the counters unconditionally.
+        """
+        engine = self._stream_engine(create=False)
+        if engine is None:
+            engine = StreamEngine()  # unused: just the zeroed stats shape
+        return engine.stats()
+
     # -- capabilities and lifecycle --------------------------------------
     @property
     def supports_lineage(self) -> bool:
@@ -174,9 +293,28 @@ class LocalClient(PassClient):
         # connect() clients own their backend and close it with the client;
         # wrap() adapts a caller-owned store and must leave it usable.
         self.owns_store = owns_store
+        self._stream: Optional[StreamEngine] = None
 
     def _local_cost(self) -> Cost:
         return Cost(sites=[self.store.site])
+
+    def _stream_engine(self, create: bool) -> Optional[StreamEngine]:
+        if self._stream is None and create:
+            # The store's post-commit hook feeds the engine, so standing
+            # queries see every ingest -- including ones made directly on
+            # client.store or by another wrapper of the same store.
+            self._stream = StreamEngine()
+            self.store.add_ingest_hook(self._stream.on_ingest)
+        return self._stream
+
+    def _subscriber_site(self, origin: Optional[str]) -> Optional[str]:
+        return origin if origin is not None else self.store.site
+
+    def _lineage_backfill(self, pname, site: Optional[str]) -> List[PName]:
+        pname = coerce_pname(pname)
+        if pname not in self.store.graph:
+            return []  # watching a not-yet-published pname is fine
+        return sorted(self.store.descendants(pname), key=lambda p: p.digest)
 
     def publish(self, tuple_set: TupleSet, origin: Optional[str] = None) -> Result:
         pname = self.store.ingest(tuple_set)
@@ -233,6 +371,7 @@ class LocalClient(PassClient):
                 "cache": self.store.planner.cache_snapshot(),
                 "statistics": self.store.statistics.snapshot(),
             },
+            "stream": self._stream_stats(),
         }
 
     def describe_record(self, pname) -> Optional[ProvenanceRecord]:
@@ -242,6 +381,11 @@ class LocalClient(PassClient):
         return self.store.get_record(pname)
 
     def close(self) -> None:
+        if self._stream is not None:
+            self.store.remove_ingest_hook(self._stream.on_ingest)
+            for subscription in self._stream.subscriptions():
+                self._stream.unsubscribe(subscription)
+            self._stream = None
         if self.owns_store:
             self.store.backend.close()
 
@@ -266,6 +410,37 @@ class ModelClient(PassClient):
             )
         self.default_origin = origin if origin is not None else self._storage_sites[0]
         self.target = model.name
+        self._stream: Optional[StreamEngine] = None
+
+    def _stream_engine(self, create: bool) -> Optional[StreamEngine]:
+        if self._stream is None and create:
+            self._stream = StreamEngine()
+            # The model matches on its publish path and charges one
+            # simulated "notify" message per delivery (kind "notify" in
+            # the traffic stats), making dissemination cost comparable
+            # across the Section IV architectures.
+            self.model.attach_stream_engine(self._stream)
+        return self._stream
+
+    def _subscriber_site(self, origin: Optional[str]) -> Optional[str]:
+        site = origin if origin is not None else self.default_origin
+        if site not in self.topology:
+            raise ConfigurationError(
+                f"subscriber site {site!r} is not in the topology ({self.topology.site_names})"
+            )
+        return site
+
+    def _lineage_backfill(self, pname, site: Optional[str]) -> List[PName]:
+        if not self.model.supports_lineage:
+            return []  # post-registration descent still fires via seen edges
+        try:
+            # A real closure query issued from the subscriber's own site,
+            # charged as such in the traffic stats: registering a late
+            # lineage watch is not free on a model.
+            origin = site if site is not None else self.default_origin
+            return list(self.model.descendants(coerce_pname(pname), origin).pnames)
+        except PassError:
+            return []  # unknown/unpublished watch target: nothing to seed
 
     # -- origin selection -----------------------------------------------
     def _origin_for(self, tuple_set: TupleSet) -> str:
@@ -348,7 +523,11 @@ class ModelClient(PassClient):
     def stats(self) -> Dict[str, object]:
         facts: Dict[str, object] = {"target": self.target}
         facts.update(self.model.describe())
+        # The traffic snapshot carries per-kind counters (``by_kind``,
+        # including the ``notify`` dissemination kind), so subscription
+        # cost is readable here without reaching into the simulator.
         facts["traffic"] = self.model.traffic_snapshot()
+        facts["stream"] = self._stream_stats()
         return facts
 
     @property
@@ -359,6 +538,13 @@ class ModelClient(PassClient):
         force = getattr(self.model, "force_refresh", None)
         if callable(force):
             force()
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self.model.detach_stream_engine(self._stream)
+            for subscription in self._stream.subscriptions():
+                self._stream.unsubscribe(subscription)
+            self._stream = None
 
 
 def wrap(target, origin: Optional[str] = None) -> PassClient:

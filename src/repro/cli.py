@@ -15,7 +15,12 @@ Three subcommands cover what a user wants from a terminal:
   scanned and plan-cache status.  Beyond ``name=value``, the predicate
   grammar accepts ``name<=v``/``name>=v``/``name<v``/``name>v`` ranges
   and ``name~substring``; ``--window START,END`` and
-  ``--near LAT,LON,KM`` AND in the temporal and spatial fast paths.
+  ``--near LAT,LON,KM`` AND in the temporal and spatial fast paths,
+* ``watch`` -- register the same predicate grammar as a *standing*
+  query (``repro.stream``) and tail its matches live while the
+  generated workload streams into the target; ``--every SECONDS``
+  switches to window aggregation (``--aggregate``, ``--value-attr``,
+  ``--group-by``, ``--slide``).
 
 The CLI is a thin veneer over the library; everything it does is
 available programmatically, and the storage/architecture target is a
@@ -121,6 +126,66 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--hours", type=float, default=1.0)
     explain.add_argument("--seed", type=int, default=0)
     explain.add_argument(
+        "--store",
+        default="memory://",
+        help="connect() URL of the target (default: memory://)",
+    )
+
+    watch = subcommands.add_parser(
+        "watch", help="subscribe to a standing query and tail its matches live"
+    )
+    watch.add_argument("domain", choices=sorted(_WORKLOADS))
+    watch.add_argument(
+        "predicates",
+        nargs="*",
+        help="standing predicates, e.g. city=london stage=raw sequence>=10",
+    )
+    watch.add_argument(
+        "--window",
+        default=None,
+        metavar="START,END",
+        help="AND a time-window overlap (seconds), e.g. --window 0,1800",
+    )
+    watch.add_argument(
+        "--near",
+        default=None,
+        metavar="LAT,LON,KM",
+        help="AND a geographic radius, e.g. --near 51.5,-0.12,5",
+    )
+    watch.add_argument(
+        "--every",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="aggregate matches over event-time windows of this size",
+    )
+    watch.add_argument(
+        "--slide",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="window slide (default: tumbling, slide == size)",
+    )
+    watch.add_argument(
+        "--aggregate",
+        default="count",
+        choices=("count", "sum", "mean", "min", "max"),
+        help="window aggregate (default: count)",
+    )
+    watch.add_argument(
+        "--value-attr",
+        default=None,
+        help="record attribute the aggregate reads (required except for count)",
+    )
+    watch.add_argument(
+        "--group-by",
+        default=None,
+        help="record attribute partitioning each window into per-group aggregates",
+    )
+    watch.add_argument("--hours", type=float, default=1.0)
+    watch.add_argument("--seed", type=int, default=0)
+    watch.add_argument("--limit", type=int, default=20, help="maximum events to print")
+    watch.add_argument(
         "--store",
         default="memory://",
         help="connect() URL of the target (default: memory://)",
@@ -270,6 +335,93 @@ def _cmd_explain(args, out) -> int:
     return 0
 
 
+def _summarise_record(record) -> str:
+    return ", ".join(
+        f"{key}={record.get(key)}"
+        for key in ("domain", "network", "city", "stage", "window_start")
+        if record.get(key) is not None
+    )
+
+
+def _cmd_watch(args, out) -> int:
+    """Subscribe first, then stream the generated workload in: matches print live."""
+    from repro.stream import MatchEvent, WindowEvent, WindowSpec
+    from repro.errors import ConfigurationError
+
+    predicate, error = _build_explain_predicate(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    window = None
+    if args.every is not None:
+        try:
+            window = WindowSpec(
+                size_seconds=args.every,
+                slide_seconds=args.slide,
+                aggregate=args.aggregate,
+                value_attr=args.value_attr,
+                group_by=args.group_by,
+            )
+        except ConfigurationError as exc:
+            print(f"error: bad window aggregation: {exc}", file=sys.stderr)
+            return 2
+    elif (
+        args.slide is not None
+        or args.value_attr is not None
+        or args.group_by is not None
+        or args.aggregate != "count"
+    ):
+        print(
+            "error: --slide/--value-attr/--group-by/--aggregate need --every SECONDS",
+            file=sys.stderr,
+        )
+        return 2
+
+    workload = _WORKLOADS[args.domain](seed=args.seed)
+    raw, derived = workload.all_sets(hours=args.hours)
+    client = connect(args.store)
+    shown = 0
+
+    def on_event(event) -> None:
+        nonlocal shown
+        if shown >= args.limit:
+            return
+        shown += 1
+        if isinstance(event, WindowEvent):
+            group = "" if event.group is None else f" {args.group_by}={event.group}"
+            value = "-" if event.value is None else f"{event.value:g}"
+            print(
+                f"window [{event.window_start:g}, {event.window_end:g})"
+                f"{group}  {event.aggregate}={value} over {event.count} match(es)",
+                file=out,
+            )
+        elif isinstance(event, MatchEvent):
+            print(f"match {event.pname.short}  {_summarise_record(event.record)}", file=out)
+
+    subscription = client.subscribe(predicate, callback=on_event, window=window)
+    client.publish_many(raw + derived)
+    client.refresh()
+    if window is not None:
+        client.flush_windows()  # trailing partial windows still report
+
+    facts = subscription.stats()
+    print(
+        f"-- watched {len(raw) + len(derived)} published tuple set(s): "
+        f"{facts['matched']} event(s) matched, {facts['delivered']} delivered"
+        + (f" ({shown} shown)" if facts["delivered"] > shown else ""),
+        file=out,
+    )
+    stats = client.stats()
+    notify = stats.get("traffic", {}).get("by_kind", {}).get("notify")
+    if notify is not None:
+        print(
+            f"-- dissemination: {notify['messages']} notify message(s), "
+            f"{notify['bytes']} bytes over the simulated network",
+            file=out,
+        )
+    return 0
+
+
 def _cmd_query(args, out) -> int:
     if "=" not in args.predicate:
         print("error: predicate must look like name=value", file=sys.stderr)
@@ -308,6 +460,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_query(args, out)
     if args.command == "explain":
         return _cmd_explain(args, out)
+    if args.command == "watch":
+        return _cmd_watch(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -32,7 +32,7 @@ sites, and the evaluation harness measures them through this interface.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.abstraction import AbstractionEngine, AbstractionRule, AbstractedLineage
 from repro.core.attributes import GeoPoint, Timestamp
@@ -137,6 +137,12 @@ class PassStore(LineageOracle):
         )
         self.planner = QueryPlanner(self)
         self._abstraction_rules: List[AbstractionRule] = []
+        # Post-commit ingest observers (the repro.stream engine hooks in
+        # here).  Hooks fire strictly after the backend write, the graph
+        # and closure edges, every index, and the statistics collector
+        # have all committed -- an observer that turns around and queries
+        # the store sees the new record fully ingested, never half-way.
+        self._ingest_hooks: List[Callable[[PName, ProvenanceRecord], None]] = []
         # Rebuild in-memory structures if the backend already has records
         # (e.g. a SQLite file reopened after a crash).
         self._rebuild_from_backend()
@@ -165,7 +171,9 @@ class PassStore(LineageOracle):
             if existing is None:
                 self.backend.put_payload(pname, payload)
             return pname
-        return self._register(record, payload)
+        pname = self._register(record, payload)
+        self._fire_ingest_hooks(pname, record)
+        return pname
 
     def ingest_record(self, record: ProvenanceRecord) -> PName:
         """Store a provenance record without any payload (metadata only).
@@ -176,7 +184,9 @@ class PassStore(LineageOracle):
         pname = record.pname()
         if self.backend.has_record(pname):
             return pname
-        return self._register(record, None)
+        pname = self._register(record, None)
+        self._fire_ingest_hooks(pname, record)
+        return pname
 
     def ingest_many(self, tuple_sets: Sequence[TupleSet]) -> List[PName]:
         """Batched :meth:`ingest`: one backend batch write for the fresh records.
@@ -216,6 +226,11 @@ class PassStore(LineageOracle):
         self.backend.put_batch([(record, payload) for _, record, payload in fresh])
         for pname, record, _ in fresh:
             self._index_record(pname, record)
+        # Hooks fire only after the *whole* batch (backend transaction and
+        # every record's indexes/graph edges) has committed, so a hook that
+        # queries the store mid-batch cannot observe a torn batch either.
+        for pname, record, _ in fresh:
+            self._fire_ingest_hooks(pname, record)
         return pnames
 
     def _register(self, record: ProvenanceRecord, payload: Optional[bytes]) -> PName:
@@ -248,6 +263,30 @@ class PassStore(LineageOracle):
         if isinstance(location, GeoPoint):
             self.spatial_index.add(pname, location)
         self.statistics.observe(record)
+
+    # ------------------------------------------------------------------
+    # Post-commit ingest hooks (the repro.stream notification path)
+    # ------------------------------------------------------------------
+    def add_ingest_hook(self, hook: Callable[[PName, ProvenanceRecord], None]) -> None:
+        """Register an observer called after each *fresh* record commits.
+
+        The hook runs strictly post-commit: backend, provenance graph,
+        closure, all indexes and statistics are already updated when it
+        fires, so the hook may query the store.  Idempotent re-ingests
+        of already-stored records do not fire (nothing new landed).
+        """
+        self._ingest_hooks.append(hook)
+
+    def remove_ingest_hook(self, hook: Callable[[PName, ProvenanceRecord], None]) -> None:
+        """Unregister a previously added ingest hook (missing hooks are ignored)."""
+        try:
+            self._ingest_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def _fire_ingest_hooks(self, pname: PName, record: ProvenanceRecord) -> None:
+        for hook in list(self._ingest_hooks):
+            hook(pname, record)
 
     # ------------------------------------------------------------------
     # Basic retrieval

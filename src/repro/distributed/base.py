@@ -33,11 +33,14 @@ from repro.core.provenance import PName
 from repro.core.query import Predicate, Query
 from repro.query.explain import Explain
 from repro.core.tupleset import TupleSet
-from repro.errors import UnknownEntityError
+from repro.errors import NetworkError, UnknownEntityError
 from repro.net.simulator import NetworkSimulator
 from repro.net.topology import Topology
 
-__all__ = ["OperationResult", "ArchitectureModel", "estimate_record_bytes"]
+__all__ = ["OperationResult", "ArchitectureModel", "estimate_record_bytes", "NOTIFY_BYTES"]
+
+#: wire size of one subscription notification (pname + matched-event header)
+NOTIFY_BYTES = 144
 
 
 def estimate_record_bytes(tuple_set: TupleSet) -> int:
@@ -102,8 +105,13 @@ class ArchitectureModel(ABC):
         self.network = network if network is not None else NetworkSimulator(topology)
         self.published = 0
         self.queries_run = 0
+        self.notifications_sent = 0
+        self.notifications_suppressed = 0  # undeliverable (e.g. partitioned subscriber)
         #: per-site Explains of the most recent query (ModelClient.explain)
         self._query_explains: List["Explain"] = []
+        #: standing-subscription engines, attached by ModelClient.subscribe();
+        #: a list so several clients wrapping one model all keep receiving
+        self.stream_engines: List = []
 
     # ------------------------------------------------------------------
     # Interface
@@ -210,6 +218,69 @@ class ArchitectureModel(ABC):
             result.add_site(site)
 
     # ------------------------------------------------------------------
+    # Live subscriptions (repro.stream)
+    # ------------------------------------------------------------------
+    def attach_stream_engine(self, engine) -> None:
+        """Attach a :class:`~repro.stream.engine.StreamEngine` (additive).
+
+        Once attached, every publish runs the engine's incremental match
+        and disseminates each delivery as one simulated ``notify``
+        message, so the architectures' dissemination cost becomes part
+        of the Section IV resource-consumption comparison.  Attaching is
+        additive -- like the local store's ingest-hook list, a second
+        client wrapping the same model never displaces the first.
+        """
+        if engine not in self.stream_engines:
+            self.stream_engines.append(engine)
+
+    def detach_stream_engine(self, engine) -> None:
+        """Detach a previously attached engine (missing engines are ignored)."""
+        try:
+            self.stream_engines.remove(engine)
+        except ValueError:
+            pass
+
+    def _notify_subscribers(
+        self,
+        tuple_set: TupleSet,
+        origin_site: str,
+        result: OperationResult,
+        source: Optional[str] = None,
+    ) -> None:
+        """Match a just-published tuple set and charge ``notify`` messages.
+
+        ``source`` is the site the architecture disseminates from -- the
+        warehouse for the centralized model, the placement/home site for
+        partitioned models, the producing site otherwise.  Notifications
+        are push-style and asynchronous: their messages and bytes are
+        charged onto the publish result (resource consumption), but
+        their latency is *not* added to the publish critical path.
+
+        Delivery is gated on the simulated send: a subscriber behind a
+        network partition genuinely misses the event (nothing lands in
+        its queue/callback; the loss is counted and noted on the
+        result) -- matching and window state still advance at the
+        disseminating site, only the notification message is lost.
+        """
+        if not self.stream_engines:
+            return
+        sender = source if source is not None else origin_site
+        for engine in list(self.stream_engines):
+            matched = engine.match(tuple_set.pname, tuple_set.provenance)
+            for subscription, event in matched:
+                destination = subscription.site if subscription.site is not None else origin_site
+                try:
+                    self.network.send(sender, destination, NOTIFY_BYTES, "notify")
+                except NetworkError:
+                    self.notifications_suppressed += 1
+                    result.notes.append(f"notify to {destination} dropped: unreachable")
+                    continue
+                self.notifications_sent += 1
+                result.messages += 1
+                result.bytes += NOTIFY_BYTES
+                engine.deliver_one(subscription, event)
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def traffic_snapshot(self) -> dict:
@@ -224,6 +295,8 @@ class ArchitectureModel(ABC):
             "requires_stable_hosts": self.requires_stable_hosts,
             "published": self.published,
             "queries_run": self.queries_run,
+            "notifications_sent": self.notifications_sent,
+            "notifications_suppressed": self.notifications_suppressed,
             "sites": len(self.topology),
         }
 

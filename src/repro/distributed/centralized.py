@@ -118,6 +118,9 @@ class CentralizedWarehouse(ArchitectureModel):
         )
         result.pnames = [tuple_set.pname]
         self.published += 1
+        # Subscribers are notified by the warehouse, which is where the
+        # match happens -- dissemination cost scales with its fan-out.
+        self._notify_subscribers(tuple_set, origin_site, result, source=self.warehouse_site)
         return result
 
     def publish_batch(self, tuple_sets, origin_site: str) -> OperationResult:
@@ -150,6 +153,8 @@ class CentralizedWarehouse(ArchitectureModel):
             self.warehouse_site,
         )
         self.published += len(tuple_sets)
+        for tuple_set in tuple_sets:
+            self._notify_subscribers(tuple_set, origin_site, result, source=self.warehouse_site)
         return result
 
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:

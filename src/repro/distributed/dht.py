@@ -188,6 +188,12 @@ class DistributedHashTable(ArchitectureModel):
 
         result.pnames = [pname]
         self.published += 1
+        # The ring node that received the record's put pushes the
+        # notifications -- placement ignores geography, so dissemination
+        # pays the same locality penalty the paper complains about.
+        self._notify_subscribers(
+            tuple_set, origin_site, result, source=self._data_location[pname.digest]
+        )
         return result
 
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:

@@ -117,6 +117,9 @@ class DistributedDatabase(ArchitectureModel):
         result.sites_contacted = sorted(participants)
         result.pnames = [pname]
         self.published += 1
+        # The record's home partition saw the committed write; it pushes
+        # the notifications.
+        self._notify_subscribers(tuple_set, origin_site, result, source=home)
         return result
 
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:

@@ -161,6 +161,9 @@ class FederatedDatabase(ArchitectureModel):
         self._charge(result, message.latency_ms, 1, message.size_bytes, origin_site)
         result.pnames = [tuple_set.pname]
         self.published += 1
+        # Autonomous sites push their own notifications from where the
+        # data lives (no mediator on the dissemination path).
+        self._notify_subscribers(tuple_set, origin_site, result)
         return result
 
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:

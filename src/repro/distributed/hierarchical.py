@@ -123,6 +123,8 @@ class HierarchicalNamespace(ArchitectureModel):
         )
         result.pnames = [tuple_set.pname]
         self.published += 1
+        # The namespace server owning the path component disseminates.
+        self._notify_subscribers(tuple_set, origin_site, result, source=server)
         return result
 
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:

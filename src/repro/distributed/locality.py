@@ -136,6 +136,9 @@ class LocaleAwarePass(ArchitectureModel):
 
         result.pnames = [tuple_set.pname]
         self.published += 1
+        # The home (placement) site holds the committed record and pushes
+        # the notifications; locale-aware placement keeps them short-haul.
+        self._notify_subscribers(tuple_set, origin_site, result, source=home)
         return result
 
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:

@@ -176,6 +176,11 @@ class SoftStateIndex(ArchitectureModel):
         self._charge(result, message.latency_ms, 1, message.size_bytes, origin_site)
         result.pnames = [tuple_set.pname]
         self.published += 1
+        # Notifications are producer-pushed immediately -- unlike the zone
+        # *indexes*, which stay stale until the next soft-state refresh.
+        # That split is the point: streaming dissemination is exactly what
+        # the soft-state architecture is built for.
+        self._notify_subscribers(tuple_set, origin_site, result)
         return result
 
     def remove(self, pname: PName) -> None:

@@ -1,0 +1,42 @@
+"""repro.stream -- continuous queries and live subscriptions.
+
+The ingest-path counterpart of :mod:`repro.query`: standing predicates
+(registered through the same ``Q`` DSL and normalizer the pull planner
+uses) are compiled into an attribute-keyed dispatch index and matched
+incrementally as tuple sets land, with sliding/tumbling window
+aggregations and incremental lineage triggers on top.
+
+Most callers never touch this package directly -- they call
+``client.subscribe(...)`` / ``client.subscribe_descendants(...)`` on any
+:func:`repro.api.connect` target and consume
+:class:`~repro.stream.subscription.MatchEvent` /
+:class:`~repro.stream.subscription.WindowEvent` /
+:class:`~repro.stream.subscription.LineageEvent` objects.  See
+``docs/STREAMS.md``.
+"""
+
+from repro.stream.dispatch import DispatchIndex
+from repro.stream.engine import StreamEngine
+from repro.stream.subscription import (
+    OVERFLOW_POLICIES,
+    DeliveryQueue,
+    LineageEvent,
+    MatchEvent,
+    Subscription,
+    WindowEvent,
+)
+from repro.stream.windows import AGGREGATES, WindowAggregator, WindowSpec
+
+__all__ = [
+    "AGGREGATES",
+    "OVERFLOW_POLICIES",
+    "DeliveryQueue",
+    "DispatchIndex",
+    "LineageEvent",
+    "MatchEvent",
+    "StreamEngine",
+    "Subscription",
+    "WindowAggregator",
+    "WindowEvent",
+    "WindowSpec",
+]

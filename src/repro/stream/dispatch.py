@@ -1,0 +1,206 @@
+"""The attribute-keyed dispatch index for standing queries.
+
+With naive dispatch, every ingested record is evaluated against every
+standing predicate: O(subscriptions) full evaluations per record.  The
+dispatch index inverts that, the way content-based publish/subscribe
+matchers do: at registration time each (normalized) predicate is
+compiled into **anchor groups** -- attribute facts a matching record
+must exhibit -- and at ingest time the record's own attributes probe the
+anchor postings.  A subscription becomes a candidate only when *every*
+one of its groups is hit (the counting algorithm), so conjunctions prune
+multiplicatively: ``domain == 'traffic' & city == 'london'`` is only
+evaluated for records exhibiting **both** facts, not for all traffic
+records everywhere.
+
+Anchor soundness is the whole game: a group may only be demanded when a
+record missing all of its anchors *cannot* match the predicate.
+
+* ``AttributeEquals(a, v)`` -> group {a == v} (keyed on the canonical
+  encoding, the same equality the predicate itself uses),
+* ``AttributeIn(a, vs)`` -> one group holding an equality anchor per
+  value (any one satisfies the group),
+* range / contains / exists / near / time-window predicates -> group
+  {record carries the attribute} (presence anchor),
+* ``And`` -> the concatenation of every anchorable conjunct's groups
+  (all must hold; unanchorable conjuncts contribute nothing),
+* ``Or`` -> one group holding the union of all branch anchors -- any
+  matching branch hits it; one unanchorable branch poisons the whole
+  predicate into the scan bucket,
+* everything else (negated leaves -- which can match records *lacking*
+  the attribute -- agent/annotation/rawness predicates, ``TRUE``) lands
+  in the scan bucket and is evaluated for every record.
+
+The index never answers membership itself; it only prunes.  The full
+predicate always runs on the candidates, so indexed and naive dispatch
+match *identical* record sets (property-tested in
+``tests/stream/test_dispatch_index.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.attributes import canonical_encode
+from repro.core.provenance import ProvenanceRecord
+from repro.core.query import (
+    And,
+    AttributeContains,
+    AttributeEquals,
+    AttributeExists,
+    AttributeIn,
+    AttributeRange,
+    NearLocation,
+    Or,
+    Predicate,
+    TimeWindowOverlaps,
+)
+
+__all__ = ["DispatchIndex", "anchor_groups_for"]
+
+#: anchor tuples: ("eq", attr, encoded_value) or ("attr", attr)
+_Anchor = Tuple
+#: a group is satisfied when any one of its anchors is hit
+_Group = List
+
+
+def _leaf_groups(predicate: Predicate) -> Optional[List[_Group]]:
+    """Anchor groups of one non-combinator predicate, or None when unanchorable."""
+    if isinstance(predicate, AttributeEquals):
+        return [[("eq", predicate.name, canonical_encode(predicate.value))]]
+    if isinstance(predicate, AttributeIn):
+        if not predicate.values:
+            return None
+        return [[("eq", predicate.name, canonical_encode(v)) for v in predicate.values]]
+    if isinstance(predicate, (AttributeRange, AttributeContains, AttributeExists, NearLocation)):
+        return [[("attr", predicate.name)]]
+    if isinstance(predicate, TimeWindowOverlaps):
+        return [[("attr", predicate.start_attr)]]
+    return None
+
+
+def anchor_groups_for(predicate: Predicate) -> Optional[List[_Group]]:
+    """The anchor groups of a normalized predicate, or None for the scan bucket.
+
+    Semantics: a record can match only if every returned group has at
+    least one hit among the record's attribute facts.
+    """
+    if isinstance(predicate, And):
+        groups: List[_Group] = []
+        for part in predicate.parts:
+            candidate = anchor_groups_for(part)
+            if candidate is not None:
+                groups.extend(candidate)
+        return groups or None
+    if isinstance(predicate, Or):
+        union: _Group = []
+        for part in predicate.parts:
+            candidate = anchor_groups_for(part)
+            if candidate is None:
+                return None  # one unanchorable branch poisons the disjunction
+            # A record matching this branch hits each of the branch's
+            # groups, so it certainly hits the union of all its anchors.
+            for group in candidate:
+                union.extend(group)
+        return [union] if union else None
+    return _leaf_groups(predicate)
+
+
+class DispatchIndex:
+    """Maps attribute facts of incoming records to candidate subscription ids."""
+
+    def __init__(self) -> None:
+        #: (attr, encoded value) -> [(subscription id, group index), ...]
+        self._eq: Dict[Tuple[str, str], List[Tuple[str, int]]] = {}
+        #: attr -> [(subscription id, group index), ...]
+        self._attr: Dict[str, List[Tuple[str, int]]] = {}
+        #: attribute names with any equality postings (skips encoding work)
+        self._eq_names: Set[str] = set()
+        #: subscription id -> number of groups that must be hit
+        self._required: Dict[str, int] = {}
+        self._scan: Set[str] = set()
+        self._placement: Dict[str, List[_Group]] = {}
+
+    def __len__(self) -> int:
+        return len(self._placement) + len(self._scan)
+
+    def add(self, subscription_id: str, predicate: Predicate) -> str:
+        """Register a (normalized) predicate; returns the bucket kind used."""
+        groups = anchor_groups_for(predicate)
+        if groups is None:
+            self._scan.add(subscription_id)
+            return "scan"
+        self._placement[subscription_id] = groups
+        self._required[subscription_id] = len(groups)
+        anchored_eq = False
+        for group_index, group in enumerate(groups):
+            for anchor in group:
+                if anchor[0] == "eq":
+                    key = (anchor[1], anchor[2])
+                    self._eq.setdefault(key, []).append((subscription_id, group_index))
+                    self._eq_names.add(anchor[1])
+                    anchored_eq = True
+                else:
+                    self._attr.setdefault(anchor[1], []).append((subscription_id, group_index))
+        return "eq" if anchored_eq else "attr"
+
+    def remove(self, subscription_id: str) -> None:
+        """Drop a subscription from every posting it was registered under."""
+        if subscription_id in self._scan:
+            self._scan.discard(subscription_id)
+            return
+        groups = self._placement.pop(subscription_id, None)
+        self._required.pop(subscription_id, None)
+        if groups is None:
+            return
+        for group_index, group in enumerate(groups):
+            for anchor in group:
+                if anchor[0] == "eq":
+                    key = (anchor[1], anchor[2])
+                    postings = self._eq.get(key)
+                    if postings is not None:
+                        postings[:] = [p for p in postings if p[0] != subscription_id]
+                        if not postings:
+                            del self._eq[key]
+                else:
+                    postings = self._attr.get(anchor[1])
+                    if postings is not None:
+                        postings[:] = [p for p in postings if p[0] != subscription_id]
+                        if not postings:
+                            del self._attr[anchor[1]]
+        self._eq_names = {name for name, _ in self._eq}
+
+    def candidates(self, record: ProvenanceRecord) -> Set[str]:
+        """Subscription ids whose predicates could match ``record``.
+
+        The counting pass: walk the postings of every attribute fact the
+        record exhibits, tally distinct groups hit per subscription, and
+        keep the subscriptions whose every group was hit.
+        """
+        found: Set[str] = set(self._scan)
+        if not self._eq and not self._attr:
+            return found
+        hits: Dict[str, Set[int]] = {}
+        for name, value in record.attributes.items():
+            presence = self._attr.get(name)
+            if presence:
+                for subscription_id, group_index in presence:
+                    hits.setdefault(subscription_id, set()).add(group_index)
+            if name in self._eq_names:
+                equality = self._eq.get((name, canonical_encode(value)))
+                if equality:
+                    for subscription_id, group_index in equality:
+                        hits.setdefault(subscription_id, set()).add(group_index)
+        required = self._required
+        for subscription_id, groups_hit in hits.items():
+            if len(groups_hit) >= required[subscription_id]:
+                found.add(subscription_id)
+        return found
+
+    def stats(self) -> dict:
+        """Bucket occupancy, for ``StreamEngine.stats()``."""
+        return {
+            "subscriptions": len(self),
+            "equality_keys": len(self._eq),
+            "presence_keys": len(self._attr),
+            "scan_bucket": len(self._scan),
+        }

@@ -1,0 +1,264 @@
+"""Subscriptions and their delivery channels.
+
+A subscription couples a standing interest (a predicate, a window
+aggregation over a predicate, or a lineage watch) with a *delivery
+channel*: either a callback invoked synchronously on the ingest path, or
+a bounded pull queue the consumer drains at its own pace.
+
+Bounded queues need an explicit overflow policy, because a streaming
+producer does not wait for slow consumers by default:
+
+* ``"drop-oldest"`` (the default) -- the queue keeps the most recent
+  events; evicted events are counted in ``Subscription.stats()`` so the
+  loss is visible, never silent,
+* ``"block"`` -- the ingest path blocks until the consumer makes room;
+  only sensible when the consumer runs on another thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+from repro.core.provenance import PName, ProvenanceRecord
+from repro.core.query import Query
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "OVERFLOW_POLICIES",
+    "MatchEvent",
+    "WindowEvent",
+    "LineageEvent",
+    "DeliveryQueue",
+    "Subscription",
+]
+
+OVERFLOW_POLICIES = ("drop-oldest", "block")
+
+
+def _validate_queue_options(maxsize: int, overflow: str) -> None:
+    """Shared validation: also applied to callback subscriptions, so a
+    typo'd policy surfaces immediately rather than when someone later
+    switches the subscription to pull delivery."""
+    if maxsize <= 0:
+        raise ConfigurationError("delivery queue maxsize must be positive")
+    if overflow not in OVERFLOW_POLICIES:
+        raise ConfigurationError(
+            f"unknown overflow policy {overflow!r}; expected one of {OVERFLOW_POLICIES}"
+        )
+
+
+@dataclass(frozen=True)
+class MatchEvent:
+    """A freshly ingested tuple set matched a standing query."""
+
+    subscription_id: str
+    pname: PName
+    record: ProvenanceRecord
+
+
+@dataclass(frozen=True)
+class WindowEvent:
+    """A window closed: one aggregate value over the records it admitted."""
+
+    subscription_id: str
+    window_start: float
+    window_end: float
+    group: Optional[object]
+    aggregate: str
+    value: Optional[float]
+    count: int
+
+
+@dataclass(frozen=True)
+class LineageEvent:
+    """A new (transitive) descendant of a watched tuple set was published."""
+
+    subscription_id: str
+    watched: PName
+    pname: PName
+    record: ProvenanceRecord
+
+
+class DeliveryQueue:
+    """A bounded, thread-safe event queue with an explicit overflow policy."""
+
+    def __init__(self, maxsize: int = 256, overflow: str = "drop-oldest") -> None:
+        _validate_queue_options(maxsize, overflow)
+        self.maxsize = maxsize
+        self.overflow = overflow
+        self.dropped = 0
+        self._events: deque = deque()
+        self._condition = threading.Condition()
+        self._closed = False
+
+    def put(self, event) -> bool:
+        """Enqueue one event; returns True when *this* event landed.
+
+        Under ``"block"`` the call waits for space (the consumer must run
+        elsewhere); under ``"drop-oldest"`` the oldest queued event is
+        evicted -- counted in :attr:`dropped` -- and the new event always
+        lands.  Only a closed queue refuses the new event itself.
+        """
+        with self._condition:
+            if self._closed:
+                self.dropped += 1
+                return False
+            if self.overflow == "block":
+                while len(self._events) >= self.maxsize and not self._closed:
+                    self._condition.wait()
+                if self._closed:
+                    self.dropped += 1
+                    return False
+                self._events.append(event)
+                self._condition.notify_all()
+                return True
+            if len(self._events) >= self.maxsize:
+                self._events.popleft()
+                self.dropped += 1
+            self._events.append(event)
+            self._condition.notify_all()
+            return True
+
+    def get(self, timeout: Optional[float] = 0.0):
+        """Dequeue one event, or ``None`` when empty after ``timeout`` seconds.
+
+        ``timeout=0`` polls; ``timeout=None`` waits until an event arrives
+        or the queue is closed.
+        """
+        with self._condition:
+            if not self._events and not self._closed and timeout != 0.0:
+                self._condition.wait_for(
+                    lambda: self._events or self._closed, timeout=timeout
+                )
+            if not self._events:
+                return None
+            event = self._events.popleft()
+            self._condition.notify_all()
+            return event
+
+    def drain(self) -> List[object]:
+        """Every currently queued event, removed from the queue."""
+        with self._condition:
+            events = list(self._events)
+            self._events.clear()
+            self._condition.notify_all()
+            return events
+
+    def close(self) -> None:
+        """Stop accepting events and wake any blocked producer/consumer."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._events)
+
+
+class Subscription:
+    """One standing interest registered with a :class:`~repro.stream.engine.StreamEngine`.
+
+    Constructed by the engine's ``subscribe*`` methods, never directly.
+    Delivery goes to ``callback`` when one was given, otherwise to the
+    bounded pull :attr:`queue` (read via :meth:`poll`, :meth:`drain` or
+    :meth:`events`).
+    """
+
+    def __init__(
+        self,
+        subscription_id: str,
+        kind: str,
+        query: Optional[Query] = None,
+        watched: Optional[PName] = None,
+        window=None,
+        site: Optional[str] = None,
+        callback: Optional[Callable[[object], None]] = None,
+        maxsize: int = 256,
+        overflow: str = "drop-oldest",
+        name: Optional[str] = None,
+    ) -> None:
+        self.id = subscription_id
+        self.seq = 0  # registration order, assigned by the engine
+        self.kind = kind  # "query" | "window" | "lineage"
+        self.query = query
+        self.watched = watched
+        self.window = window
+        self.site = site
+        self.name = name
+        self.callback = callback
+        if callback is None:
+            self.queue = DeliveryQueue(maxsize, overflow)
+        else:
+            _validate_queue_options(maxsize, overflow)
+            self.queue = None
+        self.active = True
+        self.matched = 0
+        self.delivered = 0
+        self.errors = 0  # callback invocations that raised (engine-counted)
+
+    # -- delivery (engine side) -----------------------------------------
+    def deliver(self, event) -> bool:
+        """Hand one event to the consumer; returns True when it landed.
+
+        An event refused by a closed queue counts as dropped, never as
+        delivered -- ``delivered`` only tallies events the consumer can
+        actually observe.  (``matched`` is counted by the engine at match
+        time, so a notification lost on the simulated network still shows
+        up as matched-but-not-delivered.)
+        """
+        if self.callback is not None:
+            self.callback(event)
+            self.delivered += 1
+            return True
+        landed = self.queue.put(event)
+        if landed:
+            self.delivered += 1
+        return landed
+
+    # -- consumption (consumer side) ------------------------------------
+    def poll(self, timeout: Optional[float] = 0.0):
+        """Next pending event, or ``None`` (callback subscriptions have no queue)."""
+        if self.queue is None:
+            return None
+        return self.queue.get(timeout)
+
+    def drain(self) -> List[object]:
+        """All pending events at once (empty for callback subscriptions)."""
+        if self.queue is None:
+            return []
+        return self.queue.drain()
+
+    def events(self, timeout: Optional[float] = 0.0) -> Iterator[object]:
+        """Iterate over pending events until the queue runs dry (or closes)."""
+        while True:
+            event = self.poll(timeout)
+            if event is None:
+                return
+            yield event
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the overflow policy (0 for callback delivery)."""
+        return self.queue.dropped if self.queue is not None else 0
+
+    def stats(self) -> dict:
+        """Per-subscription counters for reports and ``client.stats()``."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "name": self.name,
+            "site": self.site,
+            "active": self.active,
+            "matched": self.matched,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "errors": self.errors,
+            "pending": len(self.queue) if self.queue is not None else 0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or self.id
+        return f"<Subscription {label} kind={self.kind} active={self.active}>"

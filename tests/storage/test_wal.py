@@ -119,3 +119,63 @@ class TestWriteAheadLog:
         wal.replay(fresh)
         for record in records:
             assert fresh.has_record(record.pname())
+
+
+def _backend_state(backend: MemoryBackend) -> tuple:
+    """A full, comparable snapshot of what the backend holds."""
+    records = {}
+    payloads = {}
+    for pname, record in backend.iter_records():
+        records[pname.digest] = record.to_json()
+        payloads[pname.digest] = backend.get_payload(pname)
+    removed = {pname.digest for pname in backend.removed_pnames()}
+    return records, payloads, removed
+
+
+class TestReplayIdempotency:
+    """Replaying the same log N times yields the identical backend state."""
+
+    def _populated_wal(self, tmp_path, torn_tail: bool):
+        wal = WriteAheadLog(tmp_path / "log.wal")
+        first, second, third = _record("a"), _record("b"), _record("c")
+        wal.log_put_record(first)
+        wal.log_put_payload(first.pname(), b"\x01\x02\x03")
+        wal.log_put_record(second)
+        wal.log_mark_removed(second.pname())
+        if torn_tail:
+            wal.inject_torn_write()
+        wal.log_put_record(third)  # torn when requested: must be discarded
+        return wal
+
+    @pytest.mark.parametrize("torn_tail", [False, True])
+    def test_double_replay_matches_single_replay(self, tmp_path, torn_tail):
+        wal = self._populated_wal(tmp_path, torn_tail)
+
+        once = MemoryBackend()
+        wal.replay(once)
+        twice = MemoryBackend()
+        wal.replay(twice)
+        second_report = wal.replay(twice)
+
+        assert _backend_state(once) == _backend_state(twice)
+        # The second pass applied nothing: every intact entry was a duplicate.
+        assert second_report.applied == 0
+        assert second_report.skipped_duplicate == len(wal.entries())
+
+    def test_torn_final_line_is_discarded_both_times(self, tmp_path):
+        wal = self._populated_wal(tmp_path, torn_tail=True)
+        backend = MemoryBackend()
+        first = wal.replay(backend)
+        second = wal.replay(backend)
+        assert first.skipped_corrupt == 1
+        assert second.skipped_corrupt == 1
+        # The torn record never materializes, no matter how often we replay.
+        assert backend.record_count() == 2
+
+    def test_replay_onto_already_recovered_backend_is_a_noop(self, tmp_path):
+        wal = self._populated_wal(tmp_path, torn_tail=False)
+        backend = MemoryBackend()
+        wal.replay(backend)
+        before = _backend_state(backend)
+        wal.replay(backend)
+        assert _backend_state(backend) == before

@@ -137,3 +137,57 @@ class TestExperimentsCommand:
         out = io.StringIO()
         assert main(["experiments", "e14"], out=out) == 0
         assert "[E14]" in out.getvalue()
+
+
+class TestWatchCommand:
+    def test_matches_stream_live(self):
+        out = io.StringIO()
+        code = main(
+            ["watch", "traffic", "city=london", "--hours", "0.5", "--limit", "3"], out=out
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert text.count("match ") == 3  # capped by --limit
+        assert "city=london" in text
+        assert "event(s) matched" in text
+
+    def test_window_aggregation_mode(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "watch", "traffic", "city=london",
+                "--every", "600", "--aggregate", "count",
+                "--hours", "0.5",
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "window [" in text
+        assert "count=" in text
+
+    def test_distributed_target_reports_notify_traffic(self):
+        out = io.StringIO()
+        code = main(
+            ["watch", "traffic", "city=london", "--hours", "0.5", "--store", "centralized://"],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "notify message(s)" in text
+
+    def test_malformed_predicate_rejected(self):
+        assert main(["watch", "traffic", "city:london"], out=io.StringIO()) == 2
+
+    def test_window_flags_require_every(self):
+        assert main(["watch", "traffic", "--group-by", "city"], out=io.StringIO()) == 2
+        # A non-default aggregate without --every must error, not be
+        # silently dropped into a plain match tail.
+        assert main(["watch", "traffic", "--aggregate", "sum"], out=io.StringIO()) == 2
+
+    def test_bad_aggregation_rejected_cleanly(self):
+        # mean without --value-attr is a WindowSpec configuration error.
+        assert main(
+            ["watch", "traffic", "--every", "600", "--aggregate", "mean"],
+            out=io.StringIO(),
+        ) == 2
