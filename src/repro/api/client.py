@@ -39,6 +39,7 @@ from repro.distributed.base import ArchitectureModel, OperationResult
 from repro.errors import ConfigurationError, PassError
 from repro.net.topology import Topology
 from repro.query.explain import Explain
+from repro.sim.workload import SimReport, simulate_publish_workload
 from repro.stream.engine import StreamEngine
 from repro.stream.subscription import Subscription
 from repro.stream.windows import WindowSpec
@@ -372,6 +373,7 @@ class LocalClient(PassClient):
                 "statistics": self.store.statistics.snapshot(),
             },
             "stream": self._stream_stats(),
+            "sim": SimReport.disabled_snapshot("local store: no simulated network"),
         }
 
     def describe_record(self, pname) -> Optional[ProvenanceRecord]:
@@ -528,7 +530,39 @@ class ModelClient(PassClient):
         # cost is readable here without reaching into the simulator.
         facts["traffic"] = self.model.traffic_snapshot()
         facts["stream"] = self._stream_stats()
+        report = getattr(self.model.network, "last_sim_report", None)
+        facts["sim"] = (
+            report.snapshot() if report is not None else SimReport.disabled_snapshot()
+        )
         return facts
+
+    def simulate(
+        self,
+        tuple_sets: Sequence[TupleSet],
+        *,
+        clients: int = 1,
+        config=None,
+        schedule=None,
+        think_ms: float = 0.0,
+    ) -> SimReport:
+        """Publish ``tuple_sets`` through N concurrent simulated clients.
+
+        Runs the discrete-event kernel over this client's model: client
+        ``i`` publishes every ``clients``-th tuple set, closed-loop,
+        from a pinned origin site; message hops queue at shared site
+        servers and timed :class:`~repro.sim.schedule.Schedule` events
+        partition/heal sites mid-run.  The returned
+        :class:`~repro.sim.workload.SimReport` (latency percentiles,
+        per-site utilization) also becomes ``stats()["sim"]``.
+        """
+        return simulate_publish_workload(
+            self.model,
+            tuple_sets,
+            clients=clients,
+            config=config,
+            schedule=schedule,
+            think_ms=think_ms,
+        )
 
     @property
     def supports_lineage(self) -> bool:

@@ -20,7 +20,12 @@ Three subcommands cover what a user wants from a terminal:
   query (``repro.stream``) and tail its matches live while the
   generated workload streams into the target; ``--every SECONDS``
   switches to window aggregation (``--aggregate``, ``--value-attr``,
-  ``--group-by``, ``--slide``).
+  ``--group-by``, ``--slide``),
+* ``simulate`` -- publish a generated workload through ``--clients N``
+  concurrent closed-loop clients over the discrete-event kernel
+  (``repro.sim``) against an architecture model, optionally applying a
+  ``--schedule churn.json`` of timed partition/heal/churn events, and
+  print latency percentiles plus per-site utilization.
 
 The CLI is a thin veneer over the library; everything it does is
 available programmatically, and the storage/architecture target is a
@@ -190,6 +195,46 @@ def build_parser() -> argparse.ArgumentParser:
         default="memory://",
         help="connect() URL of the target (default: memory://)",
     )
+
+    simulate = subcommands.add_parser(
+        "simulate",
+        help="publish a workload through N concurrent simulated clients (repro.sim)",
+    )
+    simulate.add_argument("domain", choices=sorted(_WORKLOADS), help="which domain to simulate")
+    simulate.add_argument(
+        "--store",
+        default="centralized://",
+        help="connect() URL of an architecture model (local stores have no network)",
+    )
+    simulate.add_argument(
+        "--clients", type=int, default=8, help="concurrent closed-loop clients (default: 8)"
+    )
+    simulate.add_argument(
+        "--ops", type=int, default=None, help="cap on total tuple sets published"
+    )
+    simulate.add_argument(
+        "--schedule",
+        default=None,
+        metavar="FILE",
+        help="JSON file of timed partition/heal/churn events",
+    )
+    simulate.add_argument(
+        "--service-ms",
+        type=float,
+        default=0.05,
+        help="per-message service time at each site server (default: 0.05)",
+    )
+    simulate.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        help="propagation latency jitter fraction in [0, 1) (default: 0)",
+    )
+    simulate.add_argument(
+        "--think-ms", type=float, default=0.0, help="client pause between operations"
+    )
+    simulate.add_argument("--hours", type=float, default=1.0)
+    simulate.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -422,6 +467,101 @@ def _cmd_watch(args, out) -> int:
     return 0
 
 
+def _format_summary(summary) -> str:
+    return (
+        f"mean {summary['mean']:g}  p50 {summary['p50']:g}  "
+        f"p95 {summary['p95']:g}  p99 {summary['p99']:g}  max {summary['max']:g}"
+    )
+
+
+def _cmd_simulate(args, out) -> int:
+    """Drive a concurrent-client discrete-event run and print its report."""
+    from repro.errors import ConfigurationError
+    from repro.sim import Schedule, SimConfig
+
+    schedule = None
+    if args.schedule is not None:
+        try:
+            schedule = Schedule.load(args.schedule)
+        except (OSError, ConfigurationError) as error:
+            print(f"error: cannot load schedule {args.schedule!r}: {error}", file=sys.stderr)
+            return 2
+    try:
+        config = SimConfig(
+            seed=args.seed,
+            service_ms_per_message=args.service_ms,
+            jitter=args.jitter,
+            journal=True,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    workload = _WORKLOADS[args.domain](seed=args.seed)
+    raw, derived = workload.all_sets(hours=args.hours)
+    tuple_sets = raw + derived
+    if args.ops is not None:
+        tuple_sets = tuple_sets[: args.ops]
+
+    client = connect(args.store)
+    if not hasattr(client, "simulate"):
+        print(
+            f"error: {args.store!r} is a local store; "
+            "simulate needs an architecture model (e.g. centralized://, dht://?sites=32)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = client.simulate(
+            tuple_sets,
+            clients=args.clients,
+            config=config,
+            schedule=schedule,
+            think_ms=args.think_ms,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(f"target:             {args.store} ({client.target})", file=out)
+    print(f"clients:            {report.clients} concurrent, closed loop", file=out)
+    print(
+        f"operations:         {len(report.records) - report.failed()} ok, "
+        f"{report.failed()} failed",
+        file=out,
+    )
+    print(f"virtual time:       {report.virtual_ms:g} ms", file=out)
+    print(
+        f"kernel events:      {report.events} "
+        f"({report.events_per_second():,.0f} events/s wall)",
+        file=out,
+    )
+    print(f"latency (all):      {_format_summary(report.summary())}", file=out)
+    for kind, summary in report.by_kind().items():
+        print(f"  {kind:<17} {_format_summary(summary)}", file=out)
+    busiest = sorted(
+        report.sites.items(), key=lambda item: -item[1]["utilization"]
+    )[:5]
+    if busiest:
+        print("site utilization (top 5):", file=out)
+        for site, facts in busiest:
+            print(
+                f"  {site:<17} {facts['utilization'] * 100:5.1f}%  "
+                f"served {facts['served']}  mean wait {facts['mean_wait_ms']:g} ms",
+                file=out,
+            )
+    if report.schedule_applied:
+        print(
+            f"schedule:           {len(report.schedule_applied)} action(s): "
+            + "; ".join(report.schedule_applied),
+            file=out,
+        )
+    if report.notifications_lost:
+        print(f"notifications lost: {report.notifications_lost}", file=out)
+    print(f"journal:            sha256 {report.journal_digest}", file=out)
+    return 0
+
+
 def _cmd_query(args, out) -> int:
     if "=" not in args.predicate:
         print("error: predicate must look like name=value", file=sys.stderr)
@@ -462,6 +602,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_explain(args, out)
     if args.command == "watch":
         return _cmd_watch(args, out)
+    if args.command == "simulate":
+        return _cmd_simulate(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

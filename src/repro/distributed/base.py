@@ -24,6 +24,7 @@ about the model's internals.
 
 from __future__ import annotations
 
+import functools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
@@ -62,6 +63,9 @@ class OperationResult:
     sites_contacted: List[str] = field(default_factory=list)
     #: model-specific notes ("stale index entry", "dangling link", ...)
     notes: List[str] = field(default_factory=list)
+    #: message-exchange structure of the operation, captured by the
+    #: network facade for discrete-event replay (:mod:`repro.sim`)
+    trace: Optional[object] = None
 
     def pname_set(self) -> Set[PName]:
         """The result as a set (order-insensitive comparisons in tests)."""
@@ -90,6 +94,34 @@ class OperationResult:
         return self
 
 
+#: operation methods whose message exchanges are captured as OpTraces
+_TRACED_OPERATIONS = ("publish", "publish_batch", "query", "ancestors", "descendants", "locate")
+
+
+def _traced_operation(kind: str, method):
+    """Capture a model operation's message structure on its network facade.
+
+    The wrapper brackets the call with ``begin_operation``/``end_operation``
+    (re-entrant, so an operation invoking another keeps one trace) and
+    attaches the captured :class:`~repro.sim.trace.OpTrace` to the
+    returned :class:`OperationResult`.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, payload, origin_site, *args, **kwargs):
+        self.network.begin_operation(kind, origin_site)
+        try:
+            result = method(self, payload, origin_site, *args, **kwargs)
+        finally:
+            trace = self.network.end_operation()
+        if trace is not None and isinstance(result, OperationResult):
+            result.trace = trace
+        return result
+
+    wrapper._sim_traced = True
+    return wrapper
+
+
 class ArchitectureModel(ABC):
     """Base class every architecture model extends."""
 
@@ -99,6 +131,22 @@ class ArchitectureModel(ABC):
     supports_lineage = True
     #: Section IV-B/IV-C distinction: does the model require stable hosts?
     requires_stable_hosts = True
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Every concrete operation override is trace-captured automatically.
+
+        Models keep writing plain ``publish``/``query``/... methods; the
+        wrapping makes each an event-emitting exchange the discrete-event
+        kernel can replay, without per-model boilerplate.
+        """
+        super().__init_subclass__(**kwargs)
+        for name in _TRACED_OPERATIONS:
+            method = cls.__dict__.get(name)
+            if method is None or getattr(method, "_sim_traced", False):
+                continue
+            if getattr(method, "__isabstractmethod__", False):
+                continue
+            setattr(cls, name, _traced_operation(name, method))
 
     def __init__(self, topology: Topology, network: Optional[NetworkSimulator] = None) -> None:
         self.topology = topology
@@ -270,7 +318,10 @@ class ArchitectureModel(ABC):
             for subscription, event in matched:
                 destination = subscription.site if subscription.site is not None else origin_site
                 try:
-                    self.network.send(sender, destination, NOTIFY_BYTES, "notify")
+                    # background=True: the hop is captured for kernel
+                    # replay (it loads the disseminating site) but its
+                    # latency stays off the publish critical path.
+                    self.network.send(sender, destination, NOTIFY_BYTES, "notify", background=True)
                 except NetworkError:
                     self.notifications_suppressed += 1
                     result.notes.append(f"notify to {destination} dropped: unreachable")
@@ -284,8 +335,8 @@ class ArchitectureModel(ABC):
     # Reporting
     # ------------------------------------------------------------------
     def traffic_snapshot(self) -> dict:
-        """The model's cumulative network traffic."""
-        return self.network.stats.snapshot()
+        """The model's cumulative network traffic (incl. log-retention facts)."""
+        return self.network.snapshot()
 
     def describe(self) -> Dict[str, object]:
         """Facts about the model used in reports."""
@@ -299,6 +350,13 @@ class ArchitectureModel(ABC):
             "notifications_suppressed": self.notifications_suppressed,
             "sites": len(self.topology),
         }
+
+
+# The base class itself is not a subclass, so its concrete default
+# publish_batch is wrapped here; overrides are wrapped by __init_subclass__.
+ArchitectureModel.publish_batch = _traced_operation(
+    "publish_batch", ArchitectureModel.publish_batch
+)
 
 
 class SiteStores:

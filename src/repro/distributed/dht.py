@@ -244,24 +244,26 @@ class DistributedHashTable(ArchitectureModel):
         )
         matches: List[PName] = []
         reply_latency = 0.0
-        for site in self._sites:
-            local: List[PName] = []
-            for digest, record in self._records[site].items():
-                pname = PName(digest)
-                if query.predicate.matches(pname, record, None):
-                    local.append(pname)
-            result.rows_scanned += len(self._records[site])
-            self._trace_scan(
-                site, len(self._records[site]), len(local), "DHT flood: scan of one node's records"
-            )
-            response = self.network.send(
-                site, origin_site, _POINTER_BYTES * max(1, len(local)), "dht-flood-reply"
-            )
-            reply_latency = max(reply_latency, response.latency_ms)
-            matches.extend(local)
-            result.messages += 2
-            result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
-            result.add_site(site)
+        # Replies race back in parallel; the consumer waits for the slowest.
+        with self.network.parallel():
+            for site in self._sites:
+                local: List[PName] = []
+                for digest, record in self._records[site].items():
+                    pname = PName(digest)
+                    if query.predicate.matches(pname, record, None):
+                        local.append(pname)
+                result.rows_scanned += len(self._records[site])
+                self._trace_scan(
+                    site, len(self._records[site]), len(local), "DHT flood: scan of one node's records"
+                )
+                response = self.network.send(
+                    site, origin_site, _POINTER_BYTES * max(1, len(local)), "dht-flood-reply"
+                )
+                reply_latency = max(reply_latency, response.latency_ms)
+                matches.extend(local)
+                result.messages += 2
+                result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
+                result.add_site(site)
         result.latency_ms += slowest + reply_latency
         result.pnames = sorted(set(matches), key=lambda p: p.digest)
         if query.limit is not None:

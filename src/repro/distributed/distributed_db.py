@@ -91,10 +91,11 @@ class DistributedDatabase(ArchitectureModel):
         prepare_latency = self.network.broadcast(
             origin_site, sorted(participants), _PREPARE_BYTES + record_bytes, "txn-prepare"
         )
-        vote_latency = max(
-            self.network.send(site, origin_site, 32, "txn-vote").latency_ms
-            for site in sorted(participants)
-        )
+        with self.network.parallel():
+            vote_latency = max(
+                self.network.send(site, origin_site, 32, "txn-vote").latency_ms
+                for site in sorted(participants)
+            )
         commit_latency = self.network.broadcast(
             origin_site, sorted(participants), _COMMIT_BYTES, "txn-commit"
         )
@@ -131,13 +132,14 @@ class DistributedDatabase(ArchitectureModel):
         )
         matches: List[PName] = []
         gather_latency = 0.0
-        for site in self._sites:
-            local = self._planned_query(self._stores.store(site), query, result)
-            matches.extend(local)
-            response = self.network.send(
-                site, origin_site, _POINTER_BYTES * max(1, len(local)), "query-response"
-            )
-            gather_latency = max(gather_latency, response.latency_ms)
+        with self.network.parallel():
+            for site in self._sites:
+                local = self._planned_query(self._stores.store(site), query, result)
+                matches.extend(local)
+                response = self.network.send(
+                    site, origin_site, _POINTER_BYTES * max(1, len(local)), "query-response"
+                )
+                gather_latency = max(gather_latency, response.latency_ms)
         unique = sorted(set(matches), key=lambda p: p.digest)
         self._charge(
             result,
@@ -169,26 +171,28 @@ class DistributedDatabase(ArchitectureModel):
             # parallel, so this round's latency is the slowest partition.
             round_latency = 0.0
             contacted: Set[str] = set()
-            for node in sorted(frontier, key=lambda p: p.digest):
-                site = self.partition_for(node)
-                contacted.add(site)
-                request = self.network.send(origin_site, site, 128, "closure-step")
-                store = self._stores.store(site)
-                if node in store.graph:
-                    neighbours = (
-                        store.graph.parents(node) if up else store.graph.children(node)
-                    )
-                else:
-                    neighbours = []
-                response = self.network.send(
-                    site, origin_site, _POINTER_BYTES * max(1, len(neighbours)), "closure-reply"
-                )
-                round_latency = max(round_latency, request.latency_ms + response.latency_ms)
-                for neighbour in neighbours:
-                    if neighbour not in found and neighbour.digest != pname.digest:
-                        next_frontier.add(neighbour)
-                result.messages += 2
-                result.bytes += 128 + _POINTER_BYTES * max(1, len(neighbours))
+            with self.network.parallel() as fanout:
+                for node in sorted(frontier, key=lambda p: p.digest):
+                    site = self.partition_for(node)
+                    contacted.add(site)
+                    with fanout.branch():
+                        request = self.network.send(origin_site, site, 128, "closure-step")
+                        store = self._stores.store(site)
+                        if node in store.graph:
+                            neighbours = (
+                                store.graph.parents(node) if up else store.graph.children(node)
+                            )
+                        else:
+                            neighbours = []
+                        response = self.network.send(
+                            site, origin_site, _POINTER_BYTES * max(1, len(neighbours)), "closure-reply"
+                        )
+                    round_latency = max(round_latency, request.latency_ms + response.latency_ms)
+                    for neighbour in neighbours:
+                        if neighbour not in found and neighbour.digest != pname.digest:
+                            next_frontier.add(neighbour)
+                    result.messages += 2
+                    result.bytes += 128 + _POINTER_BYTES * max(1, len(neighbours))
             result.latency_ms += round_latency
             for site in sorted(contacted):
                 result.add_site(site)

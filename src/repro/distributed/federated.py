@@ -171,27 +171,33 @@ class FederatedDatabase(ArchitectureModel):
         result = OperationResult()
         slowest = 0.0
         matches: List[PName] = []
+        # The mediator translates the query into each site's dialect (a
+        # per-site latency cost paid serially at the mediator) before
+        # fanning out; the sites' wrappers map their local names back
+        # onto the shared records, so results are the same as executing
+        # the global query -- federation's penalty is slow access, not
+        # wrong answers.
         for site in self._sites:
-            # The mediator translates the query into the site's dialect (a
-            # per-site latency cost); the site's wrapper maps its local
-            # names back onto the shared records, so results are the same
-            # as executing the global query -- federation's penalty is
-            # slow access, not wrong answers.
-            mapping = self._schemas[site]
-            _ = _rename_predicate(query.predicate, mapping)
-            request = self.network.send(origin_site, site, _QUERY_REQUEST_BYTES, "federated-query")
-            local = self._planned_query(self._stores.store(site), query, result)
-            response = self.network.send(
-                site, origin_site, _POINTER_BYTES * max(1, len(local)), "federated-response"
-            )
-            # Translation happens serially at the mediator; transfer and
-            # evaluation happen in parallel across sites.
-            slowest = max(slowest, request.latency_ms + response.latency_ms)
-            result.latency_ms += self.translation_ms
-            matches.extend(local)
-            result.messages += 2
-            result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
-            result.add_site(site)
+            _ = _rename_predicate(query.predicate, self._schemas[site])
+        result.latency_ms += self.network.local_compute(
+            self.translation_ms * len(self._sites), origin_site
+        )
+        # Transfer and evaluation happen in parallel across sites.
+        with self.network.parallel() as fanout:
+            for site in self._sites:
+                with fanout.branch():
+                    request = self.network.send(
+                        origin_site, site, _QUERY_REQUEST_BYTES, "federated-query"
+                    )
+                    local = self._planned_query(self._stores.store(site), query, result)
+                    response = self.network.send(
+                        site, origin_site, _POINTER_BYTES * max(1, len(local)), "federated-response"
+                    )
+                slowest = max(slowest, request.latency_ms + response.latency_ms)
+                matches.extend(local)
+                result.messages += 2
+                result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
+                result.add_site(site)
         result.latency_ms += slowest
         result.pnames = sorted(set(matches), key=lambda p: p.digest)
         self.queries_run += 1
@@ -218,23 +224,26 @@ class FederatedDatabase(ArchitectureModel):
             result.bytes += len(self._sites) * 160 * len(frontier)
             next_frontier: Set[PName] = set()
             reply_latency = 0.0
-            for site in self._sites:
-                store = self._stores.store(site)
-                neighbours: List[PName] = []
-                for node in frontier:
-                    if node in store.graph:
-                        step = store.graph.parents(node) if up else store.graph.children(node)
-                        neighbours.extend(step)
-                response = self.network.send(
-                    site, origin_site, _POINTER_BYTES * max(1, len(neighbours)), "federated-closure-reply"
-                )
-                reply_latency = max(reply_latency, response.latency_ms)
-                result.messages += 1
-                result.bytes += _POINTER_BYTES * max(1, len(neighbours))
-                for neighbour in neighbours:
-                    if neighbour not in found and neighbour.digest != pname.digest:
-                        next_frontier.add(neighbour)
-            result.latency_ms += round_latency + reply_latency + self.translation_ms * len(self._sites)
+            with self.network.parallel():
+                for site in self._sites:
+                    store = self._stores.store(site)
+                    neighbours: List[PName] = []
+                    for node in frontier:
+                        if node in store.graph:
+                            step = store.graph.parents(node) if up else store.graph.children(node)
+                            neighbours.extend(step)
+                    response = self.network.send(
+                        site, origin_site, _POINTER_BYTES * max(1, len(neighbours)), "federated-closure-reply"
+                    )
+                    reply_latency = max(reply_latency, response.latency_ms)
+                    result.messages += 1
+                    result.bytes += _POINTER_BYTES * max(1, len(neighbours))
+                    for neighbour in neighbours:
+                        if neighbour not in found and neighbour.digest != pname.digest:
+                            next_frontier.add(neighbour)
+            result.latency_ms += round_latency + reply_latency + self.network.local_compute(
+                self.translation_ms * len(self._sites), origin_site
+            )
             found |= next_frontier
             frontier = next_frontier
         result.sites_contacted = list(self._sites)

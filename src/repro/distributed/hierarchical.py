@@ -133,17 +133,19 @@ class HierarchicalNamespace(ArchitectureModel):
         targets = self._route(query)
         slowest = 0.0
         matches: List[PName] = []
-        for server in targets:
-            request = self.network.send(origin_site, server, _QUERY_REQUEST_BYTES, "query")
-            local = self._planned_query(self._stores.store(server), query, result)
-            response = self.network.send(
-                server, origin_site, _POINTER_BYTES * max(1, len(local)), "query-response"
-            )
-            slowest = max(slowest, request.latency_ms + response.latency_ms)
-            matches.extend(local)
-            result.messages += 2
-            result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
-            result.add_site(server)
+        with self.network.parallel() as fanout:
+            for server in targets:
+                with fanout.branch():
+                    request = self.network.send(origin_site, server, _QUERY_REQUEST_BYTES, "query")
+                    local = self._planned_query(self._stores.store(server), query, result)
+                    response = self.network.send(
+                        server, origin_site, _POINTER_BYTES * max(1, len(local)), "query-response"
+                    )
+                slowest = max(slowest, request.latency_ms + response.latency_ms)
+                matches.extend(local)
+                result.messages += 2
+                result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
+                result.add_site(server)
         result.latency_ms += slowest
         result.pnames = sorted(set(matches), key=lambda p: p.digest)
         if len(targets) == len(self._sites):
@@ -191,22 +193,23 @@ class HierarchicalNamespace(ArchitectureModel):
             result.bytes += len(self._sites) * 160 * len(frontier)
             reply_latency = 0.0
             next_frontier: Set[PName] = set()
-            for server in self._sites:
-                store = self._stores.store(server)
-                neighbours: List[PName] = []
-                for node in frontier:
-                    if node in store.graph:
-                        step = store.graph.parents(node) if up else store.graph.children(node)
-                        neighbours.extend(step)
-                response = self.network.send(
-                    server, origin_site, _POINTER_BYTES * max(1, len(neighbours)), "namespace-closure-reply"
-                )
-                reply_latency = max(reply_latency, response.latency_ms)
-                result.messages += 1
-                result.bytes += _POINTER_BYTES * max(1, len(neighbours))
-                for neighbour in neighbours:
-                    if neighbour not in found and neighbour.digest != pname.digest:
-                        next_frontier.add(neighbour)
+            with self.network.parallel():
+                for server in self._sites:
+                    store = self._stores.store(server)
+                    neighbours: List[PName] = []
+                    for node in frontier:
+                        if node in store.graph:
+                            step = store.graph.parents(node) if up else store.graph.children(node)
+                            neighbours.extend(step)
+                    response = self.network.send(
+                        server, origin_site, _POINTER_BYTES * max(1, len(neighbours)), "namespace-closure-reply"
+                    )
+                    reply_latency = max(reply_latency, response.latency_ms)
+                    result.messages += 1
+                    result.bytes += _POINTER_BYTES * max(1, len(neighbours))
+                    for neighbour in neighbours:
+                        if neighbour not in found and neighbour.digest != pname.digest:
+                            next_frontier.add(neighbour)
             result.latency_ms += round_latency + reply_latency
             found |= next_frontier
             frontier = next_frontier

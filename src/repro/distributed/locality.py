@@ -147,17 +147,19 @@ class LocaleAwarePass(ArchitectureModel):
         targets = self._route(query, origin_site)
         matches: List[PName] = []
         slowest = 0.0
-        for site in targets:
-            request = self.network.send(origin_site, site, _QUERY_REQUEST_BYTES, "query")
-            local = self._planned_query(self._stores.store(site), query, result)
-            response = self.network.send(
-                site, origin_site, _POINTER_BYTES * max(1, len(local)), "query-response"
-            )
-            slowest = max(slowest, request.latency_ms + response.latency_ms)
-            matches.extend(local)
-            result.messages += 2
-            result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
-            result.add_site(site)
+        with self.network.parallel() as fanout:
+            for site in targets:
+                with fanout.branch():
+                    request = self.network.send(origin_site, site, _QUERY_REQUEST_BYTES, "query")
+                    local = self._planned_query(self._stores.store(site), query, result)
+                    response = self.network.send(
+                        site, origin_site, _POINTER_BYTES * max(1, len(local)), "query-response"
+                    )
+                slowest = max(slowest, request.latency_ms + response.latency_ms)
+                matches.extend(local)
+                result.messages += 2
+                result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
+                result.add_site(site)
         result.latency_ms += slowest
         result.pnames = sorted(set(matches), key=lambda p: p.digest)
         self.queries_run += 1

@@ -206,17 +206,20 @@ class SoftStateIndex(ArchitectureModel):
         result = OperationResult()
         matches: List[PName] = []
         slowest = 0.0
-        for zone, (index_site, _) in sorted(self._zones.items()):
-            request = self.network.send(origin_site, index_site, _QUERY_REQUEST_BYTES, "query")
-            local = self._planned_query(self._zone_indexes[zone], query, result)
-            response = self.network.send(
-                index_site, origin_site, _POINTER_BYTES * max(1, len(local)), "query-response"
-            )
-            slowest = max(slowest, request.latency_ms + response.latency_ms)
-            matches.extend(local)
-            result.messages += 2
-            result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
-            result.add_site(index_site)
+        # Zone indexes are queried in parallel; the slowest one gates.
+        with self.network.parallel() as fanout:
+            for zone, (index_site, _) in sorted(self._zones.items()):
+                with fanout.branch():
+                    request = self.network.send(origin_site, index_site, _QUERY_REQUEST_BYTES, "query")
+                    local = self._planned_query(self._zone_indexes[zone], query, result)
+                    response = self.network.send(
+                        index_site, origin_site, _POINTER_BYTES * max(1, len(local)), "query-response"
+                    )
+                slowest = max(slowest, request.latency_ms + response.latency_ms)
+                matches.extend(local)
+                result.messages += 2
+                result.bytes += _QUERY_REQUEST_BYTES + _POINTER_BYTES * max(1, len(local))
+                result.add_site(index_site)
         result.latency_ms += slowest
         result.pnames = sorted(set(matches), key=lambda p: p.digest)
         self.queries_run += 1

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.provenance import PName
+from repro.sim.stats import latency_summary, percentile
 
 __all__ = [
     "precision_recall",
@@ -34,6 +35,8 @@ __all__ = [
     "LatencySample",
     "CriteriaScores",
     "mean",
+    "percentile",
+    "latency_summary",
 ]
 
 
@@ -112,6 +115,21 @@ class CriteriaScores:
         """Mean latency of attribute queries."""
         return mean([sample.latency_ms for sample in self.query_samples])
 
+    # -- latency distributions (p50/p95/p99 alongside the means) --------------
+    def publish_latency_percentiles(self) -> Dict[str, float]:
+        """Publish-latency distribution: count/mean/p50/p95/p99/max."""
+        return latency_summary([sample.latency_ms for sample in self.publish_samples])
+
+    def query_latency_percentiles(self) -> Dict[str, float]:
+        """Attribute-query latency distribution: count/mean/p50/p95/p99/max."""
+        return latency_summary([sample.latency_ms for sample in self.query_samples])
+
+    def lineage_latency_percentiles(self) -> Optional[Dict[str, float]]:
+        """Closure-latency distribution; None when the model refuses closure."""
+        if not self.supports_lineage:
+            return None
+        return latency_summary([sample.latency_ms for sample in self.lineage_samples])
+
     def query_bytes(self) -> float:
         """Mean network bytes per attribute query."""
         return mean([sample.bytes for sample in self.query_samples])
@@ -133,12 +151,15 @@ class CriteriaScores:
     def as_row(self) -> Dict[str, object]:
         """Flatten to the row format the report tables use."""
         lineage = self.lineage_latency_ms()
+        query_distribution = self.query_latency_percentiles()
         return {
             "model": self.model,
             "publish_ms": round(self.publish_latency_ms(), 3),
             "publish_msgs": round(self.publish_messages(), 2),
             "publish_bytes": round(self.publish_bytes(), 1),
             "query_ms": round(self.query_latency_ms(), 3),
+            "query_p95_ms": query_distribution["p95"],
+            "query_p99_ms": query_distribution["p99"],
             "closure_ms": round(lineage, 3) if lineage is not None else "unsupported",
             "precision": round(self.precision, 3),
             "recall": round(self.recall, 3),

@@ -32,7 +32,14 @@ from repro.eval.experiments_distributed import (
 from repro.eval.report import format_experiment, format_many
 from repro.eval.result import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "render_all", "run_query_matrix"]
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_all",
+    "render_all",
+    "run_query_matrix",
+    "run_simulation_matrix",
+]
 
 #: experiment id -> zero-argument callable producing its result
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
@@ -109,6 +116,64 @@ def run_query_matrix(
                 row[label] = len(answer)
                 row[f"{label}_ms"] = round(answer.cost.latency_ms, 2)
             rows.append(row)
+    return rows
+
+
+def run_simulation_matrix(
+    urls: Sequence[str],
+    tuple_sets: Sequence,
+    *,
+    clients: int = 8,
+    config=None,
+    schedule=None,
+    think_ms: float = 0.0,
+) -> List[Dict[str, object]]:
+    """Publish one workload into several targets under concurrent clients.
+
+    The discrete-event counterpart of :func:`run_query_matrix`: for each
+    architecture-model URL the workload is published by ``clients``
+    closed-loop simulated clients, and the row reports the latency
+    distribution (mean / p50 / p95 / p99), the hottest site's
+    utilization, and failure/loss counters.  Local (store) targets have
+    no simulated network and report ``"unsupported"``.
+    """
+    from repro.sim.workload import simulate_publish_workload
+
+    rows: List[Dict[str, object]] = []
+    for url in urls:
+        with connect(url) as client:
+            model = getattr(client, "model", None)
+            if model is None:
+                rows.append({"target": url, "simulation": "unsupported (local store)"})
+                continue
+            report = simulate_publish_workload(
+                model,
+                tuple_sets,
+                clients=clients,
+                config=config,
+                schedule=schedule,
+                think_ms=think_ms,
+            )
+            summary = report.summary()
+            busiest_site, busiest = max(
+                report.sites.items(), key=lambda item: item[1]["utilization"]
+            ) if report.sites else ("-", {"utilization": 0.0})
+            rows.append(
+                {
+                    "target": url,
+                    "clients": report.clients,
+                    "ops": len(report.records),
+                    "failed": report.failed(),
+                    "mean_ms": summary["mean"],
+                    "p50_ms": summary["p50"],
+                    "p95_ms": summary["p95"],
+                    "p99_ms": summary["p99"],
+                    "busiest_site": busiest_site,
+                    "busiest_utilization": busiest["utilization"],
+                    "notifications_lost": report.notifications_lost,
+                    "events": report.events,
+                }
+            )
     return rows
 
 

@@ -1,25 +1,46 @@
-"""Message-level network simulator with traffic accounting.
+"""Message-level network facade: traffic accounting + operation capture.
 
 The Section IV criteria the architecture comparison must score --
 *speed* and *resource consumption* -- are functions of the messages an
-architecture sends: how many, how large, and over what distances.  The
-simulator therefore does exactly one job: every time an architecture
-model sends a logical message, :meth:`NetworkSimulator.send` charges its
-latency (from the :class:`~repro.net.topology.Topology`) and records its
-size, kind and endpoints.  There is no concurrency model; architectures
-compose per-message latencies into per-operation latencies themselves
-(sequential hops add, parallel fan-out takes the maximum).
+architecture sends: how many, how large, and over what distances.  Every
+time an architecture model sends a logical message,
+:meth:`NetworkSimulator.send` charges its latency (from the
+:class:`~repro.net.topology.Topology`) and records its size, kind and
+endpoints.
+
+Since the discrete-event kernel (:mod:`repro.sim`) landed, the simulator
+is also the *event-emitting facade* of each operation: while a model
+operation runs, every ``send`` appends a hop to the operation's
+:class:`~repro.sim.trace.OpTrace`, :meth:`broadcast` and
+:meth:`parallel` mark fan-out groups, and :meth:`local_compute` marks
+processing delays.  The captured trace replays through the kernel so
+concurrent clients genuinely queue at shared sites.  Without a kernel,
+behaviour is the degenerate mode: per-message latencies are returned
+immediately and models compose them arithmetically (sequential hops add,
+parallel fan-out takes the maximum) -- exactly the pre-kernel numbers.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.net.topology import Topology
+from repro.sim.trace import Compute, Hop, OpTrace, Parallel
 
 __all__ = ["Message", "TrafficStats", "NetworkSimulator"]
+
+#: Most link pairs a TrafficStats tracks individually; beyond this the
+#: per-link map stops growing and further *new* links fold into an
+#: overflow counter (aggregate message/byte counters are never lossy).
+BY_LINK_CAP = 4096
+
+#: Messages the simulator remembers individually before the log is
+#: dropped wholesale (aggregate counters keep counting; ``snapshot()``
+#: reports the truncation).
+LOG_CAP = 100_000
 
 
 @dataclass(frozen=True)
@@ -42,6 +63,8 @@ class TrafficStats:
     latency_ms_total: float = 0.0
     by_kind: Dict[str, Dict[str, float]] = field(default_factory=dict)
     by_link: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: messages recorded on links beyond the BY_LINK_CAP tracking horizon
+    link_overflow_messages: int = 0
 
     def record(self, message: Message) -> None:
         """Fold one message into the counters."""
@@ -55,7 +78,20 @@ class TrafficStats:
         kind["bytes"] += message.size_bytes
         kind["latency_ms"] += message.latency_ms
         link = (message.source, message.destination)
-        self.by_link[link] = self.by_link.get(link, 0) + 1
+        if link in self.by_link:
+            self.by_link[link] += 1
+        elif len(self.by_link) < BY_LINK_CAP:
+            self.by_link[link] = 1
+        else:
+            self.link_overflow_messages += 1
+
+    def top_links(self, k: int = 10) -> List[Dict[str, object]]:
+        """The ``k`` busiest links, most messages first (ties by name)."""
+        ranked = sorted(self.by_link.items(), key=lambda item: (-item[1], item[0]))
+        return [
+            {"source": source, "destination": destination, "messages": count}
+            for (source, destination), count in ranked[:k]
+        ]
 
     def snapshot(self) -> dict:
         """Plain-dict summary for reports."""
@@ -64,7 +100,38 @@ class TrafficStats:
             "bytes": self.bytes,
             "latency_ms_total": round(self.latency_ms_total, 3),
             "by_kind": {name: dict(values) for name, values in self.by_kind.items()},
+            "links": {
+                "tracked": len(self.by_link),
+                "top": self.top_links(),
+                "overflow_messages": self.link_overflow_messages,
+            },
         }
+
+
+class _ParallelHandle:
+    """What ``with network.parallel() as par:`` yields.
+
+    Bare sends inside the group each become their own single-hop branch
+    (broadcast fan-out); ``with par.branch():`` groups a multi-hop chain
+    (request *then* response, per site) into one branch.
+    """
+
+    def __init__(self, simulator: "NetworkSimulator", group: Optional[Parallel]) -> None:
+        self._simulator = simulator
+        self._group = group
+
+    @contextmanager
+    def branch(self):
+        if self._group is None:  # capture inactive
+            yield
+            return
+        steps: List = []
+        self._group.branches.append(steps)
+        self._simulator._stack.append(steps)
+        try:
+            yield
+        finally:
+            self._simulator._stack.pop()
 
 
 class NetworkSimulator:
@@ -74,17 +141,27 @@ class NetworkSimulator:
     ----------
     topology:
         Supplies per-link latency.
-    partitioned_sites:
-        Sites currently unreachable; sending to or from one raises
-        :class:`~repro.errors.NetworkError` (used by reliability tests).
+
+    Partitioned sites are unreachable: sending to or from one raises
+    :class:`~repro.errors.NetworkError` (used by the reliability tests
+    and by timed :class:`~repro.sim.schedule.Schedule` events).
     """
 
     def __init__(self, topology: Topology) -> None:
         self.topology = topology
         self.stats = TrafficStats()
         self._log: List[Message] = []
+        self._log_dropped = 0
         self._partitioned: set = set()
         self._keep_log = True
+        # Operation capture (repro.sim): the trace being built, a depth
+        # counter for nested operations, and the append-target stack.
+        self._trace: Optional[OpTrace] = None
+        self._op_depth = 0
+        self._stack: List[object] = []
+        #: the most recent :class:`~repro.sim.workload.SimReport` run over
+        #: this network (set by the workload runner; read by stats()).
+        self.last_sim_report = None
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -102,10 +179,90 @@ class NetworkSimulator:
         return site in self._partitioned
 
     # ------------------------------------------------------------------
+    # Operation capture
+    # ------------------------------------------------------------------
+    def begin_operation(self, kind: str, origin: str) -> Optional[OpTrace]:
+        """Start capturing one operation's message structure.
+
+        Re-entrant: a nested begin (a model operation invoking another)
+        keeps appending to the outer trace and returns ``None``.
+        """
+        self._op_depth += 1
+        if self._op_depth > 1:
+            return None
+        self._trace = OpTrace(kind=kind, origin=origin)
+        self._stack = [self._trace.steps]
+        return self._trace
+
+    def end_operation(self) -> Optional[OpTrace]:
+        """Finish the current capture; returns the trace at the outermost exit."""
+        self._op_depth -= 1
+        if self._op_depth > 0:
+            return None
+        self._op_depth = max(0, self._op_depth)
+        trace, self._trace = self._trace, None
+        self._stack = []
+        return trace
+
+    def _record_step(self, step) -> None:
+        if self._trace is None:
+            return
+        top = self._stack[-1]
+        if isinstance(top, Parallel):
+            # A bare send inside parallel(): its own single-hop branch.
+            top.branches.append([step])
+        else:
+            top.append(step)
+
+    @contextmanager
+    def parallel(self):
+        """Mark a fan-out: everything sent inside starts together.
+
+        The operation's clock advances to the *slowest* branch, which is
+        the composition every scatter/gather and fan-in loop in the
+        architecture models already uses arithmetically.
+        """
+        if self._trace is None:
+            yield _ParallelHandle(self, None)
+            return
+        group = Parallel()
+        self._record_step(group)
+        self._stack.append(group)
+        try:
+            yield _ParallelHandle(self, group)
+        finally:
+            self._stack.pop()
+
+    def local_compute(self, ms: float, site: str = "") -> float:
+        """Record a processing delay on the operation's critical path.
+
+        Returns ``ms`` so models can keep charging it arithmetically;
+        during kernel replay a ``site``-bound compute also occupies that
+        site's server (concurrent operations queue behind it).
+        """
+        if ms > 0:
+            self._record_step(Compute(ms, site))
+        return ms
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
-    def send(self, source: str, destination: str, size_bytes: int, kind: str) -> Message:
-        """Send one logical message and return it (with its charged latency)."""
+    def send(
+        self,
+        source: str,
+        destination: str,
+        size_bytes: int,
+        kind: str,
+        background: bool = False,
+    ) -> Message:
+        """Send one logical message and return it (with its charged latency).
+
+        ``background=True`` marks asynchronous hops (subscription
+        notifications): they are captured and replayed -- and do load
+        the destination's server -- but the operation does not wait for
+        them, matching the models' "latency not on the critical path"
+        accounting.
+        """
         if size_bytes < 0:
             raise NetworkError("message size must be non-negative")
         if source in self._partitioned or destination in self._partitioned:
@@ -116,13 +273,20 @@ class NetworkSimulator:
         latency = self.topology.latency_ms(source, destination)
         message = Message(source, destination, size_bytes, kind, latency)
         self.stats.record(message)
+        self._record_step(
+            Hop(source, destination, size_bytes, kind, latency, critical=not background)
+        )
         if self._keep_log:
             self._log.append(message)
-            if len(self._log) > 100_000:
+            if len(self._log) > LOG_CAP:
                 # Benchmarks can generate millions of messages; keep the
-                # aggregate counters but stop remembering individual ones.
+                # aggregate counters but stop remembering individual
+                # ones -- visibly: snapshot() reports the truncation.
                 self._keep_log = False
+                self._log_dropped += len(self._log)
                 self._log.clear()
+        else:
+            self._log_dropped += 1
         return message
 
     def broadcast(self, source: str, destinations: List[str], size_bytes: int, kind: str) -> float:
@@ -133,9 +297,10 @@ class NetworkSimulator:
         the individual latencies, while bandwidth is charged per copy.
         """
         slowest = 0.0
-        for destination in destinations:
-            message = self.send(source, destination, size_bytes, kind)
-            slowest = max(slowest, message.latency_ms)
+        with self.parallel():
+            for destination in destinations:
+                message = self.send(source, destination, size_bytes, kind)
+                slowest = max(slowest, message.latency_ms)
         return slowest
 
     # ------------------------------------------------------------------
@@ -145,12 +310,36 @@ class NetworkSimulator:
         """Individual messages recorded so far (may be truncated for huge runs)."""
         return list(self._log)
 
+    def log_truncated(self) -> bool:
+        """True once the per-message log overflowed and was dropped."""
+        return not self._keep_log
+
+    def log_dropped(self) -> int:
+        """Messages not retained in the log (0 until truncation)."""
+        return self._log_dropped
+
+    def snapshot(self) -> dict:
+        """Traffic counters plus log-retention facts (one-stop report dict)."""
+        facts = self.stats.snapshot()
+        facts["log"] = {
+            "kept": len(self._log),
+            "truncated": self.log_truncated(),
+            "dropped": self._log_dropped,
+        }
+        return facts
+
     def reset(self) -> None:
         """Clear counters and the message log (benchmarks call this between phases)."""
         self.stats = TrafficStats()
         self._log.clear()
+        self._log_dropped = 0
         self._keep_log = True
 
     def messages_between(self, source: str, destination: str) -> int:
-        """How many messages went from ``source`` to ``destination``."""
+        """How many messages went from ``source`` to ``destination``.
+
+        Only the ``BY_LINK_CAP`` first-seen links are tracked
+        individually; an untracked link reports 0 even though its
+        messages are in the aggregate counters.
+        """
         return self.stats.by_link.get((source, destination), 0)

@@ -1,0 +1,51 @@
+"""Discrete-event simulation kernel: virtual time, concurrent clients, churn.
+
+The package turns the message-counting network simulator into an actual
+simulation: :mod:`repro.sim.kernel` holds the deterministic event loop
+and per-site FIFO servers, :mod:`repro.sim.trace` the captured structure
+of each architecture operation, :mod:`repro.sim.schedule` the timed
+partition/heal/churn DSL, and :mod:`repro.sim.workload` the concurrent
+closed-loop client runner producing percentile reports.
+"""
+
+from repro.sim.kernel import SimConfig, SimKernel, SiteServer
+from repro.sim.schedule import Schedule, ScheduleEvent
+from repro.sim.stats import latency_summary, percentile
+from repro.sim.trace import Compute, Hop, OpTrace, Parallel, trace_elapsed_ms
+
+_WORKLOAD_EXPORTS = (
+    "SimOpRecord",
+    "SimReport",
+    "WorkloadRunner",
+    "simulate_publish_workload",
+)
+
+
+def __getattr__(name: str):
+    # The workload runner imports repro.distributed.base, which imports
+    # repro.net.simulator, which imports repro.sim.trace -- resolving it
+    # lazily keeps that chain acyclic at import time.
+    if name in _WORKLOAD_EXPORTS:
+        from repro.sim import workload
+
+        return getattr(workload, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "SimConfig",
+    "SimKernel",
+    "SiteServer",
+    "Schedule",
+    "ScheduleEvent",
+    "Hop",
+    "Compute",
+    "Parallel",
+    "OpTrace",
+    "trace_elapsed_ms",
+    "SimOpRecord",
+    "SimReport",
+    "WorkloadRunner",
+    "latency_summary",
+    "percentile",
+    "simulate_publish_workload",
+]

@@ -1,0 +1,148 @@
+"""The ``Schedule`` DSL: timed partition / heal / churn events for a run.
+
+A schedule is a list of actions pinned to virtual times (milliseconds
+from the start of the simulation)::
+
+    [
+      {"at_ms": 500,  "action": "partition", "site": "tokyo-site"},
+      {"at_ms": 900,  "action": "heal",      "site": "tokyo-site"},
+      {"at_ms": 1200, "action": "churn",     "site": "boston-site",
+       "duration_ms": 400}
+    ]
+
+``churn`` is sugar for a partition immediately followed by a heal after
+``duration_ms`` -- the "host comes and goes" behaviour Section IV-C
+attributes to unstable participants.  The file format accepted by
+``repro simulate --schedule FILE`` is that list as JSON (optionally
+wrapped as ``{"events": [...]}``).
+
+Actions are applied to the :class:`~repro.net.simulator.NetworkSimulator`
+partition set when the kernel's virtual clock reaches them, so both
+capture-time behaviour (a model publishing from a cut-off site raises)
+and replay-time behaviour (in-flight messages to a cut-off site are
+lost) follow virtual time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ScheduleEvent", "Schedule"]
+
+_ACTIONS = ("partition", "heal")
+
+
+def _number(entry: dict, name: str, raw) -> float:
+    """A numeric schedule field, or ConfigurationError naming the entry."""
+    try:
+        return float(raw)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"schedule field {name!r} must be a number, got {raw!r} in {entry!r}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ScheduleEvent:
+    """One timed action: partition or heal a site at ``at_ms``."""
+
+    at_ms: float
+    action: str
+    site: str
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ConfigurationError(f"schedule time must be non-negative, got {self.at_ms}")
+        if self.action not in _ACTIONS:
+            raise ConfigurationError(
+                f"unknown schedule action {self.action!r}; known: {list(_ACTIONS)} (+ 'churn' sugar)"
+            )
+        if not self.site:
+            raise ConfigurationError("schedule event needs a site")
+
+
+class Schedule:
+    """An ordered list of :class:`ScheduleEvent`."""
+
+    def __init__(self, events: Iterable[ScheduleEvent] = ()) -> None:
+        self.events: List[ScheduleEvent] = sorted(events, key=lambda e: (e.at_ms, e.action, e.site))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, data) -> "Schedule":
+        """Build a schedule from parsed JSON (a list, or ``{"events": [...]}``)."""
+        if isinstance(data, dict):
+            data = data.get("events", [])
+        if not isinstance(data, Sequence) or isinstance(data, (str, bytes)):
+            raise ConfigurationError("a schedule is a JSON list of event objects")
+        events: List[ScheduleEvent] = []
+        for entry in data:
+            if not isinstance(entry, dict):
+                raise ConfigurationError(f"schedule entry must be an object, got {entry!r}")
+            action = entry.get("action")
+            at_ms = _number(entry, "at_ms", entry.get("at_ms", entry.get("at", -1.0)))
+            site = str(entry.get("site", ""))
+            if action == "churn":
+                duration = _number(entry, "duration_ms", entry.get("duration_ms", 0.0))
+                if duration <= 0:
+                    raise ConfigurationError("churn needs a positive duration_ms")
+                events.append(ScheduleEvent(at_ms, "partition", site))
+                events.append(ScheduleEvent(at_ms + duration, "heal", site))
+            else:
+                events.append(ScheduleEvent(at_ms, str(action), site))
+        return cls(events)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Schedule":
+        """Parse a schedule from a JSON string."""
+        try:
+            return cls.parse(json.loads(text))
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"schedule is not valid JSON: {error}") from None
+
+    @classmethod
+    def load(cls, path: str) -> "Schedule":
+        """Load a schedule from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def install(self, kernel, network) -> List[str]:
+        """Schedule every action onto the kernel, acting on ``network``.
+
+        Returns a mutable list that accumulates a human-readable record
+        of the actions as they fire (the runner reports it).
+        """
+        applied: List[str] = []
+        for event in self.events:
+            kernel.schedule(
+                event.at_ms,
+                _apply(event, network, applied),
+                f"schedule|{event.action}|{event.site}",
+            )
+        return applied
+
+
+def _apply(event: ScheduleEvent, network, applied: List[str]):
+    def run() -> None:
+        if event.action == "partition":
+            network.partition(event.site)
+        else:
+            network.heal(event.site)
+        applied.append(f"{event.at_ms:g}ms {event.action} {event.site}")
+
+    return run

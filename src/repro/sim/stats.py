@@ -1,0 +1,39 @@
+"""Latency-distribution helpers shared by simulation reports and eval tables.
+
+Deliberately a leaf module (stdlib only): :mod:`repro.eval.criteria`
+and :mod:`repro.sim.workload` both report percentile families, and
+neither should drag the other's dependency stack in to do arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+__all__ = ["percentile", "latency_summary"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for an empty input."""
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if q <= 0:
+        return data[0]
+    rank = int(math.ceil(q / 100.0 * len(data)))
+    return data[min(rank, len(data)) - 1]
+
+
+def latency_summary(values: Sequence[float]) -> Dict[str, float]:
+    """Mean plus the p50/p95/p99/max percentile family of a latency sample."""
+    data = list(values)
+    if not data:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "count": len(data),
+        "mean": round(sum(data) / len(data), 4),
+        "p50": round(percentile(data, 50), 4),
+        "p95": round(percentile(data, 95), 4),
+        "p99": round(percentile(data, 99), 4),
+        "max": round(max(data), 4),
+    }

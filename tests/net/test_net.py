@@ -117,3 +117,66 @@ class TestNetworkSimulator:
         snapshot = net.stats.snapshot()
         assert snapshot["messages"] == 1
         assert len(net.log()) == 1
+
+
+class TestTrafficStatsLinks:
+    def test_snapshot_reports_top_links(self, topology):
+        net = NetworkSimulator(topology)
+        for _ in range(3):
+            net.send("london", "boston", 10, "x")
+        net.send("boston", "tokyo", 10, "x")
+        links = net.stats.snapshot()["links"]
+        assert links["tracked"] == 2
+        assert links["overflow_messages"] == 0
+        assert links["top"][0] == {
+            "source": "london",
+            "destination": "boston",
+            "messages": 3,
+        }
+
+    def test_by_link_is_capped_with_visible_overflow(self, topology):
+        from repro.net import simulator as net_module
+        from repro.net.simulator import Message, TrafficStats
+
+        stats = TrafficStats()
+        for index in range(net_module.BY_LINK_CAP + 5):
+            stats.record(Message(f"s{index}", "d", 1, "x", 0.0))
+        assert len(stats.by_link) == net_module.BY_LINK_CAP
+        assert stats.link_overflow_messages == 5
+        # Aggregate counters never lose messages.
+        assert stats.messages == net_module.BY_LINK_CAP + 5
+        # An already-tracked link keeps counting past the cap.
+        stats.record(Message("s0", "d", 1, "x", 0.0))
+        assert stats.by_link[("s0", "d")] == 2
+
+
+class TestLogTruncation:
+    def test_overflow_sets_flag_and_counts_dropped(self, topology, monkeypatch):
+        from repro.net import simulator as net_module
+
+        monkeypatch.setattr(net_module, "LOG_CAP", 10)
+        net = NetworkSimulator(topology)
+        for _ in range(15):
+            net.send("london", "boston", 1, "x")
+        assert net.log_truncated()
+        assert net.log() == []
+        # The 11 cleared at truncation plus the 4 sent afterwards.
+        assert net.log_dropped() == 15
+        snapshot = net.snapshot()
+        assert snapshot["messages"] == 15  # aggregates keep counting
+        assert snapshot["log"] == {"kept": 0, "truncated": True, "dropped": 15}
+
+    def test_reset_restores_logging(self, topology, monkeypatch):
+        from repro.net import simulator as net_module
+
+        monkeypatch.setattr(net_module, "LOG_CAP", 5)
+        net = NetworkSimulator(topology)
+        for _ in range(9):
+            net.send("london", "boston", 1, "x")
+        assert net.log_truncated()
+        net.reset()
+        assert not net.log_truncated()
+        assert net.log_dropped() == 0
+        net.send("london", "boston", 1, "x")
+        assert len(net.log()) == 1
+        assert net.snapshot()["log"] == {"kept": 1, "truncated": False, "dropped": 0}

@@ -1,0 +1,249 @@
+"""Tests for the discrete-event kernel: ordering, queueing, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import (
+    Compute,
+    Hop,
+    OpTrace,
+    Parallel,
+    Schedule,
+    SimConfig,
+    SimKernel,
+    percentile,
+    trace_elapsed_ms,
+)
+
+
+def _hop(src="a", dst="b", ms=10.0, size=100, kind="x", critical=True):
+    return Hop(src, dst, size, kind, ms, critical=critical)
+
+
+def _replay(kernel: SimKernel, steps, start=0.0):
+    outcome = {}
+    kernel.schedule_trace(
+        OpTrace(kind="t", origin="a", steps=steps),
+        start,
+        lambda end, ok: outcome.update(end=end, ok=ok),
+    )
+    kernel.run()
+    return outcome["end"], outcome["ok"]
+
+
+class TestEventQueue:
+    def test_events_run_in_time_then_insertion_order(self):
+        kernel = SimKernel()
+        seen = []
+        kernel.schedule(5.0, lambda: seen.append("late"))
+        kernel.schedule(1.0, lambda: seen.append("early-1"))
+        kernel.schedule(1.0, lambda: seen.append("early-2"))
+        kernel.run()
+        assert seen == ["early-1", "early-2", "late"]
+        assert kernel.events_processed == 3
+        assert kernel.now == 5.0
+
+    def test_past_schedules_clamp_to_now(self):
+        kernel = SimKernel()
+        times = []
+        kernel.schedule(10.0, lambda: kernel.schedule(3.0, lambda: times.append(kernel.now)))
+        kernel.run()
+        assert times == [10.0]
+
+    def test_run_until_leaves_future_events_pending(self):
+        kernel = SimKernel()
+        kernel.schedule(1.0, lambda: None)
+        kernel.schedule(100.0, lambda: None)
+        kernel.run(until=50.0)
+        assert kernel.events_processed == 1
+        assert kernel.pending() == 1
+
+
+class TestConfig:
+    def test_negative_service_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(service_ms_per_message=-1.0)
+
+    def test_jitter_range_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(jitter=1.5)
+
+
+class TestTraceReplay:
+    def test_sequential_hops_add(self):
+        end, ok = _replay(SimKernel(), [_hop(ms=10.0), _hop(ms=7.0)])
+        assert ok and end == pytest.approx(17.0)
+
+    def test_parallel_takes_slowest_branch(self):
+        group = Parallel(branches=[[_hop(ms=5.0), _hop(ms=5.0)], [_hop(ms=3.0)]])
+        end, ok = _replay(SimKernel(), [group, _hop(ms=1.0)])
+        assert ok and end == pytest.approx(11.0)
+
+    def test_compute_advances_without_a_site(self):
+        end, ok = _replay(SimKernel(), [Compute(4.0), _hop(ms=1.0)])
+        assert ok and end == pytest.approx(5.0)
+
+    def test_background_hop_costs_nothing_on_the_critical_path(self):
+        end, ok = _replay(SimKernel(), [_hop(ms=10.0), _hop(ms=50.0, critical=False)])
+        assert ok and end == pytest.approx(10.0)
+
+    def test_replay_matches_closed_form(self):
+        steps = [
+            _hop(ms=2.0),
+            Parallel(branches=[[_hop(ms=9.0)], [_hop(ms=4.0), Compute(2.0)]]),
+            Compute(1.0),
+        ]
+        end, ok = _replay(SimKernel(), steps)
+        assert ok and end == pytest.approx(trace_elapsed_ms(steps))
+
+
+class TestQueueing:
+    def test_fifo_service_delays_the_second_arrival(self):
+        config = SimConfig(service_ms_per_message=5.0)
+        kernel = SimKernel(config)
+        ends = []
+        for start in (0.0, 1.0):
+            kernel.schedule_trace(
+                OpTrace("t", "a", [_hop("a", "shared", ms=10.0)]),
+                start,
+                lambda end, ok: ends.append(end),
+            )
+        kernel.run()
+        # First arrives at 10, served until 15; second arrives at 11 but
+        # must wait for the server, finishing at 20.
+        assert ends == [pytest.approx(15.0), pytest.approx(20.0)]
+        server = kernel.server("shared")
+        assert server.served == 2
+        assert server.busy_ms == pytest.approx(10.0)
+        assert server.max_wait_ms == pytest.approx(4.0)
+
+    def test_degenerate_config_adds_no_queueing(self):
+        kernel = SimKernel(SimConfig())
+        ends = []
+        for start in (0.0, 0.0):
+            kernel.schedule_trace(
+                OpTrace("t", "a", [_hop("a", "shared", ms=10.0)]),
+                start,
+                lambda end, ok: ends.append(end),
+            )
+        kernel.run()
+        assert ends == [pytest.approx(10.0), pytest.approx(10.0)]
+
+    def test_sited_compute_occupies_the_server(self):
+        config = SimConfig(service_ms_per_message=0.0)
+        kernel = SimKernel(config)
+        ends = []
+        kernel.schedule_trace(
+            OpTrace("t", "a", [Compute(8.0, site="shared")]), 0.0, lambda e, ok: ends.append(e)
+        )
+        kernel.schedule_trace(
+            OpTrace("t", "a", [Compute(8.0, site="shared")]), 1.0, lambda e, ok: ends.append(e)
+        )
+        kernel.run()
+        assert ends == [pytest.approx(8.0), pytest.approx(16.0)]
+
+
+class TestDeterminism:
+    def _run_once(self, seed: int) -> tuple:
+        config = SimConfig(seed=seed, jitter=0.2, service_ms_per_message=1.0, journal=True)
+        kernel = SimKernel(config)
+        ends = []
+        for client in range(4):
+            kernel.schedule_trace(
+                OpTrace("t", "a", [_hop("a", f"s{client % 2}", ms=10.0), _hop("b", "c", ms=3.0)]),
+                float(client),
+                lambda end, ok: ends.append(round(end, 9)),
+            )
+        kernel.run()
+        return tuple(ends), kernel.journal_digest()
+
+    def test_same_seed_is_byte_identical(self):
+        first_ends, first_digest = self._run_once(seed=7)
+        second_ends, second_digest = self._run_once(seed=7)
+        assert first_ends == second_ends
+        assert first_digest == second_digest
+        assert first_digest is not None
+
+    def test_different_seed_diverges(self):
+        _, first_digest = self._run_once(seed=7)
+        _, other_digest = self._run_once(seed=8)
+        assert first_digest != other_digest
+
+
+class TestPartitionsDuringReplay:
+    def test_critical_hop_to_partitioned_site_fails_the_operation(self):
+        down = {"b"}
+        kernel = SimKernel(is_partitioned=lambda site: site in down)
+        end, ok = _replay(kernel, [_hop("a", "b", ms=10.0)])
+        assert not ok
+
+    def test_background_hop_loss_is_counted_not_fatal(self):
+        down = {"b"}
+        kernel = SimKernel(is_partitioned=lambda site: site in down)
+        end, ok = _replay(kernel, [_hop("a", "c", ms=5.0), _hop("a", "b", ms=5.0, critical=False)])
+        assert ok and end == pytest.approx(5.0)
+        assert kernel.notifications_lost == 1
+
+    def test_mid_flight_partition_drops_the_message(self):
+        down = set()
+        kernel = SimKernel(is_partitioned=lambda site: site in down)
+        kernel.schedule(4.0, lambda: down.add("b"))
+        outcome = {}
+        kernel.schedule_trace(
+            OpTrace("t", "a", [_hop("a", "b", ms=10.0)]),
+            0.0,
+            lambda end, ok: outcome.update(end=end, ok=ok),
+        )
+        kernel.run()
+        assert outcome["ok"] is False
+
+
+class TestScheduleDsl:
+    def test_parse_partition_heal_and_churn(self):
+        schedule = Schedule.parse(
+            [
+                {"at_ms": 100, "action": "partition", "site": "x"},
+                {"at_ms": 300, "action": "heal", "site": "x"},
+                {"at_ms": 50, "action": "churn", "site": "y", "duration_ms": 25},
+            ]
+        )
+        assert [(e.at_ms, e.action, e.site) for e in schedule] == [
+            (50.0, "partition", "y"),
+            (75.0, "heal", "y"),
+            (100.0, "partition", "x"),
+            (300.0, "heal", "x"),
+        ]
+
+    def test_events_wrapper_and_json(self):
+        schedule = Schedule.from_json('{"events": [{"at_ms": 1, "action": "heal", "site": "s"}]}')
+        assert len(schedule) == 1
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Schedule.parse([{"at_ms": -1, "action": "heal", "site": "s"}])
+        with pytest.raises(ConfigurationError):
+            Schedule.parse([{"at_ms": 1, "action": "explode", "site": "s"}])
+        with pytest.raises(ConfigurationError):
+            Schedule.parse([{"at_ms": 1, "action": "churn", "site": "s"}])
+        with pytest.raises(ConfigurationError):
+            Schedule.from_json("not json")
+        # Non-numeric times are configuration errors, not raw ValueErrors.
+        with pytest.raises(ConfigurationError):
+            Schedule.parse([{"at_ms": "half", "action": "heal", "site": "s"}])
+        with pytest.raises(ConfigurationError):
+            Schedule.parse([{"at_ms": None, "action": "heal", "site": "s"}])
+        with pytest.raises(ConfigurationError):
+            Schedule.parse([{"at_ms": 1, "action": "churn", "site": "s", "duration_ms": "x"}])
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 95) == 95
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+        assert percentile([], 99) == 0.0
+        assert percentile([7.0], 50) == 7.0

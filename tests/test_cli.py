@@ -191,3 +191,83 @@ class TestWatchCommand:
             ["watch", "traffic", "--every", "600", "--aggregate", "mean"],
             out=io.StringIO(),
         ) == 2
+
+
+class TestSimulateCommand:
+    def test_concurrent_run_reports_percentiles_and_utilization(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "simulate", "traffic",
+                "--store", "centralized://",
+                "--clients", "4",
+                "--ops", "12",
+                "--hours", "0.5",
+                "--service-ms", "0.5",
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "clients:            4 concurrent" in text
+        assert "p99" in text
+        assert "site utilization" in text
+        assert "warehouse" in text
+        assert "journal:            sha256 " in text
+
+    def test_identical_seeds_print_identical_reports(self):
+        def run():
+            out = io.StringIO()
+            argv = [
+                "simulate", "traffic",
+                "--store", "dht://?sites=8",
+                "--clients", "3",
+                "--ops", "9",
+                "--hours", "0.5",
+                "--jitter", "0.2",
+                "--seed", "5",
+            ]
+            assert main(argv, out=out) == 0
+            # Strip the wall-clock events/s figure; everything else is virtual.
+            return [
+                line for line in out.getvalue().splitlines()
+                if not line.startswith("kernel events:")
+            ]
+
+        assert run() == run()
+
+    def test_schedule_file_applies_churn(self, tmp_path):
+        schedule = tmp_path / "churn.json"
+        schedule.write_text(
+            '[{"at_ms": 0.5, "action": "churn", "site": "warehouse", "duration_ms": 100}]'
+        )
+        out = io.StringIO()
+        code = main(
+            [
+                "simulate", "traffic",
+                "--store", "centralized://",
+                "--clients", "2",
+                "--ops", "10",
+                "--hours", "0.5",
+                "--schedule", str(schedule),
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "schedule:           2 action(s)" in text
+        assert "partition warehouse" in text
+
+    def test_local_store_rejected(self):
+        assert main(["simulate", "traffic", "--store", "memory://"], out=io.StringIO()) == 2
+
+    def test_missing_schedule_file_rejected(self):
+        code = main(
+            ["simulate", "traffic", "--schedule", "/nonexistent/churn.json"],
+            out=io.StringIO(),
+        )
+        assert code == 2
+
+    def test_bad_jitter_rejected(self):
+        code = main(["simulate", "traffic", "--jitter", "2.0"], out=io.StringIO())
+        assert code == 2
