@@ -30,7 +30,7 @@ from repro.core.provenance import ProvenanceRecord
 from repro.core.tupleset import TupleSet
 from repro.distributed import CentralizedWarehouse, DistributedHashTable
 from repro.net import Site, Topology
-from repro.sim import OpTrace, Hop, SimConfig, SimKernel, simulate_publish_workload
+from repro.sim import Hop, OpTrace, SimConfig, SimKernel, simulate_publish_workload
 
 CLIENTS = 64
 FULL_OPS_PER_CLIENT, QUICK_OPS_PER_CLIENT = 16, 4

@@ -112,12 +112,34 @@ class PassClient(ABC):
         """Run an attribute/lineage query; ``limit``/``offset`` paginate the answer."""
 
     @abstractmethod
-    def ancestors(self, pname, origin: Optional[str] = None) -> Result:
-        """Everything ``pname`` was transitively derived from."""
+    def ancestors(
+        self,
+        pname,
+        origin: Optional[str] = None,
+        *,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> Result:
+        """Everything ``pname`` was transitively derived from.
+
+        The answer is deterministically ordered (by PName digest) and
+        paginated exactly like :meth:`query`: ``Result.total`` reports
+        the full closure size, ``records`` the requested page.
+        """
 
     @abstractmethod
-    def descendants(self, pname, origin: Optional[str] = None) -> Result:
-        """Everything transitively derived from ``pname`` (the taint set)."""
+    def descendants(
+        self,
+        pname,
+        origin: Optional[str] = None,
+        *,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> Result:
+        """Everything transitively derived from ``pname`` (the taint set).
+
+        Ordered and paginated like :meth:`ancestors`.
+        """
 
     @abstractmethod
     def locate(self, pname, origin: Optional[str] = None) -> Result:
@@ -190,6 +212,12 @@ class PassClient(ABC):
         """
         engine = self._stream_engine(create=True)
         site = self._subscriber_site(origin)
+        # An engine matching through a shared reachability index answers
+        # "is this a descendant of the watch?" directly; only the
+        # label-inheritance fallback needs the closure-seed backfill.
+        known = (
+            self._lineage_backfill(pname, site) if engine.needs_lineage_backfill else []
+        )
         return engine.subscribe_descendants(
             pname,
             callback=callback,
@@ -197,7 +225,7 @@ class PassClient(ABC):
             maxsize=maxsize,
             overflow=overflow,
             name=name,
-            known_descendants=self._lineage_backfill(pname, site),
+            known_descendants=known,
         )
 
     def unsubscribe(self, subscription) -> bool:
@@ -303,8 +331,15 @@ class LocalClient(PassClient):
         if self._stream is None and create:
             # The store's post-commit hook feeds the engine, so standing
             # queries see every ingest -- including ones made directly on
-            # client.store or by another wrapper of the same store.
-            self._stream = StreamEngine()
+            # client.store or by another wrapper of the same store.  When
+            # the closure answers reachability from materialized labels
+            # (labelled/interval), the store is the lineage oracle and
+            # descendant watches ride the shared index; graph-walking
+            # strategies (naive/memoized) would turn every ingest into a
+            # BFS per watch, so they keep the engine's O(edges) label
+            # inheritance instead.
+            oracle = self.store.is_ancestor if self.store.closure.fast_reachability else None
+            self._stream = StreamEngine(lineage_oracle=oracle)
             self.store.add_ingest_hook(self._stream.on_ingest)
         return self._stream
 
@@ -344,13 +379,32 @@ class LocalClient(PassClient):
         lowered, _ = _lift_query_limit(query, None)
         return self.store.explain(lowered)
 
-    def ancestors(self, pname, origin: Optional[str] = None) -> Result:
+    def ancestors(
+        self,
+        pname,
+        origin: Optional[str] = None,
+        *,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> Result:
         found = self.store.ancestors(coerce_pname(pname))
-        return Result(records=sorted(found, key=lambda p: p.digest), cost=self._local_cost())
+        return self._lineage_page(found, limit, offset)
 
-    def descendants(self, pname, origin: Optional[str] = None) -> Result:
+    def descendants(
+        self,
+        pname,
+        origin: Optional[str] = None,
+        *,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> Result:
         found = self.store.descendants(coerce_pname(pname))
-        return Result(records=sorted(found, key=lambda p: p.digest), cost=self._local_cost())
+        return self._lineage_page(found, limit, offset)
+
+    def _lineage_page(self, found, limit: Optional[int], offset: int) -> Result:
+        ordered = sorted(found, key=lambda p: p.digest)
+        page, total = _paginate(ordered, limit, offset)
+        return Result(records=page, cost=self._local_cost(), total=total, offset=offset)
 
     def locate(self, pname, origin: Optional[str] = None) -> Result:
         pname = coerce_pname(pname)
@@ -372,6 +426,7 @@ class LocalClient(PassClient):
                 "cache": self.store.planner.cache_snapshot(),
                 "statistics": self.store.statistics.snapshot(),
             },
+            "closure": self.store.closure.index_stats(),
             "stream": self._stream_stats(),
             "sim": SimReport.disabled_snapshot("local store: no simulated network"),
         }
@@ -389,6 +444,13 @@ class LocalClient(PassClient):
                 self._stream.unsubscribe(subscription)
             self._stream = None
         if self.owns_store:
+            try:
+                # Strategies with persistable labelling (repro.lineage)
+                # checkpoint into the backend so the next open skips the
+                # rebuild; everything else is a no-op.
+                self.store.persist_closure_index()
+            except PassError:
+                pass  # a crashed/closed backend must not block close()
             self.store.backend.close()
 
 
@@ -490,15 +552,34 @@ class ModelClient(PassClient):
         result.records = page
         return result
 
-    def ancestors(self, pname, origin: Optional[str] = None) -> Result:
-        return Result.from_operation(
-            self.model.ancestors(coerce_pname(pname), origin or self.default_origin)
-        )
+    def ancestors(
+        self,
+        pname,
+        origin: Optional[str] = None,
+        *,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> Result:
+        operation = self.model.ancestors(coerce_pname(pname), origin or self.default_origin)
+        return self._lineage_page(operation, limit, offset)
 
-    def descendants(self, pname, origin: Optional[str] = None) -> Result:
-        return Result.from_operation(
-            self.model.descendants(coerce_pname(pname), origin or self.default_origin)
-        )
+    def descendants(
+        self,
+        pname,
+        origin: Optional[str] = None,
+        *,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> Result:
+        operation = self.model.descendants(coerce_pname(pname), origin or self.default_origin)
+        return self._lineage_page(operation, limit, offset)
+
+    def _lineage_page(self, operation, limit: Optional[int], offset: int) -> Result:
+        ordered = sorted(operation.pnames, key=lambda p: p.digest)
+        page, total = _paginate(ordered, limit, offset)
+        result = Result.from_operation(operation, total=total, offset=offset)
+        result.records = page
+        return result
 
     def locate(self, pname, origin: Optional[str] = None) -> Result:
         return Result.from_operation(

@@ -28,6 +28,7 @@ from typing import List, Optional
 from repro.core.attributes import AttributeValue, GeoPoint
 from repro.core.provenance import PName
 from repro.core.query import (
+    TRUE,
     AgentIs,
     AncestorOf,
     And,
@@ -45,7 +46,6 @@ from repro.core.query import (
     Predicate,
     Query,
     TimeWindowOverlaps,
-    TRUE,
 )
 from repro.errors import QueryError
 

@@ -21,6 +21,11 @@ Three subcommands cover what a user wants from a terminal:
   generated workload streams into the target; ``--every SECONDS``
   switches to window aggregation (``--aggregate``, ``--value-attr``,
   ``--group-by``, ``--slide``),
+* ``lineage`` -- inspect provenance lineage through the shared
+  reachability index (``repro.lineage``): ``ancestors`` pages through a
+  data set's closure, ``path`` prints one derivation path back to a raw
+  source, and ``stats`` reports the graph shape (depth histogram,
+  fan-in) plus the closure strategy's index statistics,
 * ``simulate`` -- publish a generated workload through ``--clients N``
   concurrent closed-loop clients over the discrete-event kernel
   (``repro.sim``) against an architecture model, optionally applying a
@@ -195,6 +200,37 @@ def build_parser() -> argparse.ArgumentParser:
         default="memory://",
         help="connect() URL of the target (default: memory://)",
     )
+
+    lineage = subcommands.add_parser(
+        "lineage",
+        help="inspect provenance lineage through the reachability index (repro.lineage)",
+    )
+    lineage_commands = lineage.add_subparsers(dest="lineage_command", required=True)
+    for name, description in (
+        ("ancestors", "list everything a data set was transitively derived from"),
+        ("path", "one derivation path from a derived data set back to a raw source"),
+        ("stats", "graph shape and reachability-index statistics"),
+    ):
+        sub = lineage_commands.add_parser(name, help=description)
+        sub.add_argument("domain", choices=sorted(_WORKLOADS))
+        sub.add_argument("--hours", type=float, default=1.0)
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--store",
+            default="memory://",
+            help="connect() URL of the target (default: memory://); "
+            "try memory://?closure=interval for the interval index",
+        )
+        if name in ("ancestors", "path"):
+            sub.add_argument(
+                "--focus",
+                type=int,
+                default=-1,
+                help="index into the derived tuple sets (default: -1, the most derived)",
+            )
+        if name == "ancestors":
+            sub.add_argument("--limit", type=int, default=20, help="page size (default: 20)")
+            sub.add_argument("--offset", type=int, default=0, help="page offset (default: 0)")
 
     simulate = subcommands.add_parser(
         "simulate",
@@ -562,6 +598,89 @@ def _cmd_simulate(args, out) -> int:
     return 0
 
 
+def _cmd_lineage(args, out) -> int:
+    """Lineage inspection: ancestors / path / stats over a generated workload."""
+    _, client, raw, derived = _build_client(args.domain, args.hours, args.seed, args.store)
+    if args.lineage_command == "stats":
+        stats = client.stats()
+        planner = stats.get("planner") or {}
+        graph = (planner.get("statistics") or {}).get("graph")
+        if graph is None:
+            print(f"target: {args.store} ({stats['target']})", file=out)
+            print("no per-store graph statistics on this target (model facts below)", file=out)
+            for key in ("name", "supports_lineage", "published", "queries_run", "sites"):
+                if key in stats:
+                    print(f"  {key}: {stats[key]}", file=out)
+            return 0
+        closure = stats.get("closure", {})
+        print(f"target:            {args.store} ({stats['target']})", file=out)
+        print(f"records:           {stats['records']}", file=out)
+        print(f"graph nodes/edges: {graph['nodes']} / {graph['edges']}", file=out)
+        print(f"derivation depth:  max {graph['max_depth']}  mean {graph['mean_depth']}", file=out)
+        print(f"fan-in:            max {graph['max_fan_in']}  mean {graph['mean_fan_in']}", file=out)
+        print(f"expected reach:    {graph['expected_reach']} (planner estimate)", file=out)
+        print(f"closure strategy:  {closure.get('strategy', '?')}", file=out)
+        for key in ("chains", "label_entries", "rebuilds", "incremental_merges", "dirty_edges"):
+            if key in closure:
+                print(f"  {key}: {closure[key]}", file=out)
+        busiest = sorted(graph["depth_histogram"].items())[-5:]
+        print(
+            "depth histogram:   " + "  ".join(f"{d}:{count}" for d, count in busiest)
+            + ("  (deepest 5 buckets)" if len(graph["depth_histogram"]) > 5 else ""),
+            file=out,
+        )
+        return 0
+
+    if not derived:
+        print("error: this workload produced no derived tuple sets", file=sys.stderr)
+        return 2
+    try:
+        focus = derived[args.focus]
+    except IndexError:
+        print(
+            f"error: --focus {args.focus} out of range ({len(derived)} derived sets)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.lineage_command == "ancestors":
+        answer = client.ancestors(focus, limit=args.limit, offset=args.offset)
+        print(
+            f"{answer.total} ancestor(s) of {focus.pname.short} "
+            f"(showing {len(answer)} from offset {args.offset})",
+            file=out,
+        )
+        for pname in answer:
+            record = client.describe_record(pname)
+            suffix = f"  {_summarise_record(record)}" if record is not None else ""
+            print(f"  {pname.short}{suffix}", file=out)
+        return 0
+
+    # path: needs the local store's graph (models return sets, not paths)
+    store = getattr(client, "store", None)
+    if store is None:
+        print(
+            "error: 'lineage path' needs a local target (memory:// or sqlite://); "
+            "architecture models answer closure sets, not paths",
+            file=sys.stderr,
+        )
+        return 2
+    sources = sorted(store.raw_sources(focus.pname), key=lambda p: p.digest)
+    if not sources:
+        print(f"{focus.pname.short} is raw data; it has no derivation path", file=out)
+        return 0
+    path = store.derivation_path(focus.pname, sources[0])
+    if path is None:
+        print("error: no derivation path found", file=sys.stderr)
+        return 2
+    print(f"derivation path ({len(path)} hop(s), most derived first):", file=out)
+    for pname in path:
+        record = client.describe_record(pname)
+        suffix = f"  {_summarise_record(record)}" if record is not None else ""
+        print(f"  {pname.short}{suffix}", file=out)
+    return 0
+
+
 def _cmd_query(args, out) -> int:
     if "=" not in args.predicate:
         print("error: predicate must look like name=value", file=sys.stderr)
@@ -602,6 +721,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_explain(args, out)
     if args.command == "watch":
         return _cmd_watch(args, out)
+    if args.command == "lineage":
+        return _cmd_lineage(args, out)
     if args.command == "simulate":
         return _cmd_simulate(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

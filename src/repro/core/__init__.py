@@ -18,6 +18,7 @@ from repro.core.naming import FilenameConvention, ProvenanceNaming
 from repro.core.pass_store import PassStore
 from repro.core.provenance import Agent, Annotation, PName, ProvenanceRecord, merge_provenance
 from repro.core.query import (
+    TRUE,
     AgentIs,
     AncestorOf,
     And,
@@ -33,7 +34,6 @@ from repro.core.query import (
     Not,
     Or,
     Query,
-    TRUE,
 )
 from repro.core.tupleset import SensorReading, TupleSet, TupleSetWindower
 

@@ -6,7 +6,9 @@ as well as efficient recursive or transitive queries.  Simple relational
 or XML-based name-to-value schemes are not sufficient".
 
 This module implements three strategies with different cost profiles and
-a common interface, so the PASS store (and experiment E3) can swap them:
+a common interface, so the PASS store (and experiment E3) can swap them
+(a fourth, the interval/chain reachability index, lives in
+:mod:`repro.lineage` and registers itself here under ``"interval"``):
 
 * :class:`NaiveClosure` -- answer each query with a fresh BFS over the
   provenance graph.  This is what a plain relational scheme would do
@@ -38,6 +40,7 @@ __all__ = [
     "MemoizedClosure",
     "LabelledClosure",
     "make_closure",
+    "register_strategy",
 ]
 
 
@@ -53,6 +56,11 @@ class ClosureStrategy(ABC):
 
     #: short machine-readable name used by benchmarks and reports
     name = "abstract"
+    #: True when :meth:`reachable` answers from materialized labels
+    #: (O(labels) per probe) rather than walking the graph.  Consumers
+    #: on hot paths -- the stream engine's per-ingest descendant-watch
+    #: matching -- only route through the strategy when this holds.
+    fast_reachability = False
 
     def __init__(self, graph: Optional[ProvenanceGraph] = None) -> None:
         self.graph = graph if graph is not None else ProvenanceGraph()
@@ -99,6 +107,46 @@ class ClosureStrategy(ABC):
     def reachable(self, ancestor: PName, descendant: PName) -> bool:
         """True when ``descendant`` was (transitively) derived from ``ancestor``."""
         return ancestor in self.ancestors(descendant)
+
+    # -- planner estimates ------------------------------------------------
+    def estimate_ancestors(self, pname: PName) -> Optional[int]:
+        """Cheap ancestor-count estimate for the query planner, or ``None``.
+
+        ``None`` means "this strategy cannot estimate without doing the
+        query"; the planner then falls back to the store's graph
+        statistics.  Strategies with materialized labels answer exactly.
+        """
+        return None
+
+    def estimate_descendants(self, pname: PName) -> Optional[int]:
+        """Cheap descendant-count estimate for the query planner, or ``None``."""
+        return None
+
+    # -- persistence -------------------------------------------------------
+    def snapshot(self, fingerprint: Dict[str, int]) -> Optional[dict]:
+        """A JSON-serialisable snapshot of the strategy's auxiliary state.
+
+        ``fingerprint`` (from :meth:`ProvenanceGraph.fingerprint`) is
+        embedded so :meth:`restore` can refuse a snapshot that does not
+        match the graph it is being applied to.  ``None`` means the
+        strategy has nothing worth persisting (the default).
+        """
+        return None
+
+    def restore(self, state: dict, fingerprint: Dict[str, int]) -> bool:
+        """Adopt a previously snapshotted state; True on success.
+
+        Must be *safe to refuse*: on any mismatch (format version,
+        fingerprint, strategy name) the method returns False and leaves
+        the strategy in a state from which it can rebuild on its own
+        (the versioned rebuild fallback).
+        """
+        return False
+
+    # -- reporting ---------------------------------------------------------
+    def index_stats(self) -> dict:
+        """Facts about the strategy's auxiliary structures (CLI / stats())."""
+        return {"strategy": self.name, "operations": self.operations}
 
     # -- hooks -------------------------------------------------------------
     def _on_edge(self, child: PName, parent: PName) -> None:
@@ -179,6 +227,14 @@ class MemoizedClosure(ClosureStrategy):
         cache[pname.digest] = seen
         return seen
 
+    def estimate_ancestors(self, pname: PName) -> Optional[int]:
+        hit = self._ancestor_cache.get(pname.digest)
+        return None if hit is None else len(hit)
+
+    def estimate_descendants(self, pname: PName) -> Optional[int]:
+        hit = self._descendant_cache.get(pname.digest)
+        return None if hit is None else len(hit)
+
     def _on_edge(self, child: PName, parent: PName) -> None:
         # Invalidate ancestor sets of the child and everything below it,
         # and descendant sets of the parent and everything above it.
@@ -202,6 +258,7 @@ class LabelledClosure(ClosureStrategy):
     """
 
     name = "labelled"
+    fast_reachability = True
 
     def __init__(self, graph: Optional[ProvenanceGraph] = None) -> None:
         super().__init__(graph)
@@ -238,6 +295,21 @@ class LabelledClosure(ClosureStrategy):
         self.operations += 1
         return ancestor.digest in self._ancestor_labels.get(descendant.digest, set())
 
+    def estimate_ancestors(self, pname: PName) -> Optional[int]:
+        labels = self._ancestor_labels.get(pname.digest)
+        return None if labels is None else len(labels)
+
+    def estimate_descendants(self, pname: PName) -> Optional[int]:
+        labels = self._descendant_labels.get(pname.digest)
+        return None if labels is None else len(labels)
+
+    def index_stats(self) -> dict:
+        facts = super().index_stats()
+        facts["label_entries"] = sum(len(s) for s in self._ancestor_labels.values()) + sum(
+            len(s) for s in self._descendant_labels.values()
+        )
+        return facts
+
     def _on_edge(self, child: PName, parent: PName) -> None:
         self._ancestor_labels.setdefault(child.digest, set())
         self._descendant_labels.setdefault(child.digest, set())
@@ -268,12 +340,34 @@ _STRATEGIES = {
 }
 
 
+def register_strategy(cls):
+    """Register a :class:`ClosureStrategy` subclass under its ``name``.
+
+    Usable as a class decorator; :mod:`repro.lineage` registers the
+    ``interval`` engine this way so the core layer never has to import
+    the lineage package at module load.
+    """
+    _STRATEGIES[cls.name] = cls
+    return cls
+
+
 def make_closure(name: str, graph: Optional[ProvenanceGraph] = None) -> ClosureStrategy:
-    """Instantiate a closure strategy by name (``naive`` / ``memoized`` / ``labelled``)."""
-    try:
-        factory = _STRATEGIES[name]
-    except KeyError:
+    """Instantiate a closure strategy by name.
+
+    Shipped names: ``naive`` / ``memoized`` / ``labelled`` / ``interval``
+    (the last provided by :mod:`repro.lineage`, loaded on demand).
+    """
+    factory = _STRATEGIES.get(name)
+    if factory is None:
+        # The interval engine registers itself on import; load it lazily
+        # here so repro.core never imports repro.lineage at module load
+        # (the reverse import -- interval subclassing ClosureStrategy --
+        # is the one that must be eager).
+        import repro.lineage  # noqa: F401
+
+        factory = _STRATEGIES.get(name)
+    if factory is None:
         raise UnknownEntityError(
             f"unknown closure strategy {name!r}; choose from {sorted(_STRATEGIES)}"
-        ) from None
+        )
     return factory(graph)

@@ -15,6 +15,7 @@ disappearing, which is what PASS property P4 requires.
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -22,6 +23,9 @@ from repro.core.provenance import PName, ProvenanceRecord
 from repro.errors import CycleError, UnknownEntityError
 
 __all__ = ["ProvenanceGraph"]
+
+#: shared empty adjacency set handed out for unknown digests (read-only)
+_NO_EDGES: Set[str] = set()
 
 
 class ProvenanceGraph:
@@ -128,6 +132,41 @@ class ProvenanceGraph:
         return sum(len(parents) for parents in self._parents.values())
 
     # ------------------------------------------------------------------
+    # Digest-level views (index maintenance hot paths)
+    # ------------------------------------------------------------------
+    # The PName-returning accessors above sort and wrap on every call,
+    # which is right for user-facing code but too slow for the closure
+    # engines that walk the whole graph.  These views hand out the raw
+    # adjacency sets; callers must treat them as read-only.
+
+    def node_digests(self) -> Iterable[str]:
+        """Every node digest (a live view; do not mutate the graph while iterating)."""
+        return self._parents.keys()
+
+    def parents_of(self, digest: str) -> Set[str]:
+        """Immediate ancestor digests of ``digest`` (empty for unknown nodes)."""
+        return self._parents.get(digest, _NO_EDGES)
+
+    def children_of(self, digest: str) -> Set[str]:
+        """Immediate descendant digests of ``digest`` (empty for unknown nodes)."""
+        return self._children.get(digest, _NO_EDGES)
+
+    def fingerprint(self) -> Dict[str, int]:
+        """A cheap, order-independent digest of the graph's structure.
+
+        Used to validate persisted reachability-index snapshots against
+        the graph actually rebuilt from a backend: same node set + same
+        edge set => same fingerprint.  XOR-combining per-element CRCs
+        makes the value independent of insertion order in O(V + E).
+        """
+        crc = 0
+        for digest, parents in self._parents.items():
+            crc ^= zlib.crc32(digest.encode("ascii"))
+            for parent in parents:
+                crc ^= zlib.crc32(f"{digest}->{parent}".encode("ascii"))
+        return {"nodes": len(self._parents), "edges": self.edge_count(), "crc": crc}
+
+    # ------------------------------------------------------------------
     # Reachability (transitive closure)
     # ------------------------------------------------------------------
     def ancestors(self, pname: PName, max_depth: Optional[int] = None) -> Set[PName]:
@@ -199,23 +238,42 @@ class ProvenanceGraph:
     def depth(self, pname: PName) -> int:
         """Length of the longest derivation chain below this node (0 = raw)."""
         self._require(pname)
-        memo: Dict[str, int] = {}
+        return self._depth_into(pname.digest, {})
 
-        def longest(digest: str) -> int:
+    def _depth_into(self, start: str, memo: Dict[str, int]) -> int:
+        """Longest-chain depth of ``start``, folded into a shared ``memo``.
+
+        Iterative (explicit stack) so 10^3+-deep derivation chains never
+        hit the interpreter's recursion limit; the memo is caller-owned
+        so whole-graph sweeps compute each node's depth exactly once.
+        """
+        if start in memo:
+            return memo[start]
+        stack = [start]
+        while stack:
+            digest = stack[-1]
             if digest in memo:
-                return memo[digest]
+                stack.pop()
+                continue
             parents = self._parents.get(digest, ())
-            value = 0 if not parents else 1 + max(longest(parent) for parent in parents)
-            memo[digest] = value
-            return value
-
-        return longest(pname.digest)
+            pending = [parent for parent in parents if parent not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            memo[digest] = 0 if not parents else 1 + max(memo[parent] for parent in parents)
+            stack.pop()
+        return memo[start]
 
     def ancestry_depth_distribution(self) -> Dict[int, int]:
-        """Histogram of node depth -> count; used by evaluation reports."""
+        """Histogram of node depth -> count; used by evaluation reports.
+
+        One memo is shared across the whole sweep, so the sweep is
+        O(V + E) rather than the O(V * E) a per-node recomputation costs.
+        """
         histogram: Dict[int, int] = {}
+        memo: Dict[str, int] = {}
         for digest in self._parents:
-            depth = self.depth(PName(digest))
+            depth = self._depth_into(digest, memo)
             histogram[depth] = histogram.get(depth, 0) + 1
         return dict(sorted(histogram.items()))
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 import json
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.abstraction import AbstractionEngine, AbstractionRule, AbstractedLineage
+from repro.core.abstraction import AbstractedLineage, AbstractionEngine, AbstractionRule
 from repro.core.attributes import GeoPoint, Timestamp
 from repro.core.closure import ClosureStrategy, LabelledClosure, make_closure
 from repro.core.graph import ProvenanceGraph
@@ -103,8 +103,9 @@ class PassStore(LineageOracle):
         Where records and payloads live (default: in-memory).
     closure:
         Transitive-closure strategy, by instance or by name
-        (``"naive"`` / ``"memoized"`` / ``"labelled"``).  Default is the
-        labelled strategy, which makes recursive queries cheap.
+        (``"naive"`` / ``"memoized"`` / ``"labelled"`` / ``"interval"``).
+        Default is the labelled strategy; the interval strategy
+        (:mod:`repro.lineage`) scales to much deeper/larger lineage.
     indexed_attributes:
         Restrict the attribute index to these names (``None`` = all).
     site:
@@ -135,6 +136,9 @@ class PassStore(LineageOracle):
         self.statistics = Statistics(
             self.attribute_index, self.temporal_index, self.spatial_index
         )
+        # The DAG-shape collector the statistics own (repro.core stays
+        # import-independent of repro.lineage; see make_closure).
+        self.graph_stats = self.statistics.graph
         self.planner = QueryPlanner(self)
         self._abstraction_rules: List[AbstractionRule] = []
         # Post-commit ingest observers (the repro.stream engine hooks in
@@ -263,6 +267,7 @@ class PassStore(LineageOracle):
         if isinstance(location, GeoPoint):
             self.spatial_index.add(pname, location)
         self.statistics.observe(record)
+        self.graph_stats.observe(pname, record.ancestors)
 
     # ------------------------------------------------------------------
     # Post-commit ingest hooks (the repro.stream notification path)
@@ -502,6 +507,48 @@ class PassStore(LineageOracle):
             self._maintain_indexes(pname, record)
             if self.backend.is_removed(pname) and pname in self.graph:
                 self.graph.mark_removed(pname)
+        if len(self.graph):
+            self._restore_closure_index()
+
+    # ------------------------------------------------------------------
+    # Closure-index persistence (repro.lineage)
+    # ------------------------------------------------------------------
+    def _closure_index_key(self) -> str:
+        return f"closure:{self.closure.name}"
+
+    def _restore_closure_index(self) -> bool:
+        """Adopt a persisted reachability labelling, if it still matches.
+
+        Called after a backend rebuild: the graph has been reconstructed
+        from the records, so the snapshot's structural fingerprint can
+        be checked against reality.  Any mismatch (different strategy,
+        stale snapshot, corrupt blob) falls back to the strategy's own
+        lazy rebuild -- restoring is an optimization, never a must.
+        """
+        blob = self.backend.get_index_blob(self._closure_index_key())
+        if blob is None:
+            return False
+        try:
+            state = json.loads(blob.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return False
+        if not isinstance(state, dict):
+            return False
+        return self.closure.restore(state, self.graph.fingerprint())
+
+    def persist_closure_index(self) -> bool:
+        """Snapshot the closure strategy's labelling into the backend.
+
+        Returns True when something was persisted.  Strategies without
+        persistable state (naive/memoized/labelled) and backends without
+        blob storage both make this a no-op, so callers can invoke it
+        unconditionally (the façade does, on ``close()``).
+        """
+        state = self.closure.snapshot(self.graph.fingerprint())
+        if state is None:
+            return False
+        payload = json.dumps(state, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        return self.backend.put_index_blob(self._closure_index_key(), payload)
 
     # ------------------------------------------------------------------
     # Reading (de)serialisation

@@ -32,11 +32,11 @@ from typing import Dict, List, Optional, Sequence, Set
 from repro.core.pass_store import PassStore
 from repro.core.provenance import PName
 from repro.core.query import Predicate, Query
-from repro.query.explain import Explain
 from repro.core.tupleset import TupleSet
 from repro.errors import NetworkError, UnknownEntityError
 from repro.net.simulator import NetworkSimulator
 from repro.net.topology import Topology
+from repro.query.explain import Explain
 
 __all__ = ["OperationResult", "ArchitectureModel", "estimate_record_bytes", "NOTIFY_BYTES"]
 

@@ -31,8 +31,8 @@ from repro.core.pass_store import PassStore
 from repro.core.provenance import PName
 from repro.core.query import Predicate, Query
 from repro.core.tupleset import TupleSet
-from repro.errors import UnknownEntityError
 from repro.distributed.base import ArchitectureModel, OperationResult, estimate_record_bytes
+from repro.errors import UnknownEntityError
 from repro.net.simulator import NetworkSimulator
 from repro.net.topology import Topology
 

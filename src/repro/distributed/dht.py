@@ -36,7 +36,17 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.attributes import canonical_encode
 from repro.core.provenance import PName, ProvenanceRecord
-from repro.core.query import And, AttributeEquals, Predicate, Query
+from repro.core.query import (
+    AncestorOf,
+    And,
+    AttributeEquals,
+    DerivedFrom,
+    LineageOracle,
+    Not,
+    Or,
+    Predicate,
+    Query,
+)
 from repro.core.tupleset import TupleSet
 from repro.distributed.base import (
     ArchitectureModel,
@@ -46,6 +56,7 @@ from repro.distributed.base import (
 from repro.errors import ConfigurationError
 from repro.net.simulator import NetworkSimulator
 from repro.net.topology import Topology
+from repro.query.explain import Explain
 
 __all__ = ["DistributedHashTable"]
 
@@ -199,9 +210,18 @@ class DistributedHashTable(ArchitectureModel):
     def query(self, query: Query | Predicate, origin_site: str) -> OperationResult:
         query = self._start_query(query)
         result = OperationResult()
+        # Lineage conjuncts have no home in the ring's key space; resolve
+        # them first with per-edge routed closure walks (the "support so
+        # far nonexistent" cost the paper describes), then evaluate the
+        # predicate against the collected reachability sets.
+        oracle = (
+            self._resolve_lineage(query.predicate, origin_site, result)
+            if query.requires_lineage
+            else None
+        )
         equality = self._routable_equality(query)
         if equality is None:
-            return self._flood_query(query, origin_site, result)
+            return self._flood_query(query, origin_site, result, oracle)
 
         attribute, value = equality
         entry_key = _key(f"{attribute}={canonical_encode(value)}")
@@ -218,7 +238,7 @@ class DistributedHashTable(ArchitectureModel):
             )
             record = self._records[record_owner].get(digest)
             self._charge(result, fetch_latency, fetch_messages, fetch_bytes, record_owner)
-            if record is not None and query.predicate.matches(pname, record, None):
+            if record is not None and query.predicate.matches(pname, record, oracle):
                 matches.append(pname)
         result.rows_scanned += len(digests)
         self._trace_scan(
@@ -235,7 +255,11 @@ class DistributedHashTable(ArchitectureModel):
         return result
 
     def _flood_query(
-        self, query: Query, origin_site: str, result: OperationResult
+        self,
+        query: Query,
+        origin_site: str,
+        result: OperationResult,
+        oracle: Optional["_WalkOracle"] = None,
     ) -> OperationResult:
         """No routable key: ask every node (the expensive fallback)."""
         result.notes.append("no routable attribute: flooded every ring node")
@@ -250,7 +274,7 @@ class DistributedHashTable(ArchitectureModel):
                 local: List[PName] = []
                 for digest, record in self._records[site].items():
                     pname = PName(digest)
-                    if query.predicate.matches(pname, record, None):
+                    if query.predicate.matches(pname, record, oracle):
                         local.append(pname)
                 result.rows_scanned += len(self._records[site])
                 self._trace_scan(
@@ -271,6 +295,44 @@ class DistributedHashTable(ArchitectureModel):
         self.queries_run += 1
         return result
 
+    def _resolve_lineage(
+        self, predicate: Predicate, origin_site: str, result: OperationResult
+    ) -> "_WalkOracle":
+        """Pre-compute the reachability sets the predicate will ask about.
+
+        Each distinct ``DerivedFrom`` / ``AncestorOf`` focus costs one
+        routed closure walk (one lookup per edge, each paying full
+        O(log n) routing), charged onto ``result`` and reported as a
+        lineage access path in the per-query explain trace.
+        """
+        targets: List[Tuple[bool, PName]] = []
+        _collect_lineage_targets(predicate, targets)
+        down: Dict[str, Set[str]] = {}
+        up: Dict[str, Set[str]] = {}
+        for walk_up, focus in targets:
+            bucket = up if walk_up else down
+            if focus.digest in bucket:
+                continue
+            found = self._closure_walk(focus, origin_site, up=walk_up, result=result)
+            bucket[focus.digest] = found
+            direction = "ancestors" if walk_up else "descendants"
+            self._query_explains.append(
+                Explain(
+                    site=origin_site,
+                    path=(
+                        f"DHT routed closure walk: {direction} of {focus.short} "
+                        "(one routed lookup per edge)"
+                    ),
+                    path_kind="lineage-routed-walk",
+                    estimated_rows=len(found),
+                    actual_rows=len(found),
+                    rows_scanned=len(found),
+                    used_index=True,
+                )
+            )
+        result.notes.append("lineage resolved by per-edge routed lookups")
+        return _WalkOracle(down, up)
+
     @staticmethod
     def _routable_equality(query: Query) -> Optional[Tuple[str, object]]:
         predicate = query.predicate
@@ -289,6 +351,15 @@ class DistributedHashTable(ArchitectureModel):
     def _lineage(self, pname: PName, origin_site: str, up: bool) -> OperationResult:
         """Every edge traversal is a separate routed lookup: "so far nonexistent" support."""
         result = OperationResult()
+        found = self._closure_walk(pname, origin_site, up=up, result=result)
+        result.pnames = sorted((PName(digest) for digest in found), key=lambda p: p.digest)
+        self.queries_run += 1
+        return result
+
+    def _closure_walk(
+        self, pname: PName, origin_site: str, up: bool, result: OperationResult
+    ) -> Set[str]:
+        """Walk the closure one routed lookup per node; charge onto ``result``."""
         found: Set[str] = set()
         frontier: Set[str] = {pname.digest}
         while frontier:
@@ -310,9 +381,7 @@ class DistributedHashTable(ArchitectureModel):
                         next_frontier.add(neighbour)
             found |= next_frontier
             frontier = next_frontier
-        result.pnames = sorted((PName(digest) for digest in found), key=lambda p: p.digest)
-        self.queries_run += 1
-        return result
+        return found
 
     def locate(self, pname: PName, origin_site: str) -> OperationResult:
         result = OperationResult()
@@ -351,6 +420,45 @@ class DistributedHashTable(ArchitectureModel):
             raise ConfigurationError("publish rate must be positive")
         per_updater_load = publishes_per_updater_per_second * self.updates_per_publish()
         return int(self.ring_update_capacity() / per_updater_load)
+
+
+def _collect_lineage_targets(
+    predicate: Predicate, targets: List[Tuple[bool, PName]]
+) -> None:
+    """Gather every (walk-up?, focus) pair the predicate can ask about."""
+    if isinstance(predicate, DerivedFrom):
+        targets.append((False, predicate.ancestor))
+    elif isinstance(predicate, AncestorOf):
+        targets.append((True, predicate.descendant))
+    elif isinstance(predicate, (And, Or)):
+        for part in predicate.parts:
+            _collect_lineage_targets(part, targets)
+    elif isinstance(predicate, Not):
+        _collect_lineage_targets(predicate.part, targets)
+
+
+class _WalkOracle(LineageOracle):
+    """A lineage oracle backed by pre-walked reachability sets.
+
+    Lineage predicates only ever ask about their own focus node
+    (``DerivedFrom(x)`` asks ``is_ancestor(x, candidate)``,
+    ``AncestorOf(y)`` asks ``is_ancestor(candidate, y)``), so the sets
+    collected by :meth:`DistributedHashTable._resolve_lineage` answer
+    every probe the evaluation can make.
+    """
+
+    def __init__(self, down: Dict[str, Set[str]], up: Dict[str, Set[str]]) -> None:
+        self._down = down
+        self._up = up
+
+    def is_ancestor(self, ancestor: PName, descendant: PName) -> bool:
+        reachable = self._down.get(ancestor.digest)
+        if reachable is not None:
+            return descendant.digest in reachable
+        reached_from = self._up.get(descendant.digest)
+        if reached_from is not None:
+            return ancestor.digest in reached_from
+        return False
 
 
 # ----------------------------------------------------------------------

@@ -214,7 +214,7 @@ def run_e3(depths: Sequence[int] = (4, 16, 64), fan_in: int = 4) -> ExperimentRe
     for depth in depths:
         base_store = _build_chain_store(depth, fan_in)
         pnames = base_store.pnames()
-        for strategy_name in ("naive", "memoized", "labelled"):
+        for strategy_name in ("naive", "memoized", "labelled", "interval"):
             store = PassStore(closure=strategy_name)
             for pname in sorted(pnames, key=lambda p: p.digest):
                 record = base_store.get_record(pname)

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.attributes import Timestamp
 from repro.core.pass_store import PassStore
 from repro.core.provenance import PName
-from repro.core.query import AttributeEquals, AttributeRange, And, Query
+from repro.core.query import And, AttributeEquals, AttributeRange, Query
 from repro.distributed import (
     CentralizedWarehouse,
     DistributedHashTable,

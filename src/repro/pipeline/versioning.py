@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.attributes import Timestamp
 from repro.core.pass_store import PassStore
 from repro.core.provenance import Agent, PName, ProvenanceRecord
-from repro.core.query import AttributeEquals, And
+from repro.core.query import And, AttributeEquals
 from repro.core.tupleset import TupleSet
 from repro.errors import ConfigurationError, UnknownEntityError
 

@@ -51,7 +51,11 @@ def execute(
     if plan.cache_hit:
         store.stats.plan_cache_hits += 1
 
-    residual = replace(query, predicate=plan.predicate)
+    # The residual drops conjuncts the path answered exactly (a lineage
+    # probe already enumerated the closure; re-testing reachability per
+    # candidate would re-pay the walk).  Ordering/limit/removed-data
+    # options still apply in full.
+    residual = replace(query, predicate=plan.residual)
     pairs = residual.evaluate_pairs(candidates, lineage=store, removed=store.is_removed)
     explain = Explain(
         site=store.site,

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.query import (
+    TRUE,
     AgentIs,
     AncestorOf,
     And,
@@ -41,7 +42,6 @@ from repro.core.query import (
     Or,
     Predicate,
     TimeWindowOverlaps,
-    TRUE,
 )
 
 __all__ = ["normalize", "shape_key"]

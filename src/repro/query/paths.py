@@ -32,6 +32,8 @@ __all__ = [
     "ExistsProbe",
     "TemporalOverlapProbe",
     "SpatialRadiusProbe",
+    "LineageAncestorsProbe",
+    "LineageDescendantsProbe",
     "IndexIntersection",
     "IndexUnion",
 ]
@@ -42,6 +44,12 @@ class AccessPath(ABC):
 
     #: short machine-readable operator name, shown in Explain output
     kind = "abstract"
+    #: True when :meth:`probe` returns *exactly* the stored records
+    #: matching the conjunct it was built from (not merely a superset).
+    #: The planner drops exactly-covered conjuncts from the residual
+    #: predicate, so e.g. a lineage conjunct is never re-evaluated per
+    #: candidate after its probe already enumerated the closure.
+    exact = False
 
     @abstractmethod
     def describe(self) -> str:
@@ -221,6 +229,73 @@ class SpatialRadiusProbe(AccessPath):
 
     def probe(self, store) -> Set[PName]:
         return store.spatial_index.within_radius(self.centre, self.radius_km)
+
+
+class _LineageProbe(AccessPath):
+    """Common machinery of the two lineage reachability probes.
+
+    The probe asks the store's closure engine for one output-sensitive
+    enumeration instead of testing reachability per stored record; with
+    the :mod:`repro.lineage` interval index that is O(answer), and even
+    the naive strategy pays one BFS instead of one per record.  The
+    probe is *exact*: a stored record is in the probe set iff it matches
+    the lineage conjunct, so the executor never re-evaluates it.
+    """
+
+    exact = True
+    #: "ancestors" or "descendants"; subclasses pin it
+    direction = "abstract"
+
+    def __init__(self, focus: PName, include_self: bool = False) -> None:
+        self.focus = focus
+        self.include_self = include_self
+
+    def describe(self) -> str:
+        suffix = " (incl. the focus itself)" if self.include_self else ""
+        return f"lineage reachability probe: {self.direction} of {self.focus.short}{suffix}"
+
+    def estimate(self, store) -> int:
+        if self.focus not in store.graph:
+            return 1 if self.include_self else 0
+        estimator = (
+            store.closure.estimate_ancestors
+            if self.direction == "ancestors"
+            else store.closure.estimate_descendants
+        )
+        estimated = estimator(self.focus)
+        if estimated is None:
+            # Strategy cannot answer cheaply: price from the store's
+            # depth-histogram / fan-out statistics instead.
+            estimated = store.graph_stats.expected_reach()
+        return estimated + (1 if self.include_self else 0)
+
+    def probe(self, store) -> Set[PName]:
+        if self.focus in store.graph:
+            walker = (
+                store.closure.ancestors
+                if self.direction == "ancestors"
+                else store.closure.descendants
+            )
+            found = set(walker(self.focus))
+        else:
+            found = set()
+        if self.include_self:
+            found.add(self.focus)
+        return found
+
+
+class LineageAncestorsProbe(_LineageProbe):
+    """Candidates for ``AncestorOf(x)``: the ancestor closure of ``x``."""
+
+    kind = "lineage-ancestors"
+    direction = "ancestors"
+
+
+class LineageDescendantsProbe(_LineageProbe):
+    """Candidates for ``DerivedFrom(x)``: the descendant (taint) closure of ``x``."""
+
+    kind = "lineage-descendants"
+    direction = "descendants"
 
 
 class IndexIntersection(AccessPath):

@@ -27,11 +27,14 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.query import (
+    TRUE,
+    AncestorOf,
     And,
     AttributeEquals,
     AttributeExists,
     AttributeIn,
     AttributeRange,
+    DerivedFrom,
     NearLocation,
     Or,
     Predicate,
@@ -46,6 +49,8 @@ from repro.query.paths import (
     FullScanPath,
     IndexIntersection,
     IndexUnion,
+    LineageAncestorsProbe,
+    LineageDescendantsProbe,
     MultiProbe,
     RangeProbe,
     SpatialRadiusProbe,
@@ -69,7 +74,7 @@ class Plan:
     """The outcome of planning one query."""
 
     query: Query
-    #: normalized predicate (what the executor evaluates on candidates)
+    #: normalized predicate (the full, user-visible query condition)
     predicate: Predicate
     #: chosen candidate generator
     path: AccessPath
@@ -79,6 +84,14 @@ class Plan:
     cache_hit: bool
     #: estimated candidate rows at plan time
     estimated_rows: int
+    #: what the executor actually evaluates on candidates: the predicate
+    #: minus conjuncts the chosen path answers *exactly* (lineage probes
+    #: enumerate the closure; re-testing reachability per candidate
+    #: would re-pay the walk).  Soundness: an exact conjunct holds for
+    #: every candidate by construction.  Deliberately non-defaulted: a
+    #: forgotten residual must be a TypeError, not a plan that filters
+    #: nothing.
+    residual: Predicate
 
 
 @dataclass
@@ -116,24 +129,29 @@ class QueryPlanner:
         shape = shape_key(predicate)
         if force_full_scan:
             path: AccessPath = FullScanPath()
-            return Plan(query, predicate, path, shape, False, path.estimate(self._store))
+            return Plan(
+                query, predicate, path, shape, False, path.estimate(self._store), predicate
+            )
 
         cached = self._cache.get(shape)
         if cached is not None and not self._stale(cached):
-            path = self._rebuild(predicate, cached.selection)
-            if path is not None:
+            rebuilt = self._rebuild(predicate, cached.selection)
+            if rebuilt is not None:
+                path, residual = rebuilt
                 cached.hits += 1
                 self._cache.move_to_end(shape)
-                return Plan(query, predicate, path, shape, True, path.estimate(self._store))
+                return Plan(
+                    query, predicate, path, shape, True, path.estimate(self._store), residual
+                )
 
-        path, selection = self._choose_path(predicate)
+        path, selection, residual = self._choose_path(predicate)
         self._cache[shape] = _ShapeAnalysis(
             self._store.statistics.record_count, selection
         )
         self._cache.move_to_end(shape)
         while len(self._cache) > _CACHE_MAX_SHAPES:
             self._cache.popitem(last=False)
-        return Plan(query, predicate, path, shape, False, path.estimate(self._store))
+        return Plan(query, predicate, path, shape, False, path.estimate(self._store), residual)
 
     def cache_snapshot(self) -> dict:
         """Plan-cache facts for ``client.stats()`` and tests."""
@@ -156,42 +174,83 @@ class QueryPlanner:
             return predicate.parts
         return (predicate,)
 
-    def _choose_path(self, predicate: Predicate) -> Tuple[AccessPath, Tuple[str, ...]]:
-        """Full analysis: rank every sargable conjunct, return (path, selection)."""
+    def _choose_path(
+        self, predicate: Predicate
+    ) -> Tuple[AccessPath, Tuple[str, ...], Predicate]:
+        """Full analysis: rank every sargable conjunct.
+
+        Returns ``(path, selection, residual)`` where ``residual`` is the
+        predicate the executor must still evaluate on candidates (exact
+        conjuncts covered by the path are removed; see :class:`Plan`).
+        """
         store = self._store
         record_count = store.statistics.record_count
-        options: List[Tuple[AccessPath, str]] = []
+        options: List[Tuple[AccessPath, str, Predicate]] = []
         for conjunct in self._conjuncts_of(predicate):
             path = self._sargable(conjunct)
             if path is not None:
-                options.append((path, shape_key(conjunct)))
+                options.append((path, shape_key(conjunct), conjunct))
         if not options:
-            return FullScanPath(), ("full",)
+            return FullScanPath(), ("full",), predicate
 
         ranked = sorted(options, key=lambda item: item[0].estimate(store))
-        best, best_shape = ranked[0]
-        if best.estimate(store) >= record_count:
+        best, best_shape, best_conjunct = ranked[0]
+        if best.estimate(store) >= record_count and not best.exact:
             # The "index" would touch everything; scanning is cheaper
-            # than probing plus fetching every record by name.
-            return FullScanPath(), ("full",)
+            # than probing plus fetching every record by name.  Exact
+            # probes (lineage) are exempt: even an everything-sized
+            # closure enumeration beats a scan that re-tests
+            # reachability once per record -- so before giving up,
+            # fall back to the cheapest exact option if there is one.
+            exact_ranked = [option for option in ranked if option[0].exact]
+            if not exact_ranked:
+                return FullScanPath(), ("full",), predicate
+            best, best_shape, best_conjunct = exact_ranked[0]
         if (
             len(ranked) > 1
             and ranked[1][0].estimate(store) <= record_count * _INTERSECTION_SELECTIVITY
         ):
-            second, second_shape = ranked[1]
-            return IndexIntersection([best, second]), ("intersect", best_shape, second_shape)
-        return best, ("single", best_shape)
+            second, second_shape, second_conjunct = ranked[1]
+            chosen = [(best, best_conjunct), (second, second_conjunct)]
+            return (
+                IndexIntersection([best, second]),
+                ("intersect", best_shape, second_shape),
+                self._residual_of(predicate, chosen),
+            )
+        return best, ("single", best_shape), self._residual_of(predicate, [(best, best_conjunct)])
 
-    def _rebuild(self, predicate: Predicate, selection: Tuple[str, ...]) -> Optional[AccessPath]:
+    def _residual_of(
+        self, predicate: Predicate, chosen: List[Tuple[AccessPath, Predicate]]
+    ) -> Predicate:
+        """The predicate minus conjuncts the chosen path answers exactly.
+
+        Dropping is only sound for *exact* paths inside a conjunction:
+        every candidate the path (or an intersection containing it)
+        yields already satisfies the conjunct.  Inexact paths keep their
+        conjunct in the residual, as before.
+        """
+        covered = [conjunct for path, conjunct in chosen if path.exact]
+        if not covered:
+            return predicate
+        remaining = [c for c in self._conjuncts_of(predicate) if c not in covered]
+        if not remaining:
+            return TRUE
+        if len(remaining) == 1:
+            return remaining[0]
+        return And(tuple(remaining))
+
+    def _rebuild(
+        self, predicate: Predicate, selection: Tuple[str, ...]
+    ) -> Optional[Tuple[AccessPath, Predicate]]:
         """Re-instantiate a cached strategy with the new predicate's constants.
 
         Returns ``None`` when the selection no longer applies (a conjunct
         shape disappeared) -- the caller then falls back to full analysis.
         """
         if selection[0] == "full":
-            return FullScanPath()
+            return FullScanPath(), predicate
         wanted = list(selection[1:])
-        chosen: List[AccessPath] = []
+        chosen: List[Tuple[AccessPath, Predicate]] = []
         for conjunct in self._conjuncts_of(predicate):
             if not wanted:
                 break
@@ -200,13 +259,14 @@ class QueryPlanner:
                 path = self._sargable(conjunct)
                 if path is None:
                     return None
-                chosen.append(path)
+                chosen.append((path, conjunct))
                 wanted.remove(conjunct_shape)
         if wanted:
             return None
+        residual = self._residual_of(predicate, chosen)
         if selection[0] == "intersect":
-            return IndexIntersection(chosen)
-        return chosen[0]
+            return IndexIntersection([path for path, _ in chosen]), residual
+        return chosen[0][0], residual
 
     def _sargable(self, conjunct: Predicate) -> Optional[AccessPath]:
         """An index path answering ``conjunct`` completely, or None."""
@@ -239,6 +299,13 @@ class QueryPlanner:
             if conjunct.name == "location" and conjunct.radius_km >= 0:
                 return SpatialRadiusProbe(conjunct.centre, conjunct.radius_km)
             return None
+        if isinstance(conjunct, DerivedFrom):
+            # Recursive queries are the paper's signature workload; the
+            # closure engine enumerates the taint set output-sensitively
+            # instead of re-testing reachability per stored record.
+            return LineageDescendantsProbe(conjunct.ancestor, conjunct.include_self)
+        if isinstance(conjunct, AncestorOf):
+            return LineageAncestorsProbe(conjunct.descendant, conjunct.include_self)
         if isinstance(conjunct, Or):
             branches = [self._sargable(part) for part in conjunct.parts]
             if all(branch is not None for branch in branches):

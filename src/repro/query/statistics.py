@@ -13,7 +13,10 @@ What it knows:
 * per-attribute record counts and (via the attribute index) distinct
   value counts,
 * the overall time span covered by indexed time windows,
-* how many records carry an indexable location.
+* how many records carry an indexable location,
+* the shape of the provenance DAG (depth histogram, fan-in), via the
+  shared :class:`~repro.lineage.stats.GraphStatistics` collector, which
+  is what prices the lineage reachability probes.
 """
 
 from __future__ import annotations
@@ -39,6 +42,10 @@ class Statistics:
         distinct-value counts and probe-size estimates; it maintains its
         own record/attribute counters so estimates stay O(1) even when
         an index is restricted to a subset of attributes.
+    graph_statistics:
+        The store's :class:`~repro.lineage.stats.GraphStatistics`
+        (lineage-probe estimates); a private collector is created when
+        none is shared.
     """
 
     def __init__(
@@ -46,10 +53,16 @@ class Statistics:
         attribute_index: AttributeIndex,
         temporal_index: TemporalIndex,
         spatial_index: SpatialIndex,
+        graph_statistics=None,
     ) -> None:
         self._attribute_index = attribute_index
         self._temporal_index = temporal_index
         self._spatial_index = spatial_index
+        if graph_statistics is None:
+            from repro.lineage.stats import GraphStatistics
+
+            graph_statistics = GraphStatistics()
+        self.graph = graph_statistics
         self.record_count = 0
         #: attribute name -> number of records carrying it
         self.attribute_counts: Dict[str, int] = {}
@@ -108,4 +121,5 @@ class Statistics:
             "time_span": (
                 None if span is None else (span[0].seconds, span[1].seconds)
             ),
+            "graph": self.graph.snapshot(),
         }

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set
 
 from repro.core.provenance import PName, ProvenanceRecord
-from repro.core.query import Predicate, TRUE
+from repro.core.query import TRUE, Predicate
 from repro.errors import PolicyError
 
 __all__ = ["Principal", "AccessRule", "AccessDecision", "PolicyEngine"]

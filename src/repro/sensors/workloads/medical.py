@@ -25,7 +25,7 @@ import random
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.attributes import GeoPoint, Timestamp
-from repro.core.query import AgentIs, AttributeEquals, AttributeRange, And, IsRaw, Query
+from repro.core.query import AgentIs, And, AttributeEquals, AttributeRange, IsRaw, Query
 from repro.core.tupleset import TupleSet
 from repro.pipeline.operators import AggregateOperator, DerivationOperator, FilterOperator
 from repro.sensors.network import SensorNetwork

@@ -16,7 +16,7 @@ import random
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.attributes import GeoPoint, Timestamp
-from repro.core.query import AttributeEquals, AttributeIn, And, Query
+from repro.core.query import And, AttributeEquals, AttributeIn, Query
 from repro.core.tupleset import TupleSet
 from repro.pipeline.operators import AggregateOperator, FilterOperator
 from repro.sensors.network import SensorNetwork

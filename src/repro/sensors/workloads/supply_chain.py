@@ -15,7 +15,7 @@ import random
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.attributes import GeoPoint, Timestamp
-from repro.core.query import AttributeEquals, And, Query
+from repro.core.query import And, AttributeEquals, Query
 from repro.core.tupleset import TupleSet
 from repro.pipeline.operators import FilterOperator, MergeOperator
 from repro.sensors.network import SensorNetwork

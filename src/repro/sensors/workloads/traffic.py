@@ -22,9 +22,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.attributes import GeoPoint, Timestamp
 from repro.core.query import (
+    And,
     AttributeEquals,
     AttributeRange,
-    And,
     NearLocation,
     Query,
 )

@@ -16,7 +16,7 @@ import random
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.attributes import GeoPoint, Timestamp
-from repro.core.query import AttributeEquals, AttributeRange, And, IsRaw, Query
+from repro.core.query import And, AttributeEquals, AttributeRange, IsRaw, Query
 from repro.core.tupleset import TupleSet
 from repro.pipeline.operators import MergeOperator
 from repro.sensors.network import SensorNetwork

@@ -20,7 +20,7 @@ import random
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.attributes import GeoPoint, Timestamp
-from repro.core.query import AttributeEquals, AttributeRange, And, Query
+from repro.core.query import And, AttributeEquals, AttributeRange, Query
 from repro.core.tupleset import TupleSet
 from repro.pipeline.operators import AggregateOperator, CalibrationOperator
 from repro.sensors.network import SensorNetwork

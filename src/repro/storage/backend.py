@@ -123,6 +123,25 @@ class StorageBackend(ABC):
         property P4: deleting data must not delete provenance.
         """
 
+    # -- auxiliary index snapshots -------------------------------------------
+    def put_index_blob(self, name: str, payload: bytes) -> bool:
+        """Persist an auxiliary index snapshot under ``name``.
+
+        Used by the :mod:`repro.lineage` reachability index so reopening
+        a durable store does not re-derive its labelling.  Returns True
+        when the blob was actually stored; the default (no blob storage)
+        returns False so callers know persistence did not happen.
+        """
+        return False
+
+    def get_index_blob(self, name: str) -> Optional[bytes]:
+        """Fetch a previously stored index snapshot, or ``None``."""
+        return None
+
+    def delete_index_blob(self, name: str) -> bool:
+        """Drop a stored index snapshot; True when something was deleted."""
+        return False
+
     # -- removal markers -------------------------------------------------------
     @abstractmethod
     def mark_removed(self, pname: PName) -> None:

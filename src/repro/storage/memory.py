@@ -24,6 +24,7 @@ class MemoryBackend(StorageBackend):
         super().__init__()
         self._records: Dict[str, ProvenanceRecord] = {}
         self._payloads: Dict[str, bytes] = {}
+        self._index_blobs: Dict[str, bytes] = {}
         self._removed: Set[str] = set()
         self._closed = False
 
@@ -68,6 +69,26 @@ class MemoryBackend(StorageBackend):
     def delete_payload(self, pname: PName) -> bool:
         self._check_open()
         existed = self._payloads.pop(pname.digest, None) is not None
+        if existed:
+            self.stats.deletes += 1
+        return existed
+
+    # -- auxiliary index snapshots -------------------------------------------
+    def put_index_blob(self, name: str, payload: bytes) -> bool:
+        self._check_open()
+        if not isinstance(payload, (bytes, bytearray)):
+            raise StorageError("index blob payload must be bytes")
+        self._index_blobs[name] = bytes(payload)
+        self.stats.puts += 1
+        return True
+
+    def get_index_blob(self, name: str) -> Optional[bytes]:
+        self._check_open()
+        return self._index_blobs.get(name)
+
+    def delete_index_blob(self, name: str) -> bool:
+        self._check_open()
+        existed = self._index_blobs.pop(name, None) is not None
         if existed:
             self.stats.deletes += 1
         return existed

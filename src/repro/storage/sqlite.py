@@ -18,6 +18,9 @@ Schema
 ``ancestry(child TEXT, parent TEXT, PRIMARY KEY (child, parent))``
     Redundant edge table so ancestry queries can also be issued in SQL;
     kept in sync with the records.
+``index_blobs(name TEXT PRIMARY KEY, body BLOB)``
+    Auxiliary index snapshots (the :mod:`repro.lineage` reachability
+    labelling), so reopening the store does not re-derive them.
 """
 
 from __future__ import annotations
@@ -51,6 +54,10 @@ CREATE TABLE IF NOT EXISTS ancestry (
     PRIMARY KEY (child, parent)
 );
 CREATE INDEX IF NOT EXISTS ancestry_parent ON ancestry(parent);
+CREATE TABLE IF NOT EXISTS index_blobs (
+    name TEXT PRIMARY KEY,
+    body BLOB NOT NULL
+);
 """
 
 
@@ -241,6 +248,41 @@ class SQLiteBackend(StorageBackend):
         with self._connection:
             cursor = self._connection.execute(
                 "DELETE FROM payloads WHERE pname = ?", (pname.digest,)
+            )
+        deleted = cursor.rowcount > 0
+        if deleted:
+            self.stats.deletes += 1
+        return deleted
+
+    # ------------------------------------------------------------------
+    # Auxiliary index snapshots
+    # ------------------------------------------------------------------
+    def put_index_blob(self, name: str, payload: bytes) -> bool:
+        self._check_open()
+        if not isinstance(payload, (bytes, bytearray)):
+            raise StorageError("index blob payload must be bytes")
+        self._maybe_crash()
+        with self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO index_blobs (name, body) VALUES (?, ?)",
+                (name, bytes(payload)),
+            )
+        self.stats.puts += 1
+        return True
+
+    def get_index_blob(self, name: str) -> Optional[bytes]:
+        self._check_open()
+        self.stats.gets += 1
+        row = self._connection.execute(
+            "SELECT body FROM index_blobs WHERE name = ?", (name,)
+        ).fetchone()
+        return None if row is None else bytes(row[0])
+
+    def delete_index_blob(self, name: str) -> bool:
+        self._check_open()
+        with self._connection:
+            cursor = self._connection.execute(
+                "DELETE FROM index_blobs WHERE name = ?", (name,)
             )
         deleted = cursor.rowcount > 0
         if deleted:

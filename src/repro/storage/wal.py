@@ -32,7 +32,7 @@ from repro.storage.backend import StorageBackend
 
 __all__ = ["WalEntry", "ReplayReport", "WriteAheadLog"]
 
-_OPS = {"put_record", "put_payload", "mark_removed"}
+_OPS = {"put_record", "put_payload", "mark_removed", "put_index_blob"}
 
 
 @dataclass(frozen=True)
@@ -41,6 +41,9 @@ class WalEntry:
 
     sequence: int
     operation: str
+    #: the PName digest the operation targets -- or, for
+    #: ``put_index_blob``, the blob's name (index snapshots are keyed by
+    #: name, not by record identity)
     pname: str
     payload: Optional[str] = None  # JSON record text or hex payload bytes
 
@@ -138,6 +141,16 @@ class WriteAheadLog:
         """Log an intent to mark a data set removed."""
         return self._append("mark_removed", pname.digest, None)
 
+    def log_put_index_blob(self, name: str, payload: bytes) -> WalEntry:
+        """Log an intent to persist an auxiliary index snapshot.
+
+        The reachability labelling of :mod:`repro.lineage` is recovered
+        like any other acknowledged write: replay re-installs the
+        snapshot, and the store's fingerprint check decides whether it
+        still matches the recovered records.
+        """
+        return self._append("put_index_blob", name, payload.hex())
+
     def inject_torn_write(self) -> None:
         """Make the *next* appended entry be written only partially.
 
@@ -206,6 +219,14 @@ class WriteAheadLog:
     # Internals
     # ------------------------------------------------------------------
     def _apply(self, entry: WalEntry, backend: StorageBackend) -> bool:
+        if entry.operation == "put_index_blob":
+            # Index blobs are keyed by name, not by a PName digest.
+            if entry.payload is None:
+                raise RecoveryError("put_index_blob entry missing its snapshot body")
+            blob = bytes.fromhex(entry.payload)
+            if backend.get_index_blob(entry.pname) == blob:
+                return False
+            return backend.put_index_blob(entry.pname, blob)
         pname = PName(entry.pname)
         if entry.operation == "put_record":
             if entry.payload is None:

@@ -21,10 +21,17 @@ Three subscription kinds:
   :class:`~repro.stream.subscription.WindowEvent` per closed window,
 * **lineage** -- :meth:`StreamEngine.subscribe_descendants` watches a
   PName and fires a :class:`~repro.stream.subscription.LineageEvent`
-  whenever a new (transitive) descendant is published.  The descendant
-  set is maintained incrementally -- each new record inherits the watch
-  labels of its immediate ancestors -- so the trigger never re-walks the
-  provenance graph.
+  whenever a new (transitive) descendant is published.  When the engine
+  is given a ``lineage_oracle`` (the local façade passes the store's
+  ``is_ancestor`` whenever the closure strategy has
+  ``fast_reachability`` -- labelled or the :mod:`repro.lineage`
+  interval index), each ingested record is checked against the watched
+  nodes directly -- no engine-side edge or label bookkeeping at all.
+  Without an oracle (graph-walking closures, and the distributed
+  models, where no single component holds the whole graph) the engine
+  falls back to incremental label inheritance: each new record inherits
+  the watch labels of its immediate ancestors.  Either way the trigger
+  never re-walks the provenance graph per ingest.
 
 The engine is storage-agnostic: :meth:`on_ingest` is fed by a
 ``PassStore`` post-commit hook locally and by the architecture models'
@@ -37,7 +44,7 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.api.dsl import as_query, coerce_pname
 from repro.core.provenance import PName, ProvenanceRecord
@@ -78,15 +85,29 @@ class StreamEngine:
         subscription (the naive baseline ``bench_stream.py`` measures
         the dispatch index against).  Match results are identical either
         way; only the work differs.
+    lineage_oracle:
+        Optional ``is_ancestor(watched, candidate) -> bool`` callable.
+        When given, descendant watches are answered through it (the
+        shared reachability index) and the engine keeps no edge/label
+        maps of its own; when absent, incremental label inheritance is
+        used.  Match results are identical either way.
     """
 
-    def __init__(self, use_index: bool = True) -> None:
+    def __init__(
+        self,
+        use_index: bool = True,
+        lineage_oracle: Optional[Callable[[PName, PName], bool]] = None,
+    ) -> None:
         self.use_index = use_index
+        self._lineage_oracle = lineage_oracle
         self._lock = threading.RLock()
         self._ids = itertools.count(1)
         self._subs: Dict[str, Subscription] = {}
         self._query_sub_count = 0  # query+window subs, kept O(1) for the hot path
         self._index = DispatchIndex()
+        #: lineage subscriptions by id (the oracle match path iterates
+        #: exactly these, never the full subscription table)
+        self._lineage_subs: Dict[str, Subscription] = {}
         #: record digest -> ids of lineage subscriptions whose watched
         #: node is an ancestor of (or is) that record
         self._taint: Dict[str, set] = {}
@@ -112,6 +133,16 @@ class StreamEngine:
         self.window_events = 0
         self.lineage_events = 0
         self.callback_errors = 0
+
+    @property
+    def needs_lineage_backfill(self) -> bool:
+        """Whether descendant watches need a closure seed at registration.
+
+        With a lineage oracle the shared index answers descent through
+        pre-existing intermediates by itself; only the label-inheritance
+        fallback needs the caller to supply ``known_descendants``.
+        """
+        return self._lineage_oracle is None
 
     # ------------------------------------------------------------------
     # Registration
@@ -208,20 +239,24 @@ class StreamEngine:
             )
             subscription.seq = seq
             self._subs[subscription.id] = subscription
+            self._lineage_subs[subscription.id] = subscription
             self._lineage_sub_count += 1
-            known = list(known_descendants or ())  # may be a one-shot iterable
-            self._taint.setdefault(pname.digest, set()).add(subscription.id)
-            for descendant in known:
-                self._taint.setdefault(descendant.digest, set()).add(subscription.id)
-            # Propagate the label through descent seen before registration.
-            frontier = [pname.digest] + [descendant.digest for descendant in known]
-            while frontier:
-                digest = frontier.pop()
-                for child in self._children_seen.get(digest, ()):
-                    labels = self._taint.setdefault(child, set())
-                    if subscription.id not in labels:
-                        labels.add(subscription.id)
-                        frontier.append(child)
+            if self._lineage_oracle is None:
+                # Label-inheritance fallback: seed the watch label onto
+                # everything already known to descend from the watch.
+                known = list(known_descendants or ())  # may be a one-shot iterable
+                self._taint.setdefault(pname.digest, set()).add(subscription.id)
+                for descendant in known:
+                    self._taint.setdefault(descendant.digest, set()).add(subscription.id)
+                # Propagate the label through descent seen before registration.
+                frontier = [pname.digest] + [descendant.digest for descendant in known]
+                while frontier:
+                    digest = frontier.pop()
+                    for child in self._children_seen.get(digest, ()):
+                        labels = self._taint.setdefault(child, set())
+                        if subscription.id not in labels:
+                            labels.add(subscription.id)
+                            frontier.append(child)
             return subscription
 
     def unsubscribe(self, subscription) -> bool:
@@ -239,6 +274,7 @@ class StreamEngine:
                 self._index.remove(subscription_id)
             else:
                 self._lineage_sub_count -= 1
+                self._lineage_subs.pop(subscription_id, None)
                 if self._lineage_sub_count == 0:
                     # No watchers left: drop the label and edge maps
                     # entirely (a later watch re-seeds history through
@@ -306,10 +342,18 @@ class StreamEngine:
                         events, (subscription, MatchEvent(subscription.id, pname, record))
                     )
 
-            # Lineage triggers: the new record inherits its ancestors' watch
-            # labels, so descent from a watched node is detected in O(edges).
+            # Lineage triggers.  With an oracle, ask the shared
+            # reachability index directly (O(watches) probes, no engine
+            # state); otherwise the new record inherits its ancestors'
+            # watch labels, so descent is detected in O(edges).
             labels: set = set()
-            if self._lineage_sub_count:
+            if self._lineage_sub_count and self._lineage_oracle is not None:
+                # O(watches), not O(all subscriptions): content/window
+                # subscriptions stay behind the dispatch index's pruning.
+                for subscription in self._lineage_subs.values():
+                    if self._lineage_oracle(subscription.watched, pname):
+                        labels.add(subscription.id)
+            elif self._lineage_sub_count:
                 for ancestor in record.ancestors:
                     if self._children_seen_edges < CHILDREN_SEEN_MAX_EDGES:
                         bucket = self._children_seen.setdefault(ancestor.digest, set())
@@ -322,7 +366,8 @@ class StreamEngine:
                     if hit:
                         labels |= hit
             if labels:
-                self._taint.setdefault(pname.digest, set()).update(labels)
+                if self._lineage_oracle is None:
+                    self._taint.setdefault(pname.digest, set()).update(labels)
                 watchers = sorted(
                     (self._subs[sid] for sid in labels if sid in self._subs),
                     key=_registration_order,
@@ -418,6 +463,9 @@ class StreamEngine:
                 "callback_errors": self.callback_errors,
                 "window_events": self.window_events,
                 "lineage_events": self.lineage_events,
+                "lineage_matching": (
+                    "shared-index" if self._lineage_oracle is not None else "label-inheritance"
+                ),
                 "dispatch_index": self._index.stats(),
             }
             if self._children_seen_capped:

@@ -8,6 +8,7 @@ from repro.api import Q, QueryBuilder, as_query
 from repro.api.dsl import coerce_pname
 from repro.core import GeoPoint, ProvenanceRecord, Timestamp
 from repro.core.query import (
+    TRUE,
     AgentIs,
     AncestorOf,
     And,
@@ -24,7 +25,6 @@ from repro.core.query import (
     Or,
     Predicate,
     Query,
-    TRUE,
 )
 from repro.core.tupleset import TupleSet
 from repro.errors import QueryError

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import (
+    TRUE,
     Agent,
     AgentIs,
     AncestorOf,
@@ -25,7 +26,6 @@ from repro.core import (
     ProvenanceRecord,
     Query,
     Timestamp,
-    TRUE,
 )
 from repro.errors import QueryError
 

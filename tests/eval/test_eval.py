@@ -8,10 +8,10 @@ from repro.core import AttributeEquals, ProvenanceRecord, Query
 from repro.errors import UnknownEntityError
 from repro.eval import (
     EXPERIMENTS,
+    MODEL_NAMES,
     CriteriaScores,
     ExperimentResult,
     LatencySample,
-    MODEL_NAMES,
     build_all_models,
     f1_score,
     format_experiment,

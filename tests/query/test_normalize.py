@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.core.attributes import GeoPoint, Timestamp
 from repro.core.query import (
+    TRUE,
     And,
     AttributeEquals,
     AttributeIn,
@@ -13,7 +14,6 @@ from repro.core.query import (
     Not,
     Or,
     TimeWindowOverlaps,
-    TRUE,
 )
 from repro.query import normalize, shape_key
 

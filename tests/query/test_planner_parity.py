@@ -19,8 +19,8 @@ from repro.core.attributes import GeoPoint, Timestamp
 from repro.core.pass_store import PassStore
 from repro.core.provenance import ProvenanceRecord
 from repro.core.query import (
-    And,
     AncestorOf,
+    And,
     AttributeContains,
     AttributeEquals,
     AttributeExists,

@@ -283,36 +283,65 @@ class TestLineageTriggers:
         assert after["deliveries"] == 2
         assert after["dropped"] == 1
 
-    def test_lineage_edge_map_is_capped_visibly(self, client):
-        from repro.stream import engine as engine_module
-
-        engine = client._stream_engine(create=True)
-        root = _tuple_set(0)
-        client.publish(root)
-        client.subscribe_descendants(root)
-        original = engine_module.CHILDREN_SEEN_MAX_EDGES
-        engine_module.CHILDREN_SEEN_MAX_EDGES = 1
-        try:
-            client.publish(_tuple_set(1, parents=[root.pname]))
-            client.publish(_tuple_set(2, parents=[root.pname]))
-        finally:
-            engine_module.CHILDREN_SEEN_MAX_EDGES = original
-        facts = engine.stats()
-        assert facts.get("lineage_edges_capped") is True  # truncation is never silent
-
-    def test_last_lineage_unsubscribe_releases_edge_tracking(self, client):
-        """No watchers left -> the engine drops its label and edge maps."""
+    def test_local_client_rides_the_shared_reachability_index(self, client):
+        """The local engine keeps no edge/label maps; the store's closure answers."""
         root = _tuple_set(0)
         client.publish(root)
         subscription = client.subscribe_descendants(root)
         client.publish(_tuple_set(1, parents=[root.pname]))
         engine = client._stream_engine(create=False)
+        assert engine.stats()["lineage_matching"] == "shared-index"
+        assert engine._children_seen == {}  # no engine-side bookkeeping at all
+        assert engine._taint == {}
+        assert [e.record.get("sequence") for e in subscription.drain()] == [1]
+
+    def test_graph_walking_closures_keep_label_inheritance(self):
+        """A naive-closure store must not pay a BFS per ingest per watch."""
+        with connect("memory://?closure=naive") as naive_client:
+            root = _tuple_set(0)
+            naive_client.publish(root)
+            subscription = naive_client.subscribe_descendants(root)
+            engine = naive_client._stream_engine(create=False)
+            assert engine.stats()["lineage_matching"] == "label-inheritance"
+            naive_client.publish(_tuple_set(1, parents=[root.pname]))
+            assert [e.record.get("sequence") for e in subscription.drain()] == [1]
+
+    def test_lineage_edge_map_is_capped_visibly(self):
+        """The label-inheritance fallback (no oracle) caps its edge map loudly."""
+        from repro.stream import engine as engine_module
+        from repro.stream.engine import StreamEngine
+
+        engine = StreamEngine()  # no lineage oracle: the distributed-model path
+        assert engine.stats()["lineage_matching"] == "label-inheritance"
+        root = _tuple_set(0)
+        engine.subscribe_descendants(root.pname)
+        original = engine_module.CHILDREN_SEEN_MAX_EDGES
+        engine_module.CHILDREN_SEEN_MAX_EDGES = 1
+        try:
+            for child in (_tuple_set(1, parents=[root.pname]), _tuple_set(2, parents=[root.pname])):
+                engine.on_ingest(child.pname, child.provenance)
+        finally:
+            engine_module.CHILDREN_SEEN_MAX_EDGES = original
+        facts = engine.stats()
+        assert facts.get("lineage_edges_capped") is True  # truncation is never silent
+
+    def test_last_lineage_unsubscribe_releases_edge_tracking(self):
+        """No watchers left -> the fallback engine drops its label and edge maps."""
+        from repro.stream.engine import StreamEngine
+
+        engine = StreamEngine()
+        root = _tuple_set(0)
+        engine.on_ingest(root.pname, root.provenance)
+        subscription = engine.subscribe_descendants(root.pname)
+        child = _tuple_set(1, parents=[root.pname])
+        engine.on_ingest(child.pname, child.provenance)
         assert engine._children_seen  # tracked while the watch was live
-        client.unsubscribe(subscription)
+        engine.unsubscribe(subscription)
         assert engine._children_seen == {}
         assert engine._taint == {}
         # And ingest stops recording edges entirely without lineage interest.
-        client.publish(_tuple_set(2, parents=[root.pname]))
+        grandchild = _tuple_set(2, parents=[root.pname])
+        engine.on_ingest(grandchild.pname, grandchild.provenance)
         assert engine._children_seen == {}
 
 

@@ -271,3 +271,78 @@ class TestSimulateCommand:
     def test_bad_jitter_rejected(self):
         code = main(["simulate", "traffic", "--jitter", "2.0"], out=io.StringIO())
         assert code == 2
+
+
+class TestLineageCommand:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lineage"])
+
+    def test_ancestors_pages_through_the_closure(self):
+        out = io.StringIO()
+        code = main(
+            ["lineage", "ancestors", "traffic", "--hours", "0.5", "--limit", "3"], out=out
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "ancestor(s) of" in text
+        assert "showing 3 from offset 0" in text
+        assert text.count("\n  ") == 3  # exactly one line per paged ancestor
+
+    def test_ancestors_works_on_a_model_target(self):
+        out = io.StringIO()
+        code = main(
+            ["lineage", "ancestors", "traffic", "--hours", "0.5", "--store", "dht://"],
+            out=out,
+        )
+        assert code == 0
+        assert "ancestor(s) of" in out.getvalue()
+
+    def test_path_prints_a_derivation_chain(self):
+        out = io.StringIO()
+        code = main(["lineage", "path", "weather", "--hours", "0.5"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "derivation path (" in text
+        assert "most derived first" in text
+
+    def test_path_rejects_model_targets(self):
+        code = main(
+            ["lineage", "path", "traffic", "--store", "centralized://"],
+            out=io.StringIO(),
+        )
+        assert code == 2
+
+    def test_stats_reports_graph_shape_and_index(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "lineage",
+                "stats",
+                "traffic",
+                "--hours",
+                "0.5",
+                "--store",
+                "memory://?closure=interval",
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "graph nodes/edges:" in text
+        assert "closure strategy:  interval" in text
+        assert "depth histogram:" in text
+
+    def test_stats_degrades_gracefully_on_model_targets(self):
+        out = io.StringIO()
+        code = main(["lineage", "stats", "traffic", "--store", "centralized://"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "no per-store graph statistics" in text
+        assert "supports_lineage: True" in text
+
+    def test_focus_out_of_range_rejected(self):
+        code = main(
+            ["lineage", "ancestors", "traffic", "--focus", "999"], out=io.StringIO()
+        )
+        assert code == 2
