@@ -82,6 +82,43 @@ def _print_table(url: str, rows) -> None:
     print(f"  {'batch':>6} {'looped us/set':>14} {'batched us/set':>15} {'speedup':>8}")
     for size, looped_us, batched_us, speedup in rows:
         print(f"  {size:>6} {looped_us:>14.1f} {batched_us:>15.1f} {speedup:>7.2f}x")
+    _emit_bench_json(url, rows)
+
+
+def _emit_bench_json(url: str, rows) -> None:
+    """Merge this sweep into BENCH_api_facade.json via the shared helper."""
+    import importlib.util
+    import json
+    import sys
+    from pathlib import Path
+
+    name = "repro_bench_results"
+    module = sys.modules.get(name)
+    if module is None:
+        spec = importlib.util.spec_from_file_location(
+            name, Path(__file__).resolve().with_name("conftest.py")
+        )
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[name] = module
+        spec.loader.exec_module(module)
+    path = Path(__file__).resolve().parent / "results" / "BENCH_api_facade.json"
+    document = {}
+    if path.exists():
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError:
+            document = {}
+    sweeps = document.get("sweeps") or {}
+    sweeps[url] = [
+        {
+            "batch": size,
+            "looped_us_per_set": round(looped_us, 2),
+            "batched_us_per_set": round(batched_us, 2),
+            "speedup": round(speedup, 3),
+        }
+        for size, looped_us, batched_us, speedup in rows
+    ]
+    module.write_bench_json("api_facade", {"sweeps": sweeps})
 
 
 def test_publish_many_is_cheaper_on_sqlite(tmp_path):

@@ -94,12 +94,31 @@ def _time_query(store: PassStore, predicate, force_full_scan: bool) -> float:
     return best
 
 
+def _emit_bench_json(area: str, payload: dict) -> None:
+    """Persist headline numbers via the shared conftest helper (by path,
+    so it works as a script and under pytest alike)."""
+    import importlib.util
+    from pathlib import Path
+
+    name = "repro_bench_results"
+    module = sys.modules.get(name)
+    if module is None:
+        spec = importlib.util.spec_from_file_location(
+            name, Path(__file__).resolve().with_name("conftest.py")
+        )
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[name] = module
+        spec.loader.exec_module(module)
+    module.write_bench_json(area, payload)
+
+
 def run_benchmark(count: int, assert_timing: bool, required_speedup: float) -> int:
     store = _build_store(count)
     client = LocalClient(store, owns_store=False)
     print(f"\n[planner vs full scan] {count} tuple sets")
     print(f"  {'query':>14} {'path':>18} {'rows':>6} {'scan ms':>9} {'plan ms':>9} {'speedup':>8}")
     failures = 0
+    queries = {}
     for label, predicate in _query_suite(count):
         planned_pairs, explain = store.query_explain(predicate)
         scanned_pairs, _ = store.query_explain(predicate, force_full_scan=True)
@@ -127,11 +146,26 @@ def run_benchmark(count: int, assert_timing: bool, required_speedup: float) -> i
             f"  {label:>14} {explain.path_kind:>18} {len(planned_pairs):>6}"
             f" {scan_s * 1e3:>9.2f} {plan_s * 1e3:>9.2f} {speedup:>7.1f}x"
         )
+        queries[label] = {
+            "path": explain.path_kind,
+            "rows": len(planned_pairs),
+            "scan_ms": round(scan_s * 1e3, 3),
+            "plan_ms": round(plan_s * 1e3, 3),
+            "speedup": round(speedup, 2),
+        }
         if assert_timing and speedup < required_speedup:
             print(
                 f"  TIMING FAILURE on {label}: {speedup:.1f}x < required {required_speedup}x"
             )
             failures += 1
+    _emit_bench_json(
+        "query_planner",
+        {
+            "tuple_sets": count,
+            "queries": queries,
+            "gates": {"required_speedup": required_speedup, "failures": failures},
+        },
+    )
     return failures
 
 

@@ -35,6 +35,27 @@ from repro.stream.engine import StreamEngine
 FULL_SUBS, FULL_RECORDS = 1_000, 20_000
 QUICK_SUBS, QUICK_RECORDS = 400, 2_000
 
+
+def _emit_bench_json(area: str, payload: dict) -> None:
+    """Persist headline numbers via the shared conftest helper.
+
+    Loaded by path so it works both as a script and under pytest
+    (where the name ``conftest`` may already be another directory's).
+    """
+    import importlib.util
+    from pathlib import Path
+
+    name = "repro_bench_results"
+    module = sys.modules.get(name)
+    if module is None:
+        spec = importlib.util.spec_from_file_location(
+            name, Path(__file__).resolve().with_name("conftest.py")
+        )
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[name] = module
+        spec.loader.exec_module(module)
+    module.write_bench_json(area, payload)
+
 _CITIES = [f"city-{i:03d}" for i in range(100)]
 _DOMAINS = ["traffic", "weather", "medical", "volcano", "structural"]
 
@@ -140,6 +161,19 @@ def run_benchmark(subs: int, records: int, assert_timing: bool, required_speedup
     if assert_timing and speedup < required_speedup:
         print(f"  TIMING FAILURE: {speedup:.1f}x < required {required_speedup}x")
         failures += 1
+    _emit_bench_json(
+        "stream",
+        {
+            "subscriptions": subs,
+            "records": records,
+            "naive_ms": round(naive_s * 1e3, 3),
+            "indexed_ms": round(indexed_s * 1e3, 3),
+            "wall_clock_speedup": round(speedup, 2),
+            "pruning_ratio": round(pruning, 2),
+            "events_delivered": len(indexed_events),
+            "gates": {"required_speedup": required_speedup, "failures": failures},
+        },
+    )
     return failures
 
 

@@ -1,15 +1,24 @@
-"""Shared fixtures for the benchmark suite.
+"""Shared fixtures and helpers for the benchmark suite.
 
 Each ``bench_eN_*.py`` file regenerates one experiment table from
 DESIGN.md / EXPERIMENTS.md.  The ``run_experiment_benchmark`` fixture
 times the experiment once (they are macro-benchmarks, not
-micro-benchmarks), writes the regenerated table under
+micro-benchmarks), writes a machine-readable result under
 ``benchmarks/results/`` and checks the claim-level assertions passed in
 by the caller.
+
+:func:`write_bench_json` is the one write path for benchmark artifacts:
+every bench -- experiment tables and the subsystem benches
+(``bench_stream``, ``bench_lineage``, ``bench_server``, ...) -- persists
+its numbers as ``results/BENCH_<area>.json`` so the perf trajectory is
+diffable across PRs instead of living in scrollback.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import sys
 from pathlib import Path
 
 import pytest
@@ -19,17 +28,60 @@ from repro.eval.report import format_experiment
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def write_bench_json(area: str, payload: dict) -> Path:
+    """Persist one benchmark's numbers as ``results/BENCH_<area>.json``.
+
+    ``payload`` should carry the bench's headline metrics (throughput,
+    p50/p95/p99, gate ratios); a ``python`` / ``platform`` stamp is
+    added so a regression can be told apart from an interpreter change.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    document = dict(payload)
+    document.setdefault("area", area)
+    document.setdefault(
+        "environment",
+        {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+    )
+    path = RESULTS_DIR / f"BENCH_{area}.json"
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def percentiles(samples, points=(50.0, 95.0, 99.0)) -> dict:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` by nearest-rank (no numpy)."""
+    if not samples:
+        return {f"p{point:g}": None for point in points}
+    ordered = sorted(samples)
+    facts = {}
+    for point in points:
+        rank = max(0, min(len(ordered) - 1, round(point / 100.0 * len(ordered)) - 1))
+        facts[f"p{point:g}"] = ordered[rank]
+    return facts
+
+
 @pytest.fixture
 def run_experiment_benchmark(benchmark):
-    """Run an experiment function once under pytest-benchmark and save its table."""
+    """Run an experiment function once under pytest-benchmark and save its result."""
 
     def runner(experiment_fn, *args, **kwargs):
         result = benchmark.pedantic(
             experiment_fn, args=args, kwargs=kwargs, rounds=1, iterations=1
         )
-        RESULTS_DIR.mkdir(exist_ok=True)
         table = format_experiment(result)
-        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(table + "\n", encoding="utf-8")
+        write_bench_json(
+            result.experiment_id,
+            {
+                "experiment": result.experiment_id,
+                "title": result.title,
+                "table": table.splitlines(),
+            },
+        )
         print()
         print(table)
         return result

@@ -297,8 +297,20 @@ class PassClient(ABC):
     def refresh(self) -> None:
         """Flush any propagation the target delays (soft-state refresh); no-op elsewhere."""
 
+    def rebuild_lineage_index(self) -> Dict[str, object]:
+        """Force-rebuild the target's closure index; returns its stats.
+
+        Local stores recompute and checkpoint synchronously; the remote
+        client submits the daemon's async build job and polls it to
+        completion.  Targets without a rebuildable index raise
+        :class:`~repro.errors.IndexError_`.
+        """
+        from repro.errors import IndexError_
+
+        raise IndexError_(f"target {self.target!r} has no rebuildable closure index")
+
     def close(self) -> None:
-        """Release underlying resources; further use may raise."""
+        """Release underlying resources; idempotent -- further use may raise."""
 
     def __enter__(self) -> "PassClient":
         return self
@@ -323,6 +335,7 @@ class LocalClient(PassClient):
         # wrap() adapts a caller-owned store and must leave it usable.
         self.owns_store = owns_store
         self._stream: Optional[StreamEngine] = None
+        self._closed = False
 
     def _local_cost(self) -> Cost:
         return Cost(sites=[self.store.site])
@@ -437,7 +450,13 @@ class LocalClient(PassClient):
             return None
         return self.store.get_record(pname)
 
+    def rebuild_lineage_index(self) -> Dict[str, object]:
+        return self.store.rebuild_closure_index()
+
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         if self._stream is not None:
             self.store.remove_ingest_hook(self._stream.on_ingest)
             for subscription in self._stream.subscriptions():
@@ -475,6 +494,7 @@ class ModelClient(PassClient):
         self.default_origin = origin if origin is not None else self._storage_sites[0]
         self.target = model.name
         self._stream: Optional[StreamEngine] = None
+        self._closed = False
 
     def _stream_engine(self, create: bool) -> Optional[StreamEngine]:
         if self._stream is None and create:
@@ -655,6 +675,9 @@ class ModelClient(PassClient):
             force()
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         if self._stream is not None:
             self.model.detach_stream_engine(self._stream)
             for subscription in self._stream.subscriptions():

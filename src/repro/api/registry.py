@@ -110,6 +110,33 @@ class ConnectionSpec:
             raw = raw[1:]
         return raw or ":memory:"
 
+    def endpoint(self, default_port: Optional[int] = None) -> tuple:
+        """The path component interpreted as a ``host:port`` endpoint.
+
+        ``pass://127.0.0.1:7100`` parses to ``("127.0.0.1", 7100)``; a
+        missing port falls back to ``default_port`` (or is a
+        configuration error when no default exists).
+        """
+        self._path_used = True
+        raw = self.path.rstrip("/")
+        host, _, port_text = raw.partition(":")
+        if not host:
+            raise ConfigurationError(
+                f"URL {self.url!r} needs a host, e.g. '{self.scheme}://127.0.0.1:7100'"
+            )
+        if not port_text:
+            if default_port is None:
+                raise ConfigurationError(
+                    f"URL {self.url!r} needs a port, e.g. '{self.scheme}://{host}:7100'"
+                )
+            return host, default_port
+        try:
+            return host, int(port_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"port of {self.url!r} must be an integer, got {port_text!r}"
+            ) from None
+
     # -- strictness bookkeeping ----------------------------------------
     def unconsumed(self) -> List[str]:
         """Parameters no accessor has read (i.e. the factory ignored them)."""
@@ -170,6 +197,7 @@ def _load_builtin_schemes() -> None:
     """
     import repro.core.pass_store  # noqa: F401  registers memory:// and sqlite://
     import repro.distributed  # noqa: F401  registers the Section IV architectures
+    import repro.server.remote  # noqa: F401  registers pass:// (live daemon)
 
 
 def connect(url: str):

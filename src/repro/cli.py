@@ -30,7 +30,10 @@ Three subcommands cover what a user wants from a terminal:
   concurrent closed-loop clients over the discrete-event kernel
   (``repro.sim``) against an architecture model, optionally applying a
   ``--schedule churn.json`` of timed partition/heal/churn events, and
-  print latency percentiles plus per-site utilization.
+  print latency percentiles plus per-site utilization,
+* ``serve`` -- run the provenance service daemon (``repro.server``) in
+  the foreground; remote clients then reach the same façade through
+  ``connect("pass://host:port")``.
 
 The CLI is a thin veneer over the library; everything it does is
 available programmatically, and the storage/architecture target is a
@@ -231,6 +234,27 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "ancestors":
             sub.add_argument("--limit", type=int, default=20, help="page size (default: 20)")
             sub.add_argument("--offset", type=int, default=0, help="page offset (default: 0)")
+
+    serve = subcommands.add_parser(
+        "serve",
+        help="run the provenance service daemon (repro.server) in the foreground",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="listen address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=7100, help="listen port (default: 7100; 0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--store",
+        default="memory://",
+        help="connect() URL each tenant's store is opened with (default: memory://)",
+    )
+    serve.add_argument(
+        "--token",
+        action="append",
+        default=None,
+        metavar="TOKEN=TENANT",
+        help="require auth: map TOKEN to TENANT (repeatable); omit for an open daemon",
+    )
 
     simulate = subcommands.add_parser(
         "simulate",
@@ -706,6 +730,34 @@ def _cmd_query(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    """Run the repro.server daemon in the foreground until interrupted."""
+    from repro.server import PassDaemon
+
+    tokens = None
+    if args.token:
+        tokens = {}
+        for entry in args.token:
+            token, separator, tenant = entry.partition("=")
+            if not separator or not token or not tenant:
+                print(f"error: bad --token {entry!r} (expected TOKEN=TENANT)", file=sys.stderr)
+                return 2
+            tokens[token] = tenant
+    daemon = PassDaemon(
+        host=args.host, port=args.port, backend_url=args.store, tokens=tokens
+    )
+    address = daemon.start()
+    auth = f"{len(tokens)} token(s)" if tokens else "open (no auth)"
+    print(f"serving {args.store} at {address.url}  [{auth}]", file=out)
+    try:
+        daemon.wait()
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+    finally:
+        daemon.stop()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -723,6 +775,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_watch(args, out)
     if args.command == "lineage":
         return _cmd_lineage(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
     if args.command == "simulate":
         return _cmd_simulate(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

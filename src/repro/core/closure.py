@@ -143,6 +143,16 @@ class ClosureStrategy(ABC):
         """
         return False
 
+    def rebuild(self) -> None:
+        """Recompute the strategy's auxiliary structures from the graph.
+
+        The administrative "rebuild the index now" verb (exposed end to
+        end as the daemon's async build job).  Strategies without
+        materialized state have nothing to recompute, so the default is
+        a no-op; strategies that cache (memoized) or label (interval)
+        drop/refresh their structures here.
+        """
+
     # -- reporting ---------------------------------------------------------
     def index_stats(self) -> dict:
         """Facts about the strategy's auxiliary structures (CLI / stats())."""
@@ -205,6 +215,12 @@ class MemoizedClosure(ClosureStrategy):
 
     def descendants(self, pname: PName) -> Set[PName]:
         return {PName(d) for d in self._cached(pname, up=False)}
+
+    def rebuild(self) -> None:
+        # Rebuilding a cache means starting it cold; entries repopulate
+        # on demand against the current graph.
+        self._ancestor_cache.clear()
+        self._descendant_cache.clear()
 
     def _cached(self, pname: PName, up: bool) -> Set[str]:
         if pname not in self.graph:

@@ -550,6 +550,22 @@ class PassStore(LineageOracle):
         payload = json.dumps(state, sort_keys=True, separators=(",", ":")).encode("utf-8")
         return self.backend.put_index_blob(self._closure_index_key(), payload)
 
+    def rebuild_closure_index(self) -> dict:
+        """Force-rebuild the closure index and checkpoint it; returns stats.
+
+        The administrative verb behind the daemon's async build job
+        (and any operator who suspects a stale labelling): recompute the
+        strategy's structures from the live graph, persist the fresh
+        snapshot where the strategy supports it, and report the
+        resulting :meth:`ClosureStrategy.index_stats` plus whether a
+        checkpoint was written.
+        """
+        self.closure.rebuild()
+        persisted = self.persist_closure_index()
+        stats = dict(self.closure.index_stats())
+        stats["persisted"] = persisted
+        return stats
+
     # ------------------------------------------------------------------
     # Reading (de)serialisation
     # ------------------------------------------------------------------

@@ -43,7 +43,14 @@ from repro.core.attributes import (
 )
 from repro.errors import ProvenanceError
 
-__all__ = ["PName", "Agent", "Annotation", "ProvenanceRecord"]
+__all__ = [
+    "PName",
+    "Agent",
+    "Annotation",
+    "ProvenanceRecord",
+    "value_to_json",
+    "value_from_json",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -378,6 +385,13 @@ def _value_from_json(value):
             return tuple(_value_from_json(item) for item in value["items"])
         raise ProvenanceError(f"unknown serialised value type: {kind!r}")
     return value
+
+
+# Public names: the wire protocol (repro.server) encodes attribute
+# values with exactly the convention the SQLite backend persists, so a
+# value round-trips identically through either path.
+value_to_json = _value_to_json
+value_from_json = _value_from_json
 
 
 def merge_provenance(

@@ -82,3 +82,65 @@ class PlacementError(PassError):
 
 class ConfigurationError(PassError):
     """A component was constructed with inconsistent parameters."""
+
+
+class ProtocolError(PassError):
+    """A wire-protocol frame or payload was malformed (repro.server)."""
+
+
+class AuthError(PassError):
+    """A server rejected a connection's credentials (repro.server)."""
+
+
+# ----------------------------------------------------------------------
+# Stable wire codes (repro.server)
+# ----------------------------------------------------------------------
+# The wire protocol ships errors as ``{"code": ..., "message": ...}``;
+# the codes below are stable identifiers a remote client maps back to
+# the exception type it would have seen in-process.  Codes are part of
+# the protocol contract: renaming one is a wire-version break.
+ERROR_CODES = {
+    "provenance": ProvenanceError,
+    "cycle": CycleError,
+    "duplicate-provenance": DuplicateProvenanceError,
+    "unknown-entity": UnknownEntityError,
+    "storage": StorageError,
+    "crash-injected": CrashInjectedError,
+    "recovery": RecoveryError,
+    "index": IndexError_,
+    "query": QueryError,
+    "unsupported-query": UnsupportedQueryError,
+    "naming": NamingError,
+    "policy": PolicyError,
+    "network": NetworkError,
+    "placement": PlacementError,
+    "configuration": ConfigurationError,
+    "protocol": ProtocolError,
+    "auth": AuthError,
+    "error": PassError,
+}
+
+_CLASS_TO_CODE = {cls: code for code, cls in ERROR_CODES.items()}
+
+
+def error_code(error: BaseException) -> str:
+    """The stable wire code of an exception (most specific class wins).
+
+    Unknown exception types map to the generic ``"error"`` code, so a
+    daemon never leaks a traceback in place of a structured error.
+    """
+    for cls in type(error).__mro__:
+        code = _CLASS_TO_CODE.get(cls)
+        if code is not None:
+            return code
+    return "error"
+
+
+def error_from_code(code: str, message: str) -> PassError:
+    """Reconstruct the typed exception a wire error code stands for.
+
+    Codes no local class knows (a newer server, a corrupt frame) degrade
+    to the :class:`PassError` base rather than failing the decode.
+    """
+    cls = ERROR_CODES.get(code, PassError)
+    return cls(message)

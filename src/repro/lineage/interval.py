@@ -88,6 +88,10 @@ class IntervalClosure(ClosureStrategy):
     def _on_edge(self, child: PName, parent: PName) -> None:
         self._dirty.append((child.digest, parent.digest))
 
+    def rebuild(self) -> None:
+        """Force a full recompute of chains and interval labels now."""
+        self._rebuild()
+
     def _ensure_current(self) -> None:
         """Bring the labelling up to date with the graph (lazily)."""
         if self._built and not self._dirty:

@@ -59,6 +59,23 @@ class Explain:
             data["children"] = [child.to_dict() for child in self.children]
         return data
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Explain":
+        """Inverse of :meth:`to_dict` (the wire protocol's decode path)."""
+        return cls(
+            site=payload["site"],
+            path=payload["path"],
+            path_kind=payload["path_kind"],
+            estimated_rows=payload["estimated_rows"],
+            actual_rows=payload["actual_rows"],
+            rows_scanned=payload["rows_scanned"],
+            cache_hit=payload.get("cache_hit", False),
+            used_index=payload.get("used_index", False),
+            shape=payload.get("shape"),
+            notes=list(payload.get("notes", [])),
+            children=[cls.from_dict(child) for child in payload.get("children", [])],
+        )
+
     def format(self, indent: int = 0) -> str:
         """Render the explain tree as indented text (the CLI's output)."""
         pad = "  " * indent

@@ -1,0 +1,38 @@
+"""repro.server -- the provenance service daemon and its wire protocol.
+
+Everything before this package ran in one process: the façade, the
+planner, the stream engine and the simulated architectures all share an
+interpreter with their caller.  The paper's provenance-aware sensor
+store is meant to be a *service* -- many independent clients publishing
+into and querying one store concurrently -- and this package makes that
+real:
+
+* :mod:`repro.server.protocol` -- a length-prefixed JSON wire protocol
+  carrying the complete :class:`~repro.api.client.PassClient` surface
+  (publish/query/explain, lineage, locate, stats, subscriptions as a
+  streaming push feed) with stable error codes mapped from
+  :mod:`repro.errors`,
+* :mod:`repro.server.daemon` -- :class:`PassDaemon`, an asyncio socket
+  server with token auth, per-tenant namespaces (isolated stores and
+  subscription registries) and an async build/rebuild-closure job
+  endpoint (``task_id`` + status polling),
+* :mod:`repro.server.remote` -- :class:`RemoteClient`, the thin client
+  registered under ``pass://host:port`` in the :func:`repro.api.connect`
+  URL registry, so every existing test, bench and example runs unchanged
+  against a live daemon.
+
+Start a daemon from Python::
+
+    from repro.server import PassDaemon
+
+    daemon = PassDaemon(backend_url="memory://")
+    address = daemon.start()            # background thread + asyncio loop
+    client = connect(f"pass://{address.host}:{address.port}")
+
+or from a terminal with ``repro serve --port 7100``.
+"""
+
+from repro.server.daemon import DaemonAddress, PassDaemon
+from repro.server.remote import RemoteClient
+
+__all__ = ["DaemonAddress", "PassDaemon", "RemoteClient"]

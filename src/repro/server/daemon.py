@@ -1,0 +1,531 @@
+"""The provenance service daemon.
+
+:class:`PassDaemon` is an asyncio socket server exposing the complete
+:class:`~repro.api.client.PassClient` surface over the
+:mod:`repro.server.protocol` framing.  Design points:
+
+* **One loop, one thread.**  All operation handling runs on the event
+  loop thread, so the (thread-unsafe) stores never see concurrent
+  access; concurrency between clients is interleaving at frame
+  boundaries, exactly like a single-threaded network server over an
+  embedded store.
+* **One outbound queue per connection.**  Responses *and* subscription
+  pushes funnel through a single per-connection queue drained by a
+  writer task, so a client that calls ``flush_windows`` sees the window
+  events pushed *before* the flush response -- the same happens-before
+  order an in-process consumer observes.
+* **Tenants are separate stores.**  Each tenant name maps to its own
+  ``connect(backend_url)`` client (and hence its own store, planner,
+  closure index and subscription registry); no query, lineage walk or
+  standing query can cross the namespace.
+* **Async jobs.**  ``rebuild_index`` returns a ``task_id`` immediately
+  and runs the closure rebuild as a loop task; ``task_status`` polls it
+  (pending → running → completed/failed), mirroring service APIs whose
+  index builds outlive an HTTP request.
+
+The daemon can run embedded (``start()``/``stop()`` around a background
+thread -- what the tests and benches do) or in the foreground
+(``serve_forever()`` -- what ``repro serve`` does).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.api.registry import connect
+from repro.errors import (
+    AuthError,
+    PassError,
+    ProtocolError,
+    UnknownEntityError,
+)
+from repro.server import protocol
+from repro.server.protocol import (
+    WIRE_VERSION,
+    encode_frame,
+    error_to_wire,
+    event_to_wire,
+)
+
+__all__ = ["DaemonAddress", "PassDaemon"]
+
+
+@dataclass(frozen=True)
+class DaemonAddress:
+    """Where a running daemon listens."""
+
+    host: str
+    port: int
+
+    @property
+    def url(self) -> str:
+        """The ``connect()`` URL of this daemon."""
+        return f"pass://{self.host}:{self.port}"
+
+
+class _Tenant:
+    """One tenant namespace: its own client/store plus its job table."""
+
+    def __init__(self, name: str, client) -> None:
+        self.name = name
+        self.client = client
+        self.jobs: Dict[str, dict] = {}
+
+
+class _Connection:
+    """Per-connection state: auth, outbound queue, owned subscriptions."""
+
+    def __init__(self, reader, writer) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.outbound: asyncio.Queue = asyncio.Queue()
+        self.tenant: Optional[_Tenant] = None
+        self.subscriptions: Dict[str, object] = {}
+        self.writer_task: Optional[asyncio.Task] = None
+        self.closing = False
+
+    def send(self, payload: dict) -> None:
+        if not self.closing:
+            self.outbound.put_nowait(payload)
+
+    def push_event(self, event) -> None:
+        self.send({"push": "event", "event": event_to_wire(event)})
+
+
+class PassDaemon:
+    """Serve one or many provenance stores to remote :mod:`pass://` clients.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address; port ``0`` picks an ephemeral port (reported by
+        the :class:`DaemonAddress` that :meth:`start` returns).
+    backend_url:
+        The ``connect()`` URL each tenant's store is opened with.
+        ``memory://`` gives every tenant a private in-memory store;
+        ``sqlite:///pass.db`` gives the default tenant that file and
+        every other tenant a ``pass.db.<tenant>`` sibling.
+    tokens:
+        Optional auth table mapping token -> tenant name.  When given,
+        every connection's first frame must present a known token and is
+        bound to that token's tenant.  When ``None``, connections are
+        unauthenticated and may name any tenant (default ``"default"``).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backend_url: str = "memory://",
+        tokens: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.backend_url = backend_url
+        self.tokens = dict(tokens) if tokens else None
+        self.address: Optional[DaemonAddress] = None
+        self._tenants: Dict[str, _Tenant] = {}
+        self._connections: set = set()
+        self._job_ids = itertools.count(1)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> DaemonAddress:
+        """Serve from a background thread; returns once accepting connections."""
+        if self._thread is not None:
+            raise PassError("daemon already started")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="pass-daemon", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            error = self._startup_error
+            self._startup_error = None
+            raise PassError(f"daemon failed to start: {error}") from error
+        return self.address
+
+    def stop(self) -> None:
+        """Graceful shutdown: goodbye pushes, closed stores; idempotent."""
+        thread, self._thread = self._thread, None
+        if thread is None:
+            return
+        loop = self._loop
+        if loop is not None and self._shutdown is not None:
+            try:
+                loop.call_soon_threadsafe(self._shutdown.set)
+            except RuntimeError:
+                pass  # loop already closed
+        thread.join()
+
+    def serve_forever(self) -> None:
+        """Run the daemon in the calling thread until interrupted."""
+        asyncio.run(self._main())
+
+    def wait(self) -> None:
+        """Block until the daemon stops (``repro serve``'s foreground wait)."""
+        thread = self._thread
+        if thread is not None:
+            thread.join()
+
+    def __enter__(self) -> "PassDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # startup failures reach start()
+            self._startup_error = error
+        finally:
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.address = DaemonAddress(host=bound[0], port=bound[1])
+        self._started.set()
+        try:
+            await self._shutdown.wait()
+        except (KeyboardInterrupt, asyncio.CancelledError):  # pragma: no cover
+            pass
+        finally:
+            await self._close_everything()
+
+    async def _close_everything(self) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+        for connection in list(self._connections):
+            self._drop_subscriptions(connection)
+            connection.send({"push": "goodbye", "reason": "daemon shutting down"})
+            connection.closing = True
+            connection.outbound.put_nowait(None)
+        writers = [c.writer_task for c in self._connections if c.writer_task is not None]
+        if writers:
+            # Let every writer flush its goodbye before the transports go.
+            await asyncio.gather(*writers, return_exceptions=True)
+        for connection in list(self._connections):
+            connection.writer.close()
+        for tenant in self._tenants.values():
+            tenant.client.close()
+        self._tenants.clear()
+
+    # ------------------------------------------------------------------
+    # Tenants and auth
+    # ------------------------------------------------------------------
+    def _tenant_url(self, name: str) -> str:
+        if name == "default":
+            return self.backend_url
+        if self.backend_url.startswith("sqlite:"):
+            base, _, query = self.backend_url.partition("?")
+            suffix = f"?{query}" if query else ""
+            if base.endswith("/") or base.endswith(":"):
+                return self.backend_url  # in-memory sqlite: private per connect
+            return f"{base}.{name}{suffix}"
+        return self.backend_url
+
+    def _tenant(self, name: str) -> _Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            tenant = _Tenant(name, connect(self._tenant_url(name)))
+            self._tenants[name] = tenant
+        return tenant
+
+    def _authenticate(self, args: dict) -> _Tenant:
+        token = args.get("token")
+        requested = args.get("tenant")
+        if self.tokens is None:
+            name = requested or "default"
+        else:
+            if token is None:
+                raise AuthError("this daemon requires a token")
+            name = self.tokens.get(token)
+            if name is None:
+                raise AuthError("unknown token")
+            if requested is not None and requested != name:
+                raise AuthError(
+                    f"token is not valid for tenant {requested!r}"
+                )
+        if not isinstance(name, str) or not name or "/" in name or "\\" in name:
+            raise AuthError(f"malformed tenant name {name!r}")
+        return self._tenant(name)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        connection = _Connection(reader, writer)
+        self._connections.add(connection)
+        connection.writer_task = asyncio.get_running_loop().create_task(
+            self._drain(connection)
+        )
+        try:
+            await self._read_loop(connection)
+        finally:
+            self._drop_subscriptions(connection)
+            connection.closing = True
+            connection.outbound.put_nowait(None)
+            await connection.writer_task
+            writer.close()
+            self._connections.discard(connection)
+
+    async def _drain(self, connection: _Connection) -> None:
+        while True:
+            payload = await connection.outbound.get()
+            if payload is None:
+                return
+            try:
+                connection.writer.write(encode_frame(payload))
+                await connection.writer.drain()
+            except (ConnectionError, RuntimeError):
+                return  # peer went away; the read loop notices EOF
+
+    async def _read_loop(self, connection: _Connection) -> None:
+        while not self._shutdown.is_set():
+            try:
+                header = await connection.reader.readexactly(4)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return  # client disconnected (possibly mid-stream)
+            try:
+                length = protocol.frame_length(header)
+                body = await connection.reader.readexactly(length)
+                payload = protocol.decode_body(body)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except ProtocolError as error:
+                connection.send({"id": None, "ok": False, "error": error_to_wire(error)})
+                return  # cannot trust the framing any more
+            if not self._dispatch(connection, payload):
+                return
+
+    def _dispatch(self, connection: _Connection, payload: dict) -> bool:
+        """Handle one request frame; False closes the connection."""
+        request_id = payload.get("id")
+        op = payload.get("op")
+        args = payload.get("args") or {}
+        try:
+            if not isinstance(op, str):
+                raise ProtocolError(f"request lacks an op: {payload!r}")
+            if not isinstance(args, dict):
+                raise ProtocolError("request args must be an object")
+            if op == "hello":
+                result = self._handle_hello(connection, args)
+            elif connection.tenant is None:
+                raise AuthError("first frame must be a 'hello' (auth handshake)")
+            else:
+                handler = self._HANDLERS.get(op)
+                if handler is None:
+                    raise ProtocolError(f"unknown op {op!r}")
+                result = handler(self, connection, args)
+        except Exception as error:  # typed envelope, never a traceback
+            connection.send({"id": request_id, "ok": False, "error": error_to_wire(error)})
+            return not isinstance(error, (AuthError, ProtocolError))
+        connection.send({"id": request_id, "ok": True, "result": result})
+        return True
+
+    def _drop_subscriptions(self, connection: _Connection) -> None:
+        if connection.tenant is None:
+            return
+        for subscription in connection.subscriptions.values():
+            connection.tenant.client.unsubscribe(subscription)
+        connection.subscriptions.clear()
+
+    # ------------------------------------------------------------------
+    # Operation handlers (all run on the loop thread)
+    # ------------------------------------------------------------------
+    def _handle_hello(self, connection: _Connection, args: dict) -> dict:
+        tenant = self._authenticate(args)
+        connection.tenant = tenant
+        return {
+            "wire_version": WIRE_VERSION,
+            "tenant": tenant.name,
+            "target": f"remote+{tenant.client.target}",
+        }
+
+    def _handle_ping(self, connection: _Connection, args: dict) -> dict:
+        return {"wire_version": WIRE_VERSION}
+
+    def _handle_publish(self, connection: _Connection, args: dict) -> dict:
+        tuple_set = protocol.tuple_set_from_wire(args.get("tuple_set"))
+        result = connection.tenant.client.publish(tuple_set, origin=args.get("origin"))
+        return protocol.result_to_wire(result)
+
+    def _handle_publish_many(self, connection: _Connection, args: dict) -> dict:
+        payloads = args.get("tuple_sets")
+        if not isinstance(payloads, list):
+            raise ProtocolError("publish_many needs a 'tuple_sets' list")
+        tuple_sets = [protocol.tuple_set_from_wire(item) for item in payloads]
+        result = connection.tenant.client.publish_many(
+            tuple_sets, origin=args.get("origin")
+        )
+        return protocol.result_to_wire(result)
+
+    def _query_argument(self, args: dict):
+        payload = args.get("query")
+        return None if payload is None else protocol.query_from_wire(payload)
+
+    def _handle_query(self, connection: _Connection, args: dict) -> dict:
+        result = connection.tenant.client.query(
+            self._query_argument(args),
+            limit=args.get("limit"),
+            offset=args.get("offset", 0),
+            origin=args.get("origin"),
+        )
+        return protocol.result_to_wire(result)
+
+    def _handle_explain(self, connection: _Connection, args: dict) -> dict:
+        explain = connection.tenant.client.explain(
+            self._query_argument(args), origin=args.get("origin")
+        )
+        return protocol.explain_to_wire(explain)
+
+    def _handle_ancestors(self, connection: _Connection, args: dict) -> dict:
+        result = connection.tenant.client.ancestors(
+            protocol.pname_from_wire(args.get("pname")),
+            origin=args.get("origin"),
+            limit=args.get("limit"),
+            offset=args.get("offset", 0),
+        )
+        return protocol.result_to_wire(result)
+
+    def _handle_descendants(self, connection: _Connection, args: dict) -> dict:
+        result = connection.tenant.client.descendants(
+            protocol.pname_from_wire(args.get("pname")),
+            origin=args.get("origin"),
+            limit=args.get("limit"),
+            offset=args.get("offset", 0),
+        )
+        return protocol.result_to_wire(result)
+
+    def _handle_locate(self, connection: _Connection, args: dict) -> dict:
+        result = connection.tenant.client.locate(
+            protocol.pname_from_wire(args.get("pname")), origin=args.get("origin")
+        )
+        return protocol.result_to_wire(result)
+
+    def _handle_describe_record(self, connection: _Connection, args: dict):
+        record = connection.tenant.client.describe_record(
+            protocol.pname_from_wire(args.get("pname"))
+        )
+        return None if record is None else protocol.record_to_wire(record)
+
+    def _handle_stats(self, connection: _Connection, args: dict) -> dict:
+        stats = dict(connection.tenant.client.stats())
+        # The wire client reports the daemon-composed target name, so the
+        # two ends of the connection agree on what "target" means.
+        stats["target"] = f"remote+{connection.tenant.client.target}"
+        stats["tenant"] = connection.tenant.name
+        return stats
+
+    def _handle_refresh(self, connection: _Connection, args: dict) -> None:
+        connection.tenant.client.refresh()
+        return None
+
+    def _handle_supports_lineage(self, connection: _Connection, args: dict) -> bool:
+        return connection.tenant.client.supports_lineage
+
+    # -- subscriptions ---------------------------------------------------
+    def _handle_subscribe(self, connection: _Connection, args: dict) -> dict:
+        subscription = connection.tenant.client.subscribe(
+            self._query_argument(args),
+            callback=connection.push_event,
+            window=protocol.window_from_wire(args.get("window")),
+            origin=args.get("origin"),
+            name=args.get("name"),
+        )
+        connection.subscriptions[subscription.id] = subscription
+        return subscription.stats()
+
+    def _handle_subscribe_descendants(self, connection: _Connection, args: dict) -> dict:
+        subscription = connection.tenant.client.subscribe_descendants(
+            protocol.pname_from_wire(args.get("pname")),
+            callback=connection.push_event,
+            origin=args.get("origin"),
+            name=args.get("name"),
+        )
+        connection.subscriptions[subscription.id] = subscription
+        return subscription.stats()
+
+    def _handle_unsubscribe(self, connection: _Connection, args: dict) -> bool:
+        subscription_id = args.get("sub")
+        subscription = connection.subscriptions.pop(subscription_id, None)
+        if subscription is None:
+            return False
+        return connection.tenant.client.unsubscribe(subscription)
+
+    def _handle_subscriptions(self, connection: _Connection, args: dict) -> list:
+        return [sub.stats() for sub in connection.subscriptions.values()]
+
+    def _handle_flush_windows(self, connection: _Connection, args: dict) -> int:
+        # Window events land on this connection's push queue *before* the
+        # response frame (same queue, enqueued during this call).
+        return connection.tenant.client.flush_windows()
+
+    # -- async index build jobs -----------------------------------------
+    def _handle_rebuild_index(self, connection: _Connection, args: dict) -> dict:
+        tenant = connection.tenant
+        task_id = f"task-{next(self._job_ids)}"
+        job = {"task_id": task_id, "status": "pending"}
+        tenant.jobs[task_id] = job
+        self._loop.create_task(self._run_rebuild(tenant, job))
+        return {"task_id": task_id, "status": "pending"}
+
+    async def _run_rebuild(self, tenant: _Tenant, job: dict) -> None:
+        job["status"] = "running"
+        # Yield once so a fast poller can genuinely observe "running".
+        await asyncio.sleep(0)
+        try:
+            job["stats"] = tenant.client.rebuild_lineage_index()
+            job["status"] = "completed"
+        except Exception as error:
+            job["status"] = "failed"
+            job["error"] = error_to_wire(error)
+
+    def _handle_task_status(self, connection: _Connection, args: dict) -> dict:
+        task_id = args.get("task_id")
+        job = connection.tenant.jobs.get(task_id)
+        if job is None:
+            raise UnknownEntityError(f"unknown task {task_id!r}")
+        return dict(job)
+
+    _HANDLERS = {
+        "ping": _handle_ping,
+        "publish": _handle_publish,
+        "publish_many": _handle_publish_many,
+        "query": _handle_query,
+        "explain": _handle_explain,
+        "ancestors": _handle_ancestors,
+        "descendants": _handle_descendants,
+        "locate": _handle_locate,
+        "describe_record": _handle_describe_record,
+        "stats": _handle_stats,
+        "refresh": _handle_refresh,
+        "supports_lineage": _handle_supports_lineage,
+        "subscribe": _handle_subscribe,
+        "subscribe_descendants": _handle_subscribe_descendants,
+        "unsubscribe": _handle_unsubscribe,
+        "subscriptions": _handle_subscriptions,
+        "flush_windows": _handle_flush_windows,
+        "rebuild_index": _handle_rebuild_index,
+        "task_status": _handle_task_status,
+    }

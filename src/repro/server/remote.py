@@ -1,0 +1,445 @@
+"""The ``pass://`` client: the façade protocol over a live daemon.
+
+:class:`RemoteClient` speaks :mod:`repro.server.protocol` over a
+blocking TCP socket.  A background reader thread demultiplexes the
+inbound frame stream: response frames wake the caller waiting on that
+request id, push frames are routed to the local
+:class:`~repro.stream.subscription.Subscription` mirror they belong to
+(callback or pull queue, exactly as in-process).  Because the daemon
+funnels every outbound frame through one ordered queue per connection,
+a window event always arrives *before* the ``flush_windows`` response
+that caused it -- so the in-process consumption idioms (``flush`` then
+``drain``) work unchanged across the socket.
+
+Wire errors come back as stable codes and are re-raised as the same
+:mod:`repro.errors` type the server caught; a vanished daemon surfaces
+as :class:`~repro.errors.NetworkError` on every outstanding and
+subsequent call.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.api.client import PassClient
+from repro.api.dsl import as_query, coerce_pname
+from repro.api.registry import register_scheme
+from repro.api.results import Result
+from repro.core.provenance import ProvenanceRecord
+from repro.errors import (
+    NetworkError,
+    ProtocolError,
+    error_from_code,
+)
+from repro.query.explain import Explain
+from repro.server import protocol
+from repro.stream.subscription import Subscription
+from repro.stream.windows import WindowSpec
+
+__all__ = ["RemoteClient"]
+
+
+class _Pending:
+    """One in-flight request: the event its caller blocks on."""
+
+    __slots__ = ("event", "payload")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.payload: Optional[dict] = None
+
+
+class RemoteClient(PassClient):
+    """A :class:`PassClient` talking to a :class:`~repro.server.daemon.PassDaemon`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        token: Optional[str] = None,
+        tenant: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._closed = False
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, _Pending] = {}
+        self._subs: Dict[str, Subscription] = {}
+        self._dead: Optional[NetworkError] = None
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as error:
+            raise NetworkError(f"cannot reach daemon at {host}:{port}: {error}") from None
+        self._sock.settimeout(None)
+        self._reader_file = self._sock.makefile("rb")
+        self._reader = threading.Thread(
+            target=self._read_loop, name="pass-client-reader", daemon=True
+        )
+        self._reader.start()
+        hello = self._call("hello", token=token, tenant=tenant)
+        if hello.get("wire_version") != protocol.WIRE_VERSION:
+            self.close()
+            raise ProtocolError(
+                f"daemon speaks wire version {hello.get('wire_version')}, "
+                f"this client speaks {protocol.WIRE_VERSION}"
+            )
+        self.target = hello["target"]
+        self.tenant = hello["tenant"]
+        self._supports_lineage: Optional[bool] = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _call(self, op: str, **args):
+        """Send one request and block for its (typed) answer."""
+        if self._closed:
+            raise NetworkError("client is closed")
+        if self._dead is not None:
+            raise self._dead
+        request_id = next(self._ids)
+        pending = _Pending()
+        arguments = {name: value for name, value in args.items() if value is not None}
+        frame = protocol.encode_frame({"id": request_id, "op": op, "args": arguments})
+        with self._state_lock:
+            self._pending[request_id] = pending
+        try:
+            with self._send_lock:
+                self._sock.sendall(frame)
+        except OSError as error:
+            with self._state_lock:
+                self._pending.pop(request_id, None)
+            raise NetworkError(f"daemon connection lost: {error}") from None
+        if not pending.event.wait(self.timeout):
+            with self._state_lock:
+                self._pending.pop(request_id, None)
+            raise NetworkError(f"daemon did not answer {op!r} within {self.timeout}s")
+        payload = pending.payload
+        if isinstance(payload, NetworkError):
+            raise payload
+        if not payload.get("ok"):
+            envelope = payload.get("error") or {}
+            raise error_from_code(
+                envelope.get("code", "error"), envelope.get("message", "remote error")
+            )
+        return payload.get("result")
+
+    def _read_loop(self) -> None:
+        reason = "daemon closed the connection"
+        try:
+            while True:
+                frame = protocol.read_frame(self._reader_file)
+                if frame is None:
+                    break
+                if "push" in frame:
+                    self._handle_push(frame)
+                else:
+                    self._handle_response(frame)
+        except (OSError, ValueError, ProtocolError) as error:
+            if not self._closed:
+                reason = f"daemon connection failed: {error}"
+        finally:
+            failure = NetworkError(reason)
+            with self._state_lock:
+                self._dead = failure
+                pending, self._pending = self._pending, {}
+            for waiter in pending.values():
+                waiter.payload = failure
+                waiter.event.set()
+
+    def _handle_response(self, frame: dict) -> None:
+        with self._state_lock:
+            pending = self._pending.pop(frame.get("id"), None)
+        if pending is not None:
+            pending.payload = frame
+            pending.event.set()
+
+    def _handle_push(self, frame: dict) -> None:
+        if frame.get("push") != "event":
+            return  # "goodbye": the following EOF fails the pending calls
+        event = protocol.event_from_wire(frame.get("event"))
+        with self._state_lock:
+            subscription = self._subs.get(event.subscription_id)
+        if subscription is not None and subscription.active:
+            # Matching happened server-side; mirror the counter so local
+            # sub.stats() reads like the in-process engine's.
+            subscription.matched += 1
+            subscription.deliver(event)
+
+    # ------------------------------------------------------------------
+    # The façade protocol
+    # ------------------------------------------------------------------
+    def publish(self, tuple_set, origin: Optional[str] = None) -> Result:
+        return protocol.result_from_wire(
+            self._call(
+                "publish", tuple_set=protocol.tuple_set_to_wire(tuple_set), origin=origin
+            )
+        )
+
+    def publish_many(self, tuple_sets, origin: Optional[str] = None) -> Result:
+        return protocol.result_from_wire(
+            self._call(
+                "publish_many",
+                tuple_sets=[protocol.tuple_set_to_wire(ts) for ts in tuple_sets],
+                origin=origin,
+            )
+        )
+
+    def _query_wire(self, queryish) -> Optional[dict]:
+        return None if queryish is None else protocol.query_to_wire(as_query(queryish))
+
+    def query(
+        self,
+        query=None,
+        *,
+        limit: Optional[int] = None,
+        offset: int = 0,
+        origin: Optional[str] = None,
+    ) -> Result:
+        return protocol.result_from_wire(
+            self._call(
+                "query",
+                query=self._query_wire(query),
+                limit=limit,
+                offset=offset or None,
+                origin=origin,
+            )
+        )
+
+    def explain(self, query=None, *, origin: Optional[str] = None) -> Explain:
+        return protocol.explain_from_wire(
+            self._call("explain", query=self._query_wire(query), origin=origin)
+        )
+
+    def ancestors(
+        self,
+        pname,
+        origin: Optional[str] = None,
+        *,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> Result:
+        return protocol.result_from_wire(
+            self._call(
+                "ancestors",
+                pname=coerce_pname(pname).digest,
+                origin=origin,
+                limit=limit,
+                offset=offset or None,
+            )
+        )
+
+    def descendants(
+        self,
+        pname,
+        origin: Optional[str] = None,
+        *,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> Result:
+        return protocol.result_from_wire(
+            self._call(
+                "descendants",
+                pname=coerce_pname(pname).digest,
+                origin=origin,
+                limit=limit,
+                offset=offset or None,
+            )
+        )
+
+    def locate(self, pname, origin: Optional[str] = None) -> Result:
+        return protocol.result_from_wire(
+            self._call("locate", pname=coerce_pname(pname).digest, origin=origin)
+        )
+
+    def stats(self) -> Dict[str, object]:
+        return self._call("stats")
+
+    def describe_record(self, pname) -> Optional[ProvenanceRecord]:
+        payload = self._call("describe_record", pname=coerce_pname(pname).digest)
+        return None if payload is None else protocol.record_from_wire(payload)
+
+    def refresh(self) -> None:
+        self._call("refresh")
+
+    @property
+    def supports_lineage(self) -> bool:
+        if self._supports_lineage is None:
+            self._supports_lineage = bool(self._call("supports_lineage"))
+        return self._supports_lineage
+
+    # ------------------------------------------------------------------
+    # Subscriptions (local mirrors fed by the push stream)
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        query=None,
+        *,
+        callback=None,
+        window: Optional[WindowSpec] = None,
+        origin: Optional[str] = None,
+        maxsize: int = 256,
+        overflow: str = "drop-oldest",
+        name: Optional[str] = None,
+    ) -> Subscription:
+        described = self._call(
+            "subscribe",
+            query=self._query_wire(query),
+            window=protocol.window_to_wire(window),
+            origin=origin,
+            name=name,
+        )
+        return self._mirror_subscription(
+            described,
+            query=None if query is None else as_query(query),
+            window=window,
+            callback=callback,
+            maxsize=maxsize,
+            overflow=overflow,
+            name=name,
+        )
+
+    def subscribe_descendants(
+        self,
+        pname,
+        *,
+        callback=None,
+        origin: Optional[str] = None,
+        maxsize: int = 256,
+        overflow: str = "drop-oldest",
+        name: Optional[str] = None,
+    ) -> Subscription:
+        watched = coerce_pname(pname)
+        described = self._call(
+            "subscribe_descendants",
+            pname=watched.digest,
+            origin=origin,
+            name=name,
+        )
+        return self._mirror_subscription(
+            described,
+            watched=watched,
+            callback=callback,
+            maxsize=maxsize,
+            overflow=overflow,
+            name=name,
+        )
+
+    def _mirror_subscription(
+        self,
+        described: dict,
+        query=None,
+        watched=None,
+        window=None,
+        callback=None,
+        maxsize: int = 256,
+        overflow: str = "drop-oldest",
+        name: Optional[str] = None,
+    ) -> Subscription:
+        subscription = Subscription(
+            subscription_id=described["id"],
+            kind=described["kind"],
+            query=query,
+            watched=watched,
+            window=window,
+            site=described.get("site"),
+            callback=callback,
+            maxsize=maxsize,
+            overflow=overflow,
+            name=name,
+        )
+        with self._state_lock:
+            self._subs[subscription.id] = subscription
+        return subscription
+
+    def unsubscribe(self, subscription) -> bool:
+        subscription_id = (
+            subscription.id if isinstance(subscription, Subscription) else subscription
+        )
+        existed = bool(self._call("unsubscribe", sub=subscription_id))
+        with self._state_lock:
+            local = self._subs.pop(subscription_id, None)
+        if local is not None:
+            local.active = False
+            if local.queue is not None:
+                local.queue.close()
+        return existed
+
+    def subscriptions(self) -> List[Subscription]:
+        with self._state_lock:
+            return list(self._subs.values())
+
+    def flush_windows(self) -> int:
+        # The daemon enqueues the trailing window events on this
+        # connection's push stream before the response frame, so they are
+        # already in the local queues when this returns.
+        return int(self._call("flush_windows"))
+
+    # ------------------------------------------------------------------
+    # Async index build
+    # ------------------------------------------------------------------
+    def submit_rebuild(self) -> str:
+        """Kick off the daemon's closure-index rebuild; returns its task id."""
+        return self._call("rebuild_index")["task_id"]
+
+    def job_status(self, task_id: str) -> Dict[str, object]:
+        """One poll of an async job: status plus stats/error when finished."""
+        return self._call("task_status", task_id=task_id)
+
+    def rebuild_lineage_index(self, poll_interval: float = 0.02) -> Dict[str, object]:
+        task_id = self.submit_rebuild()
+        deadline = time.monotonic() + self.timeout
+        while True:
+            job = self.job_status(task_id)
+            if job["status"] == "completed":
+                return job.get("stats", {})
+            if job["status"] == "failed":
+                envelope = job.get("error") or {}
+                raise error_from_code(
+                    envelope.get("code", "error"),
+                    envelope.get("message", "rebuild failed"),
+                )
+            if time.monotonic() > deadline:
+                raise NetworkError(f"rebuild task {task_id} did not finish in time")
+            time.sleep(poll_interval)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with self._state_lock:
+            subs = list(self._subs.values())
+            self._subs.clear()
+        for subscription in subs:
+            subscription.active = False
+            if subscription.queue is not None:
+                subscription.queue.close()
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(timeout=5)
+
+
+@register_scheme("pass")
+def _connect_remote(spec) -> RemoteClient:
+    """``pass://host:port[?token=...&tenant=...&timeout=...]``"""
+    host, port = spec.endpoint()
+    return RemoteClient(
+        host,
+        port,
+        token=spec.text("token"),
+        tenant=spec.text("tenant"),
+        timeout=spec.number("timeout", 30.0),
+    )

@@ -25,6 +25,7 @@ ALL_TARGETS = [
     "hierarchical://",
     "dht://",
     "locale-aware-pass://",
+    "pass://",  # resolved to a live daemon by the target fixture
 ]
 
 
@@ -43,14 +44,27 @@ def truth(workload_sets):
     return client
 
 
+@pytest.fixture(scope="module")
+def daemon_url():
+    """One live provenance daemon shared by the ``pass://`` target."""
+    from repro.server import PassDaemon
+
+    with PassDaemon() as daemon:
+        yield daemon.address.url
+
+
 @pytest.fixture(params=ALL_TARGETS, scope="module")
 def target(request, workload_sets):
     raw, derived = workload_sets
-    client = connect(request.param)
+    url = request.param
+    if url == "pass://":
+        url = request.getfixturevalue("daemon_url")
+    client = connect(url)
     published = client.publish_many(raw + derived)
     client.refresh()  # soft state pushes its pending summaries
     assert len(published) == len(raw) + len(derived)
-    return client
+    yield client
+    client.close()
 
 
 class TestProtocolAcrossTargets:

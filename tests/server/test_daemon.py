@@ -1,0 +1,307 @@
+"""Daemon lifecycle, auth, tenancy, jobs and wire-level misbehaviour.
+
+These tests drive :class:`~repro.server.daemon.PassDaemon` the way a
+deployment would: embedded ``start()``/``stop()`` around real TCP
+connections, plus raw-socket clients for the frames a well-behaved
+:class:`RemoteClient` would never send (bad framing, missing hello,
+unknown ops).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.api import connect
+from repro.api.dsl import Q
+from repro.core import ProvenanceRecord, Timestamp, TupleSet
+from repro.errors import (
+    AuthError,
+    NetworkError,
+    PassError,
+    UnknownEntityError,
+)
+from repro.server import PassDaemon, protocol
+
+
+def _tuple_set(tag: str, sequence: int = 0, ancestors=()) -> TupleSet:
+    record = ProvenanceRecord(
+        {
+            "domain": "daemon-test",
+            "tag": tag,
+            "sequence": sequence,
+            "window_start": Timestamp(60.0 * sequence),
+            "window_end": Timestamp(60.0 * (sequence + 1)),
+        },
+        ancestors=list(ancestors),
+    )
+    return TupleSet([], record)
+
+
+def _raw_request(sock: socket.socket, payload: dict) -> dict:
+    """One frame out, one frame back, over a bare socket."""
+    sock.sendall(protocol.encode_frame(payload))
+    stream = sock.makefile("rb")
+    frame = protocol.read_frame(stream)
+    assert frame is not None, "daemon closed the connection without answering"
+    return frame
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+def test_start_reports_the_bound_address_and_stop_is_idempotent():
+    daemon = PassDaemon()
+    address = daemon.start()
+    assert address.port != 0
+    assert address.url == f"pass://{address.host}:{address.port}"
+    with pytest.raises(PassError, match="already started"):
+        daemon.start()
+    daemon.stop()
+    daemon.stop()  # second stop is a no-op, not an error
+
+
+def test_context_manager_serves_and_shuts_down():
+    with PassDaemon() as daemon:
+        with connect(daemon.address.url) as client:
+            assert client.publish(_tuple_set("cm")).total == 1
+    # After __exit__ the port no longer accepts connections.
+    with pytest.raises(NetworkError):
+        connect(daemon.address.url)
+
+
+def test_startup_failure_surfaces_as_a_typed_error():
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    try:
+        daemon = PassDaemon(port=blocker.getsockname()[1])
+        with pytest.raises(PassError, match="failed to start"):
+            daemon.start()
+        # The failed daemon must be restartable-clean: stop() is safe.
+        daemon.stop()
+    finally:
+        blocker.close()
+
+
+def test_graceful_shutdown_says_goodbye_to_live_subscribers():
+    daemon = PassDaemon()
+    address = daemon.start()
+    client = connect(address.url)
+    received = []
+    subscription = client.subscribe(Q.attr("tag") == "live", callback=received.append)
+    client.publish(_tuple_set("live"))
+    deadline = time.time() + 5
+    while not received and time.time() < deadline:
+        time.sleep(0.01)
+    assert len(received) == 1, "subscription must be live before the shutdown"
+
+    daemon.stop()  # goodbye push, then EOF
+
+    # The local mirror survives (no use-after-free), but the transport is
+    # dead: the next call fails typed, not with a hang or a traceback.
+    assert subscription.id in {sub.id for sub in client.subscriptions()}
+    with pytest.raises(NetworkError):
+        client.stats()
+    client.close()
+
+
+def test_client_disconnect_mid_stream_reclaims_server_subscriptions():
+    daemon = PassDaemon()
+    address = daemon.start()
+    holder = connect(address.url)  # keeps the tenant observable after the drop
+
+    dropper = connect(address.url)
+    dropper.subscribe(Q.attr("tag") == "gone")
+    dropper.subscribe_descendants(_tuple_set("root").pname)
+    tenant_client = daemon._tenants["default"].client
+    assert len(tenant_client.subscriptions()) == 2
+    dropper.close()  # vanish with both subscriptions still standing
+
+    deadline = time.time() + 5
+    while tenant_client.subscriptions() and time.time() < deadline:
+        time.sleep(0.01)
+    assert tenant_client.subscriptions() == [], "daemon must unsubscribe the dead peer"
+
+    # The surviving connection is unaffected by its neighbour's death.
+    assert holder.publish(_tuple_set("still-here")).total == 1
+    holder.close()
+    daemon.stop()
+
+
+# ----------------------------------------------------------------------
+# Auth
+# ----------------------------------------------------------------------
+def test_token_auth_rejects_missing_and_unknown_tokens():
+    daemon = PassDaemon(tokens={"s3cret": "acme"})
+    address = daemon.start()
+    try:
+        with pytest.raises(AuthError, match="requires a token"):
+            connect(address.url)
+        with pytest.raises(AuthError, match="unknown token"):
+            connect(f"{address.url}?token=wrong")
+        with pytest.raises(AuthError, match="not valid for tenant"):
+            connect(f"{address.url}?token=s3cret&tenant=other")
+        with connect(f"{address.url}?token=s3cret") as client:
+            assert client.tenant == "acme"
+            assert client.stats()["tenant"] == "acme"
+    finally:
+        daemon.stop()
+
+
+def test_auth_failure_closes_the_connection():
+    daemon = PassDaemon(tokens={"s3cret": "acme"})
+    address = daemon.start()
+    try:
+        sock = socket.create_connection((address.host, address.port), timeout=5)
+        answer = _raw_request(sock, {"id": 1, "op": "hello", "args": {"token": "bad"}})
+        assert answer["ok"] is False
+        assert answer["error"]["code"] == "auth"
+        assert protocol.read_frame(sock.makefile("rb")) is None  # EOF follows
+        sock.close()
+    finally:
+        daemon.stop()
+
+
+def test_ops_before_hello_are_refused():
+    daemon = PassDaemon()
+    address = daemon.start()
+    try:
+        sock = socket.create_connection((address.host, address.port), timeout=5)
+        answer = _raw_request(sock, {"id": 1, "op": "stats", "args": {}})
+        assert answer["ok"] is False
+        assert answer["error"]["code"] == "auth"
+        sock.close()
+    finally:
+        daemon.stop()
+
+
+# ----------------------------------------------------------------------
+# Tenancy
+# ----------------------------------------------------------------------
+def test_tenants_are_fully_isolated_namespaces():
+    daemon = PassDaemon()
+    address = daemon.start()
+    try:
+        with connect(f"{address.url}?tenant=alpha") as alpha, connect(
+            f"{address.url}?tenant=beta"
+        ) as beta:
+            published = alpha.publish(_tuple_set("secret"))
+            # beta sees neither the record, the count, nor the lineage.
+            assert beta.query(Q.attr("tag") == "secret").total == 0
+            assert beta.describe_record(published.first()) is None
+            assert beta.stats()["tenant"] == "beta"
+            assert alpha.query(Q.attr("tag") == "secret").total == 1
+    finally:
+        daemon.stop()
+
+
+def test_malformed_tenant_names_are_rejected():
+    daemon = PassDaemon()
+    address = daemon.start()
+    try:
+        with pytest.raises(AuthError, match="malformed tenant"):
+            connect(f"{address.url}?tenant=../etc")
+    finally:
+        daemon.stop()
+
+
+# ----------------------------------------------------------------------
+# Async rebuild jobs
+# ----------------------------------------------------------------------
+def test_rebuild_job_runs_through_the_status_machine():
+    daemon = PassDaemon()
+    address = daemon.start()
+    try:
+        with connect(address.url) as client:
+            root = _tuple_set("root")
+            client.publish(root)
+            client.publish(_tuple_set("child", 1, ancestors=[root.pname]))
+            task_id = client.submit_rebuild()
+            assert task_id.startswith("task-")
+            deadline = time.time() + 5
+            while True:
+                job = client.job_status(task_id)
+                assert job["status"] in {"pending", "running", "completed"}
+                if job["status"] == "completed":
+                    break
+                assert time.time() < deadline, f"job stuck in {job['status']}"
+                time.sleep(0.005)
+            assert job["stats"]["strategy"]
+            # The blocking wrapper reaches the same completed stats.
+            assert client.rebuild_lineage_index()["strategy"] == job["stats"]["strategy"]
+    finally:
+        daemon.stop()
+
+
+def test_unknown_task_ids_and_cross_tenant_polls_fail_typed():
+    daemon = PassDaemon()
+    address = daemon.start()
+    try:
+        with connect(f"{address.url}?tenant=alpha") as alpha, connect(
+            f"{address.url}?tenant=beta"
+        ) as beta:
+            task_id = alpha.submit_rebuild()
+            with pytest.raises(UnknownEntityError):
+                beta.job_status(task_id)  # jobs are tenant-scoped
+            with pytest.raises(UnknownEntityError):
+                alpha.job_status("task-999999")
+    finally:
+        daemon.stop()
+
+
+# ----------------------------------------------------------------------
+# Wire-level misbehaviour
+# ----------------------------------------------------------------------
+def test_unknown_ops_answer_with_a_protocol_error_and_close():
+    daemon = PassDaemon()
+    address = daemon.start()
+    try:
+        sock = socket.create_connection((address.host, address.port), timeout=5)
+        _raw_request(sock, {"id": 1, "op": "hello", "args": {}})
+        answer = _raw_request(sock, {"id": 2, "op": "frobnicate", "args": {}})
+        assert answer["ok"] is False
+        assert answer["error"]["code"] == "protocol"
+        assert protocol.read_frame(sock.makefile("rb")) is None
+        sock.close()
+    finally:
+        daemon.stop()
+
+
+def test_undecodable_frames_get_an_error_envelope_then_eof():
+    daemon = PassDaemon()
+    address = daemon.start()
+    try:
+        sock = socket.create_connection((address.host, address.port), timeout=5)
+        body = b"\xff\xfe not json"
+        sock.sendall(len(body).to_bytes(4, "big") + body)
+        stream = sock.makefile("rb")
+        answer = protocol.read_frame(stream)
+        assert answer["ok"] is False
+        assert answer["error"]["code"] == "protocol"
+        assert protocol.read_frame(stream) is None
+        sock.close()
+    finally:
+        daemon.stop()
+
+
+def test_typed_store_errors_keep_the_connection_open():
+    daemon = PassDaemon()
+    address = daemon.start()
+    try:
+        with connect(address.url) as client:
+            from repro.core import SensorReading
+
+            record = _tuple_set("dup").provenance
+            client.publish(TupleSet([], record))
+            impostor = TupleSet(
+                [SensorReading("cam-1", Timestamp(1.0), {"v": 1})], record
+            )
+            with pytest.raises(PassError):
+                client.publish(impostor)  # non-identical data, same provenance
+            # Same connection still serves requests afterwards.
+            assert client.query(Q.attr("tag") == "dup").total == 1
+    finally:
+        daemon.stop()

@@ -346,3 +346,53 @@ class TestLineageCommand:
             ["lineage", "ancestors", "traffic", "--focus", "999"], out=io.StringIO()
         )
         assert code == 2
+
+
+class TestServeCommand:
+    def test_parser_accepts_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--store", "memory://", "--token", "t=alpha"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.token == ["t=alpha"]
+
+    def test_malformed_token_rejected_before_binding(self):
+        code = main(["serve", "--port", "0", "--token", "no-separator"], out=io.StringIO())
+        assert code == 2
+
+    def test_serve_runs_a_real_daemon(self):
+        """End to end: the CLI daemon serves a genuine pass:// client."""
+        import os
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        from repro.api import Q, connect
+
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ, PYTHONPATH=str(src))
+        process = subprocess.Popen(
+            [_sys.executable, "-u", "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert " at pass://" in banner, (banner, process.stderr.read())
+            url = banner.split(" at ")[1].split()[0]
+            with connect(url) as client:
+                assert client.target == "remote+local"
+                client.publish(_serve_tuple_set())
+                assert client.query(Q.attr("tag") == "cli-serve").total == 1
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+
+def _serve_tuple_set():
+    from repro.core import ProvenanceRecord, TupleSet
+
+    return TupleSet([], ProvenanceRecord({"domain": "cli", "tag": "cli-serve"}))
