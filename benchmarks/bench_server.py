@@ -20,6 +20,7 @@ reported but never gated (shared runners make timing thresholds flaky).
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import sys
 import threading
@@ -30,6 +31,7 @@ from repro.api.dsl import Q
 from repro.core.attributes import GeoPoint, Timestamp
 from repro.core.provenance import ProvenanceRecord
 from repro.core.tupleset import SensorReading, TupleSet
+from repro.obs import trace
 from repro.server import PassDaemon, protocol
 
 FULL_CLIENTS, FULL_OPS = 200, 12
@@ -123,8 +125,11 @@ def _drive_parity(client, sets) -> bytes:
     for label, query in _parity_queries(sets):
         result = client.query(query, limit=25)
         transcript.append((label, protocol.result_to_wire(result)))
-    explain = client.explain(Q.attr("city") == "boston")
-    transcript.append(("explain", protocol.explain_to_wire(explain)))
+    explain_wire = protocol.explain_to_wire(client.explain(Q.attr("city") == "boston"))
+    # duration_ms is wall time, the one legitimately nondeterministic
+    # Explain field; everything else stays in the byte-parity gate.
+    explain_wire.pop("duration_ms", None)
+    transcript.append(("explain", explain_wire))
     tail = sets[-1]
     transcript.append(
         ("ancestors", protocol.result_to_wire(client.ancestors(tail, limit=10)))
@@ -150,11 +155,133 @@ def parity_gate(address) -> int:
 
 
 # ----------------------------------------------------------------------
+# Tracing overhead gate
+# ----------------------------------------------------------------------
+def _overhead_pass(address, tenant: str, publishes: int, queries: int, lookups: int) -> dict:
+    """One interleaved overhead measurement against a fresh tenant.
+
+    Methodology: every individual operation alternates untraced/traced
+    against one shared tenant (a representative 120-record-set store --
+    on a near-empty store the fixed per-span cost reads as a far larger
+    fraction than any production workload would see), and per-op-kind
+    medians are compared.  Interleaving at op granularity means both
+    populations sample the *same* ambient noise -- multi-second load
+    bursts on shared runners poison whole rounds, which is why
+    round-level comparisons proved unstable.  The headline ratio weights
+    the per-kind medians by the workload's op mix.
+    """
+    kinds = ("publish", "query", "ancestors")
+    samples = {(kind, mode): [] for kind in kinds for mode in "ut"}
+    spans_seen = 0
+
+    with connect(f"{address.url}?tenant={tenant}") as client:
+        # A chained seed store: attribute queries scan real candidates
+        # and the ancestors anchor walks a 120-deep derivation chain.
+        seed_sets = _client_sets(0, 120, chain=True)
+        client.publish_many(seed_sets)
+        for _ in range(10):  # warm plan caches, lazy imports, allocator
+            client.query(Q.attr("city") == "london", limit=10)
+        gc.collect()
+
+        def timed(kind: str, mode: str, operation) -> None:
+            nonlocal spans_seen
+            if mode == "t":
+                trace.enable()
+            started = time.perf_counter()
+            operation()
+            elapsed = time.perf_counter() - started
+            if mode == "t":
+                trace.disable()
+                spans_seen += len(trace.drain())
+            samples[(kind, mode)].append(elapsed)
+
+        for index in range(publishes):
+            batch = _client_sets(index + 1, 5)
+            timed("publish", "ut"[index % 2], lambda b=batch: client.publish_many(b))
+        for index in range(queries):
+            timed(
+                "query",
+                "ut"[index % 2],
+                lambda: client.query(Q.attr("city") == "london", limit=10),
+            )
+        anchor = seed_sets[-1]
+        for index in range(lookups):
+            timed("ancestors", "ut"[index % 2], lambda: client.ancestors(anchor, limit=10))
+
+    weights = {"publish": publishes, "query": queries, "ancestors": lookups}
+    medians = {
+        key: sorted(values)[len(values) // 2] for key, values in samples.items()
+    }
+    untraced_ms = sum(weights[k] * medians[(k, "u")] for k in kinds) * 1e3
+    traced_ms = sum(weights[k] * medians[(k, "t")] for k in kinds) * 1e3
+    ratio = traced_ms / untraced_ms if untraced_ms > 0 else float("inf")
+    per_kind = {k: round(medians[(k, "t")] / medians[(k, "u")], 4) for k in kinds}
+    return {
+        "untraced_ms": round(untraced_ms, 2),
+        "traced_ms": round(traced_ms, 2),
+        "ratio": round(ratio, 4),
+        "per_kind": per_kind,
+        "spans_traced_total": spans_seen,
+    }
+
+
+def tracing_overhead_gate(address, quick: bool) -> tuple:
+    """Traced ops must stay within 10% of untraced (full mode gates).
+
+    Runs one interleaved pass (see :func:`_overhead_pass`); if that pass
+    exceeds the limit, a second pass on a fresh tenant decides -- the
+    better of the two counts.  A real regression fails both passes; a
+    noise burst on a shared runner rarely survives two.  Quick mode runs
+    a shorter mix and gates loosely -- CI runners make tight timing
+    thresholds flaky.
+    """
+    # Publish batches are individually slow (~2-3 ms) and carry much of
+    # the weighted total, so they need as many samples as the cheap ops
+    # or one unlucky batch swings the headline median.
+    publishes, queries, lookups = (6, 40, 10) if quick else (24, 160, 40)
+    limit = 1.5 if quick else 1.10
+    facts = _overhead_pass(address, "overhead", publishes, queries, lookups)
+    passes = 1
+    if facts["ratio"] > limit:
+        retry = _overhead_pass(address, "overhead-retry", publishes, queries, lookups)
+        retry["spans_traced_total"] += facts["spans_traced_total"]
+        if retry["ratio"] < facts["ratio"]:
+            facts = retry
+        passes = 2
+    ratio = facts["ratio"]
+    per_kind = facts["per_kind"]
+    spans_seen = facts["spans_traced_total"]
+    print(
+        f"  tracing overhead: untraced {facts['untraced_ms']:.1f} ms, "
+        f"traced {facts['traced_ms']:.1f} ms "
+        f"(ratio {ratio:.3f}, limit {limit:.2f}, {spans_seen} spans, "
+        f"{passes} pass(es); per-kind "
+        + " ".join(f"{k}={per_kind[k]:.3f}" for k in per_kind)
+        + ")"
+    )
+    failures = 0
+    if ratio > limit:
+        print(f"  TRACING OVERHEAD FAILURE: ratio {ratio:.3f} > {limit:.2f}")
+        failures = 1
+    if spans_seen == 0:
+        print("  TRACING FAILURE: traced ops produced no spans")
+        failures += 1
+    facts["limit"] = limit
+    facts["measurement_passes"] = passes
+    return failures, facts
+
+
+# ----------------------------------------------------------------------
 # Concurrency benchmark
 # ----------------------------------------------------------------------
-def _client_sets(client_index: int, ops: int):
-    """Per-client unique tuple sets (identical provenance would be refused)."""
+def _client_sets(client_index: int, ops: int, chain: bool = False):
+    """Per-client unique tuple sets (identical provenance would be refused).
+
+    With ``chain=True`` each set derives from the previous one, so
+    lineage ops against the tail walk a real derivation chain.
+    """
     sets = []
+    previous = None
     for op in range(ops):
         record = ProvenanceRecord(
             {
@@ -164,7 +291,8 @@ def _client_sets(client_index: int, ops: int):
                 "sequence": op,
                 "window_start": Timestamp(60.0 * op),
                 "window_end": Timestamp(60.0 * (op + 1)),
-            }
+            },
+            ancestors=[previous] if chain and previous is not None else [],
         )
         readings = [
             SensorReading(
@@ -172,6 +300,7 @@ def _client_sets(client_index: int, ops: int):
             )
         ]
         sets.append(TupleSet(readings, record))
+        previous = record.pname()
     return sets
 
 
@@ -200,10 +329,12 @@ def _worker(url, client_index, ops, barrier, latencies, errors):
         client.close()
 
 
-def run_concurrency(clients: int, ops: int) -> tuple:
+def run_concurrency(clients: int, ops: int, quick: bool = False) -> tuple:
     daemon = PassDaemon()
     address = daemon.start()
     failures = parity_gate(address)
+    overhead_failures, overhead = tracing_overhead_gate(address, quick)
+    failures += overhead_failures
 
     latencies = []
     errors = []
@@ -250,17 +381,19 @@ def run_concurrency(clients: int, ops: int) -> tuple:
         "elapsed_s": round(elapsed, 3),
         "throughput_ops_per_s": round(throughput, 1),
         "latency_ms": {key: round(value, 3) for key, value in stats.items()},
+        "tracing_overhead": overhead,
     }
 
 
-def run_benchmark(clients: int, ops: int) -> int:
-    failures, facts = run_concurrency(clients, ops)
+def run_benchmark(clients: int, ops: int, quick: bool = False) -> int:
+    failures, facts = run_concurrency(clients, ops, quick)
     _emit_bench_json(
         "server",
         {
             **facts,
             "gates": {
                 "parity": "byte-identical pass:// vs memory://",
+                "tracing_overhead": "traced workload within limit of untraced",
                 "min_connections_full_mode": FULL_CLIENTS,
                 "failures": failures,
             },
@@ -274,7 +407,7 @@ def run_benchmark(clients: int, ops: int) -> int:
 # ----------------------------------------------------------------------
 def test_server_bench_quick():
     """CI smoke: parity gate + concurrent-connection success; timing advisory."""
-    assert run_benchmark(QUICK_CLIENTS, QUICK_OPS) == 0
+    assert run_benchmark(QUICK_CLIENTS, QUICK_OPS, quick=True) == 0
 
 
 def main(argv=None) -> int:
@@ -291,7 +424,7 @@ def main(argv=None) -> int:
         QUICK_CLIENTS if args.quick else FULL_CLIENTS
     )
     ops = args.ops if args.ops is not None else (QUICK_OPS if args.quick else FULL_OPS)
-    failures = run_benchmark(clients, ops)
+    failures = run_benchmark(clients, ops, quick=args.quick)
     if failures:
         print(f"\n{failures} failure(s)")
         return 1

@@ -17,7 +17,9 @@ diffable across PRs instead of living in scrollback.
 from __future__ import annotations
 
 import json
+import os
 import platform
+import subprocess
 import sys
 from pathlib import Path
 
@@ -28,24 +30,48 @@ from repro.eval.report import format_experiment
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _git_sha() -> str:
+    """The short commit SHA of the benched tree, or "unknown" outside git."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def host_environment() -> dict:
+    """The host stamp embedded in every benchmark artifact.
+
+    Enough to tell a code regression apart from an interpreter, OS or
+    hardware change when diffing ``BENCH_*.json`` across PRs.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+    }
+
+
 def write_bench_json(area: str, payload: dict) -> Path:
     """Persist one benchmark's numbers as ``results/BENCH_<area>.json``.
 
     ``payload`` should carry the bench's headline metrics (throughput,
-    p50/p95/p99, gate ratios); a ``python`` / ``platform`` stamp is
-    added so a regression can be told apart from an interpreter change.
+    p50/p95/p99, gate ratios); the :func:`host_environment` stamp is
+    added so a regression can be told apart from a host change.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     document = dict(payload)
     document.setdefault("area", area)
-    document.setdefault(
-        "environment",
-        {
-            "python": platform.python_version(),
-            "implementation": platform.python_implementation(),
-            "machine": platform.machine(),
-        },
-    )
+    document.setdefault("environment", host_environment())
     path = RESULTS_DIR / f"BENCH_{area}.json"
     path.write_text(
         json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"

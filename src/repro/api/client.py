@@ -25,6 +25,8 @@ model ships the whole batch in a single simulated round trip.
 
 from __future__ import annotations
 
+import functools
+import time
 from abc import ABC, abstractmethod
 from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -38,6 +40,7 @@ from repro.core.tupleset import TupleSet
 from repro.distributed.base import ArchitectureModel, OperationResult
 from repro.errors import ConfigurationError, PassError
 from repro.net.topology import Topology
+from repro.obs import MetricsRegistry, trace
 from repro.query.explain import Explain
 from repro.sim.workload import SimReport, simulate_publish_workload
 from repro.stream.engine import StreamEngine
@@ -55,6 +58,59 @@ def _paginate(pnames: Sequence[PName], limit: Optional[int], offset: int) -> Tup
     if limit is not None:
         pnames = pnames[:limit]
     return list(pnames), total
+
+
+#: the façade ops every concrete client's overrides are observed on
+_OBSERVED_OPS = (
+    "publish",
+    "publish_many",
+    "query",
+    "explain",
+    "ancestors",
+    "descendants",
+    "locate",
+)
+
+
+def _observe_op(op: str, fn):
+    """Wrap one protocol method with tracing + registry accounting.
+
+    Every call opens a ``client.<op>`` span (a no-op attribute check
+    while tracing is off) and records one counter bump plus one latency
+    histogram observation into the client's
+    :class:`~repro.obs.metrics.MetricsRegistry` -- the same registry
+    :meth:`PassClient.stats` serves, so per-op rates and percentiles are
+    visible on every target without bespoke bookkeeping.
+
+    Clients whose transport already spans the same boundary (the remote
+    client's ``rpc.<op>``) set ``_client_op_spans = False`` to skip the
+    redundant façade span -- metrics recording is unaffected.
+    """
+    span_name = "client." + op
+
+    @functools.wraps(fn)
+    def observed(self, *args, **kwargs):
+        registry = getattr(self, "metrics", None)
+        started = time.perf_counter()
+        failed = False
+        if self._client_op_spans:
+            span = trace.span(span_name, attrs={"target": self.target})
+        else:
+            span = trace.noop_span()
+        with span:
+            try:
+                return fn(self, *args, **kwargs)
+            except BaseException:
+                failed = True
+                raise
+            finally:
+                if registry is not None:
+                    registry.record_op(
+                        op, (time.perf_counter() - started) * 1000.0, failed=failed
+                    )
+
+    observed._observed = True
+    return observed
 
 
 def _lift_query_limit(queryish, limit: Optional[int]):
@@ -87,6 +143,27 @@ class PassClient(ABC):
 
     #: short machine-readable name of the connected target
     target = "abstract"
+
+    #: the per-client metrics registry; concrete clients build one in
+    #: ``__init__`` and serve :meth:`stats` from it (repro.obs)
+    metrics: Optional[MetricsRegistry] = None
+
+    #: whether the façade wrapper opens a ``client.<op>`` span; clients
+    #: whose transport spans the same boundary set this False
+    _client_op_spans = True
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Observe every protocol override: span + op counter + latency.
+
+        Wrapping happens at class-definition time, so concrete clients
+        (including third-party subclasses) get uniform telemetry without
+        touching their method bodies.
+        """
+        super().__init_subclass__(**kwargs)
+        for op in _OBSERVED_OPS:
+            fn = cls.__dict__.get(op)
+            if fn is not None and not getattr(fn, "_observed", False):
+                setattr(cls, op, _observe_op(op, fn))
 
     # -- the protocol ----------------------------------------------------
     @abstractmethod
@@ -336,6 +413,31 @@ class LocalClient(PassClient):
         self.owns_store = owns_store
         self._stream: Optional[StreamEngine] = None
         self._closed = False
+        # One registry serves the whole stats() schema: each pre-existing
+        # snapshot (store counters, backend, planner cache + statistics,
+        # closure index, stream engine, sim) registers as a provider, and
+        # the façade's op wrapper records rates/latency into the same
+        # registry under "obs".
+        self.metrics = MetricsRegistry()
+        self.metrics.register_provider("site", lambda: self.store.site)
+        self.metrics.register_provider("records", lambda: len(self.store))
+        self.metrics.register_provider("store", self.store.stats.snapshot)
+        self.metrics.register_provider(
+            "backend", lambda: self.store.backend.stats.snapshot()
+        )
+        self.metrics.register_provider(
+            "planner",
+            lambda: {
+                "cache": self.store.planner.cache_snapshot(),
+                "statistics": self.store.statistics.snapshot(),
+            },
+        )
+        self.metrics.register_provider("closure", lambda: self.store.closure.index_stats())
+        self.metrics.register_provider("stream", self._stream_stats)
+        self.metrics.register_provider(
+            "sim",
+            lambda: SimReport.disabled_snapshot("local store: no simulated network"),
+        )
 
     def _local_cost(self) -> Cost:
         return Cost(sites=[self.store.site])
@@ -429,20 +531,9 @@ class LocalClient(PassClient):
         return result
 
     def stats(self) -> Dict[str, object]:
-        return {
-            "target": self.target,
-            "site": self.store.site,
-            "records": len(self.store),
-            "store": self.store.stats.snapshot(),
-            "backend": self.store.backend.stats.snapshot(),
-            "planner": {
-                "cache": self.store.planner.cache_snapshot(),
-                "statistics": self.store.statistics.snapshot(),
-            },
-            "closure": self.store.closure.index_stats(),
-            "stream": self._stream_stats(),
-            "sim": SimReport.disabled_snapshot("local store: no simulated network"),
-        }
+        # Served entirely from the registry (providers keep the
+        # documented per-block schema; "obs" carries the op telemetry).
+        return {"target": self.target, **self.metrics.collect()}
 
     def describe_record(self, pname) -> Optional[ProvenanceRecord]:
         pname = coerce_pname(pname)
@@ -495,6 +586,14 @@ class ModelClient(PassClient):
         self.target = model.name
         self._stream: Optional[StreamEngine] = None
         self._closed = False
+        # The traffic snapshot carries per-kind counters (``by_kind``,
+        # including the ``notify`` dissemination kind), so subscription
+        # cost is readable from stats() without reaching into the
+        # simulator; stream/sim/obs complete the uniform schema.
+        self.metrics = MetricsRegistry()
+        self.metrics.register_provider("traffic", self.model.traffic_snapshot)
+        self.metrics.register_provider("stream", self._stream_stats)
+        self.metrics.register_provider("sim", self._sim_snapshot)
 
     def _stream_engine(self, create: bool) -> Optional[StreamEngine]:
         if self._stream is None and create:
@@ -608,7 +707,9 @@ class ModelClient(PassClient):
 
     def explain(self, query=None, *, origin: Optional[str] = None) -> Explain:
         lowered, _ = _lift_query_limit(query, None)
+        started = time.perf_counter()
         operation = self.model.query(lowered, origin or self.default_origin)
+        duration_ms = (time.perf_counter() - started) * 1000.0
         children = self.model.query_explains()
         return Explain(
             site=self.target,
@@ -617,24 +718,21 @@ class ModelClient(PassClient):
             estimated_rows=sum(child.estimated_rows for child in children),
             actual_rows=len(operation.pnames),
             rows_scanned=operation.rows_scanned,
+            duration_ms=duration_ms,
             cache_hit=bool(children) and all(child.cache_hit for child in children),
             used_index=any(child.used_index for child in children),
             notes=list(operation.notes),
             children=children,
         )
 
+    def _sim_snapshot(self) -> Dict[str, object]:
+        report = getattr(self.model.network, "last_sim_report", None)
+        return report.snapshot() if report is not None else SimReport.disabled_snapshot()
+
     def stats(self) -> Dict[str, object]:
         facts: Dict[str, object] = {"target": self.target}
         facts.update(self.model.describe())
-        # The traffic snapshot carries per-kind counters (``by_kind``,
-        # including the ``notify`` dissemination kind), so subscription
-        # cost is readable here without reaching into the simulator.
-        facts["traffic"] = self.model.traffic_snapshot()
-        facts["stream"] = self._stream_stats()
-        report = getattr(self.model.network, "last_sim_report", None)
-        facts["sim"] = (
-            report.snapshot() if report is not None else SimReport.disabled_snapshot()
-        )
+        facts.update(self.metrics.collect())
         return facts
 
     def simulate(

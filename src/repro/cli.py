@@ -33,7 +33,15 @@ Three subcommands cover what a user wants from a terminal:
   print latency percentiles plus per-site utilization,
 * ``serve`` -- run the provenance service daemon (``repro.server``) in
   the foreground; remote clients then reach the same façade through
-  ``connect("pass://host:port")``.
+  ``connect("pass://host:port")``.  ``--log-level`` controls the
+  structured access log, ``--slow-query-ms`` arms the slow-query log,
+* ``top`` -- live daemon introspection: poll a running daemon's
+  ``metrics`` op and render per-tenant op rates, latency percentiles,
+  active subscriptions and the slow-query ring,
+* ``trace`` -- run a traced workload + query (``repro.obs``) and export
+  the span tree as Chrome trace-event JSON (load it in
+  ``chrome://tracing`` or Perfetto); with a ``pass://`` store the tree
+  stitches across the wire into the daemon.
 
 The CLI is a thin veneer over the library; everything it does is
 available programmatically, and the storage/architecture target is a
@@ -254,6 +262,77 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="TOKEN=TENANT",
         help="require auth: map TOKEN to TENANT (repeatable); omit for an open daemon",
+    )
+    serve.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="access-log verbosity on the repro.server logger (default: info)",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log the Explain tree of any query slower than this many ms",
+    )
+
+    top = subcommands.add_parser(
+        "top",
+        help="live daemon introspection: per-tenant op rates, latency percentiles",
+    )
+    top.add_argument("url", help="daemon URL, e.g. pass://127.0.0.1:7100")
+    top.add_argument("--token", default=None, help="auth token for a tokened daemon")
+    top.add_argument("--tenant", default=None, help="tenant name (open daemons only)")
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes (default: 2)"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N refreshes (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit (== --iterations 1)"
+    )
+
+    tracecmd = subcommands.add_parser(
+        "trace",
+        help="run a traced workload + query and export Chrome trace-event JSON",
+    )
+    tracecmd.add_argument("domain", choices=sorted(_WORKLOADS))
+    tracecmd.add_argument(
+        "predicates",
+        nargs="*",
+        help="predicates, e.g. city=london stage=raw sequence>=10 name~cam",
+    )
+    tracecmd.add_argument(
+        "--window",
+        default=None,
+        metavar="START,END",
+        help="AND a time-window overlap (seconds), e.g. --window 0,1800",
+    )
+    tracecmd.add_argument(
+        "--near",
+        default=None,
+        metavar="LAT,LON,KM",
+        help="AND a geographic radius, e.g. --near 51.5,-0.12,5",
+    )
+    tracecmd.add_argument("--hours", type=float, default=1.0)
+    tracecmd.add_argument("--seed", type=int, default=0)
+    tracecmd.add_argument(
+        "--store",
+        default="memory://",
+        help="connect() URL of the target (default: memory://); "
+        "a pass:// URL stitches the daemon's spans into the same tree",
+    )
+    tracecmd.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the trace JSON here (default: print it)",
     )
 
     simulate = subcommands.add_parser(
@@ -732,6 +811,8 @@ def _cmd_query(args, out) -> int:
 
 def _cmd_serve(args, out) -> int:
     """Run the repro.server daemon in the foreground until interrupted."""
+    import logging
+
     from repro.server import PassDaemon
 
     tokens = None
@@ -743,18 +824,155 @@ def _cmd_serve(args, out) -> int:
                 print(f"error: bad --token {entry!r} (expected TOKEN=TENANT)", file=sys.stderr)
                 return 2
             tokens[token] = tenant
+    # The access log goes through stdlib logging (stderr), never print,
+    # so piping the banner stays clean and levels filter server noise.
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(levelname)s %(name)s %(message)s",
+    )
     daemon = PassDaemon(
-        host=args.host, port=args.port, backend_url=args.store, tokens=tokens
+        host=args.host,
+        port=args.port,
+        backend_url=args.store,
+        tokens=tokens,
+        slow_query_ms=args.slow_query_ms,
     )
     address = daemon.start()
     auth = f"{len(tokens)} token(s)" if tokens else "open (no auth)"
     print(f"serving {args.store} at {address.url}  [{auth}]", file=out)
+    out.flush()
     try:
         daemon.wait()
     except KeyboardInterrupt:
         print("shutting down", file=out)
     finally:
         daemon.stop()
+    return 0
+
+
+def _format_top_snapshot(snapshot: dict, previous: Optional[dict], interval: float) -> str:
+    """Render one ``metrics`` snapshot as the ``repro top`` screen."""
+    lines = [
+        f"daemon up {snapshot.get('uptime_s', 0.0):.1f}s   "
+        f"tenants: {len(snapshot.get('tenants', {}))}"
+    ]
+    previous_tenants = (previous or {}).get("tenants", {})
+    for tenant, facts in sorted(snapshot.get("tenants", {}).items()):
+        lines.append(
+            f"tenant {tenant}: {facts.get('active_subscriptions', 0)} "
+            "active subscription(s)"
+        )
+        ops = facts.get("ops", {})
+        if not ops:
+            lines.append("  (no operations yet)")
+            continue
+        lines.append(
+            f"  {'op':<22}{'count':>8}{'err':>6}{'rate/s':>9}"
+            f"{'p50 ms':>9}{'p95 ms':>9}{'p99 ms':>9}"
+        )
+        before = previous_tenants.get(tenant, {}).get("ops", {})
+        for op, stats in ops.items():
+            if op in before and interval > 0:
+                # Delta rate over the poll interval: what "now" looks like.
+                rate = (stats["count"] - before[op]["count"]) / interval
+            else:
+                rate = stats.get("rate_per_s", 0.0)
+
+            def _ms(value) -> str:
+                return "-" if value is None else f"{value:.2f}"
+
+            lines.append(
+                f"  {op:<22}{stats['count']:>8}{stats['errors']:>6}{rate:>9.2f}"
+                f"{_ms(stats.get('p50_ms')):>9}{_ms(stats.get('p95_ms')):>9}"
+                f"{_ms(stats.get('p99_ms')):>9}"
+            )
+    slow = snapshot.get("slow_queries", [])
+    if slow:
+        lines.append(f"slow queries ({len(slow)}, newest last):")
+        for entry in slow[-5:]:
+            lines.append(f"  [{entry['tenant']}] {entry['duration_ms']:.3f} ms")
+    return "\n".join(lines)
+
+
+def _cmd_top(args, out) -> int:
+    """Poll a daemon's ``metrics`` op and render it, ``top``-style."""
+    import time as _time
+
+    from repro.errors import NetworkError, PassError
+
+    url = args.url
+    extras = [
+        f"{key}={value}"
+        for key, value in (("token", args.token), ("tenant", args.tenant))
+        if value is not None
+    ]
+    if extras:
+        url = url + ("&" if "?" in url else "?") + "&".join(extras)
+    try:
+        client = connect(url)
+    except (NetworkError, PassError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not hasattr(client, "daemon_metrics"):
+        print(f"error: {args.url!r} is not a pass:// daemon URL", file=sys.stderr)
+        client.close()
+        return 2
+    iterations = 1 if args.once else args.iterations
+    previous = None
+    shown = 0
+    try:
+        while True:
+            snapshot = client.daemon_metrics()
+            if shown:
+                print(file=out)
+            print(_format_top_snapshot(snapshot, previous, args.interval), file=out)
+            out.flush()
+            shown += 1
+            previous = snapshot
+            if iterations is not None and shown >= iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except NetworkError as error:
+        print(f"error: daemon went away: {error}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
+def _cmd_trace(args, out) -> int:
+    """Run a traced workload + query; export Chrome trace-event JSON."""
+    import json
+
+    from repro.obs import trace as tracing
+
+    predicate, error = _build_explain_predicate(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    tracing.enable()
+    try:
+        with tracing.span("cli.trace", attrs={"domain": args.domain, "store": args.store}):
+            _, client, *_ = _build_client(args.domain, args.hours, args.seed, args.store)
+            answer = client.query(predicate)
+        collected = tracing.spans()
+        payload = tracing.chrome_trace(collected)
+    finally:
+        tracing.disable()
+    text = json.dumps(payload, indent=2)
+    traces = {span.trace_id for span in collected}
+    summary = (
+        f"-- {len(collected)} span(s) in {len(traces)} trace(s); "
+        f"query matched {answer.total} record(s)"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"{summary}; wrote {args.output}", file=out)
+    else:
+        print(text, file=out)
+        print(summary, file=out)
     return 0
 
 
@@ -777,6 +995,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_lineage(args, out)
     if args.command == "serve":
         return _cmd_serve(args, out)
+    if args.command == "top":
+        return _cmd_top(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
     if args.command == "simulate":
         return _cmd_simulate(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -46,6 +46,7 @@ from repro.errors import (
     UnknownEntityError,
 )
 from repro.index.attribute_index import AttributeIndex
+from repro.obs import trace
 from repro.index.spatial_index import SpatialIndex
 from repro.index.temporal_index import TemporalIndex
 from repro.query.executor import execute as _execute_plan
@@ -227,7 +228,8 @@ class PassStore(LineageOracle):
             batch_payloads[pname.digest] = payload
             fresh.append((pname, record, payload))
             pnames.append(pname)
-        self.backend.put_batch([(record, payload) for _, record, payload in fresh])
+        with trace.span("storage.put_batch", attrs={"records": len(fresh)}):
+            self.backend.put_batch([(record, payload) for _, record, payload in fresh])
         for pname, record, _ in fresh:
             self._index_record(pname, record)
         # Hooks fire only after the *whole* batch (backend transaction and
@@ -431,14 +433,16 @@ class PassStore(LineageOracle):
         self.stats.lineage_queries += 1
         if pname not in self.graph:
             raise UnknownEntityError(f"unknown data set {pname}")
-        return self.closure.ancestors(pname)
+        with trace.span("closure.ancestors", attrs={"focus": pname.short}):
+            return self.closure.ancestors(pname)
 
     def descendants(self, pname: PName) -> Set[PName]:
         """All data sets transitively derived from ``pname`` (the taint set)."""
         self.stats.lineage_queries += 1
         if pname not in self.graph:
             raise UnknownEntityError(f"unknown data set {pname}")
-        return self.closure.descendants(pname)
+        with trace.span("closure.descendants", attrs={"focus": pname.short}):
+            return self.closure.descendants(pname)
 
     def raw_sources(self, pname: PName) -> Set[PName]:
         """The raw (underived) data sets at the bottom of ``pname``'s lineage."""

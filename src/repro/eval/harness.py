@@ -183,8 +183,7 @@ def main() -> None:  # pragma: no cover - CLI convenience
 
     ids = sys.argv[1:] or None
     for result in run_all(ids):
-        print(format_experiment(result))
-        print()
+        sys.stdout.write(format_experiment(result) + "\n\n")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,68 @@
+"""End-to-end telemetry (``repro.obs``): tracing, metrics, introspection.
+
+Three pieces, documented in ``docs/OBSERVABILITY.md``:
+
+* :mod:`repro.obs.trace` -- structured request tracing: spans with
+  trace/span/parent ids, implicit context propagation, wire-carried
+  context over ``pass://``, Chrome trace-event export,
+* :mod:`repro.obs.metrics` -- the unified registry (counters, gauges,
+  log-bucketed histograms with streaming p50/p95/p99) every
+  ``client.stats()`` answer is served from,
+* the daemon introspection surface (access log, ``metrics`` wire op,
+  slow-query log) lives with the daemon in :mod:`repro.server.daemon`
+  and is read by ``repro top``.
+
+The ``STATS_*_KEYS`` constants are the documented ``stats()`` schema
+contract: every connect target emits at least the common keys, and each
+target family adds its own.  The golden-key test
+(``tests/obs/test_stats_schema.py``) holds every target to this.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, SpanContext, Tracer, chrome_trace, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "chrome_trace",
+    "span",
+    "STATS_COMMON_KEYS",
+    "STATS_LOCAL_KEYS",
+    "STATS_MODEL_KEYS",
+    "STATS_REMOTE_KEYS",
+]
+
+#: every connect() target's stats() carries at least these keys
+STATS_COMMON_KEYS = frozenset({"target", "stream", "sim", "obs"})
+
+#: local stores (memory:// and sqlite://) add the store-side blocks
+STATS_LOCAL_KEYS = STATS_COMMON_KEYS | {
+    "site",
+    "records",
+    "store",
+    "backend",
+    "planner",
+    "closure",
+}
+
+#: architecture models add the model facts and the traffic snapshot
+STATS_MODEL_KEYS = STATS_COMMON_KEYS | {
+    "name",
+    "supports_lineage",
+    "requires_stable_hosts",
+    "published",
+    "queries_run",
+    "notifications_sent",
+    "notifications_suppressed",
+    "sites",
+    "traffic",
+}
+
+#: pass:// serves the tenant store's local schema plus remote identity
+#: and the socket-side client block
+STATS_REMOTE_KEYS = STATS_LOCAL_KEYS | {"tenant", "client"}

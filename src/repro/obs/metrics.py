@@ -1,0 +1,213 @@
+"""The unified metrics registry: counters, gauges, histograms, providers.
+
+Every subsystem already keeps counters (``StoreStatistics``,
+``TrafficStats``, the planner cache, the stream engine, ``SimReport``);
+what was missing is one place that *serves* them.  A
+:class:`MetricsRegistry` holds:
+
+* :class:`Counter` -- a monotonically increasing count,
+* :class:`Gauge` -- a point-in-time value, either set explicitly or
+  computed by a callback at collection time,
+* :class:`Histogram` -- a log-bucketed latency/size distribution with
+  streaming p50/p95/p99 estimation: observations land in geometric
+  buckets (growth factor 1.1, so quantile estimates carry at most ~5%
+  relative error) and no samples are retained, making ``observe`` O(1)
+  in time and O(log range) in memory,
+* snapshot *providers* -- callbacks producing the structured blocks the
+  pre-registry ``stats()`` shapes promised (``store``, ``backend``,
+  ``planner``, ``closure``, ``stream``, ``sim``, ``traffic``), so the
+  registry serves the whole documented schema from one
+  :meth:`MetricsRegistry.collect` call without changing any key.
+
+Naming scheme: dotted lowercase paths, ``<layer>.<op>[.<unit>]`` --
+``client.query`` (counter), ``client.query.ms`` (histogram),
+``client.query.errors`` (counter).  See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count (int increments are GIL-atomic)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value: set explicitly or computed by a callback."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], object]] = None) -> None:
+        self.name = name
+        self._value: object = None
+        self._fn = fn
+
+    def set(self, value) -> None:
+        self._value = value
+
+    def read(self):
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+
+#: geometric bucket growth; 1.1 bounds quantile error at ~4.9% relative
+_BUCKET_BASE = 1.1
+_LOG_BASE = math.log(_BUCKET_BASE)
+
+
+class Histogram:
+    """A log-bucketed distribution with streaming quantile estimation.
+
+    Positive observations map to bucket ``floor(log(value)/log(1.1))``;
+    zero and negative values share one underflow bucket.  Quantiles are
+    answered by walking the (sparse, sorted) buckets to the target rank
+    and reporting the hit bucket's geometric midpoint -- p50/p95/p99
+    without storing a single sample, at most ~5% relative error.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        if value > 0:
+            index = int(math.log(value) / _LOG_BASE)
+            # int() truncates toward zero; sub-1.0 values need the floor.
+            if value < _BUCKET_BASE**index:
+                index -= 1
+        else:
+            index = -(10**6)  # shared underflow bucket for <= 0
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The estimated ``q``-quantile (``q`` in [0, 1]); None when empty."""
+        with self._lock:
+            if not self.count:
+                return None
+            rank = max(1, math.ceil(q * self.count))
+            seen = 0
+            for index in sorted(self._buckets):
+                seen += self._buckets[index]
+                if seen >= rank:
+                    if index == -(10**6):
+                        return self.min if self.min is not None and self.min <= 0 else 0.0
+                    midpoint = _BUCKET_BASE ** (index + 0.5)
+                    low = self.min if self.min is not None else midpoint
+                    high = self.max if self.max is not None else midpoint
+                    return min(max(midpoint, low), high)
+        return None  # pragma: no cover - loop always hits the rank
+
+    def snapshot(self) -> dict:
+        """The stable histogram shape: count/mean/min/max + p50/p95/p99."""
+        with self._lock:
+            count = self.count
+            mean = self.total / count if count else None
+            low, high = self.min, self.max
+        return {
+            "count": count,
+            "mean": mean,
+            "min": low,
+            "max": high,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """One registry serving a target's whole ``stats()`` answer.
+
+    Structured snapshot *providers* reproduce the documented per-block
+    schema (registration order is serving order), and the registry's own
+    instruments surface under the ``obs`` key.  The façade's operation
+    wrapper records one counter + one latency histogram per protocol op
+    through :meth:`record_op`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._providers: List[tuple] = []
+
+    # -- instruments -----------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str, fn: Optional[Callable[[], object]] = None) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name, fn)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name)
+            return instrument
+
+    def record_op(self, op: str, duration_ms: float, failed: bool = False) -> None:
+        """One protocol operation: count it, time it, count its failure."""
+        self.counter(f"client.{op}").inc()
+        self.histogram(f"client.{op}.ms").observe(duration_ms)
+        if failed:
+            self.counter(f"client.{op}.errors").inc()
+
+    # -- structured snapshot providers -----------------------------------
+    def register_provider(self, key: str, fn: Callable[[], object]) -> None:
+        """Serve ``fn()`` under ``key`` in every :meth:`collect` answer."""
+        self._providers.append((key, fn))
+
+    def obs_snapshot(self) -> dict:
+        """The registry's own instruments as the stable ``obs`` block."""
+        with self._lock:
+            counters = {name: c.value for name, c in sorted(self._counters.items())}
+            gauges = {name: g.read() for name, g in sorted(self._gauges.items())}
+            histograms = dict(sorted(self._histograms.items()))
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": {name: h.snapshot() for name, h in histograms.items()},
+        }
+
+    def collect(self) -> Dict[str, object]:
+        """Every provider block plus the ``obs`` block, in serving order."""
+        facts: Dict[str, object] = {}
+        for key, fn in self._providers:
+            facts[key] = fn()
+        facts["obs"] = self.obs_snapshot()
+        return facts

@@ -1,0 +1,365 @@
+"""Lightweight structured tracing for the full request path.
+
+One *span* is a named, timed piece of work (``client.query``,
+``query.execute``, ``storage.put_batch``, ``daemon.query``, ...) with a
+``trace_id`` shared by everything one request caused, a ``span_id``, and
+a ``parent_id`` linking it into the request's tree.  Context propagation
+is implicit within a thread/task (a :mod:`contextvars` variable) and
+explicit across boundaries: the wire protocol carries the active span's
+context in the request envelope, so a daemon-side handler span stitches
+onto the remote caller's tree (see :mod:`repro.server`).
+
+Tracing is **off by default** and engineered so the disabled path is a
+single attribute check -- instrumentation stays in place permanently on
+hot paths (the planner, the executor, storage calls, stream dispatch)
+without taxing untraced production runs.  Finished spans land in a
+bounded ring buffer (oldest dropped first) and export as Chrome
+trace-event JSON (``chrome://tracing`` / Perfetto load it directly) via
+:func:`chrome_trace` or the ``repro trace`` CLI.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "chrome_trace",
+    "current_context",
+    "current_wire",
+    "disable",
+    "drain",
+    "enable",
+    "enabled",
+    "span",
+    "spans",
+]
+
+import contextvars
+
+#: the active open span in this thread/task (None = no open span); holds
+#: the ``_OpenSpan`` itself, which duck-types SpanContext for children
+_ACTIVE: contextvars.ContextVar[Optional[object]] = contextvars.ContextVar(
+    "repro_obs_active_span", default=None
+)
+
+#: one anchor for every span timestamp, so trees from different threads
+#: (client caller, daemon loop) share a timeline in the exported trace
+_EPOCH_NS = time.perf_counter_ns()
+
+
+# Span ids must be unique across *processes* sharing a trace (client and
+# daemon halves of one tree), but minting 64 random bits per span is
+# measurable on hot paths.  A per-process random prefix + a cheap
+# GIL-atomic counter gives the same collision safety at a fraction of
+# the cost; trace ids (one per request, not per span) stay fully random.
+_ID_PREFIX = f"{random.getrandbits(40):010x}"
+_IDS = itertools.count(1)
+
+
+def _new_trace_id() -> str:
+    return f"{random.getrandbits(64):016x}"
+
+
+def _new_id() -> str:
+    return _ID_PREFIX + "%06x" % next(_IDS)
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of a span: enough to parent children on it."""
+
+    trace_id: str
+    span_id: str
+
+    def to_wire(self) -> Dict[str, str]:
+        """The envelope form carried in ``pass://`` request frames."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, payload) -> Optional["SpanContext"]:
+        """Parse an envelope context; malformed payloads mean "no parent"."""
+        if not isinstance(payload, dict):
+            return None
+        trace_id = payload.get("trace_id")
+        span_id = payload.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+
+@dataclass(slots=True)
+class Span:
+    """One finished unit of traced work."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    #: offset from the tracer's epoch, so all threads share a timeline
+    start_ns: int
+    duration_ns: int
+    thread: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+    #: exception type name when the spanned work raised
+    error: Optional[str] = None
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    def to_chrome_event(self) -> dict:
+        """One Chrome trace-event (``ph: "X"`` complete event, µs units)."""
+        args: Dict[str, object] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+        }
+        if self.parent_id is not None:
+            args["parent_id"] = self.parent_id
+        if self.error is not None:
+            args["error"] = self.error
+        args.update(self.attrs)
+        return {
+            "name": self.name,
+            "cat": self.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": self.start_ns / 1e3,
+            "dur": self.duration_ns / 1e3,
+            "pid": 1,
+            "tid": self.thread,
+            "args": args,
+        }
+
+
+class Tracer:
+    """A bounded sink of finished spans; usually the module-level default.
+
+    Thread-safe: spans finish on whatever thread ran the work (the
+    caller's thread, the daemon's event-loop thread, a reader thread)
+    and append under one lock.
+    """
+
+    def __init__(self, capacity: int = 8192) -> None:
+        self.capacity = capacity
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._spans: deque = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def enable(self, capacity: Optional[int] = None) -> None:
+        with self._lock:
+            if capacity is not None and capacity != self.capacity:
+                self.capacity = capacity
+                self._spans = deque(self._spans, maxlen=capacity)
+            self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def record(self, fields: tuple) -> None:
+        # Lock-free: deque.append is thread-safe, and a bounded deque
+        # drops from the head on its own.  The dropped counter is read
+        # without synchronization, so under racing writers it is a close
+        # under-estimate -- acceptable for a diagnostic.  The ring holds
+        # raw field tuples; Span objects materialize on read -- exporting
+        # pays the construction cost, not the traced hot path.
+        spans = self._spans
+        if len(spans) == spans.maxlen:
+            self.dropped += 1
+        spans.append(fields)
+
+    def spans(self) -> List[Span]:
+        """A copy of the buffered finished spans (oldest first)."""
+        with self._lock:
+            return [Span(*fields) for fields in self._spans]
+
+    def drain(self) -> List[Span]:
+        """Pop and return every buffered span."""
+        with self._lock:
+            taken = [Span(*fields) for fields in self._spans]
+            self._spans.clear()
+            return taken
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+
+#: the process-wide tracer every instrumentation point records into
+_TRACER = Tracer()
+
+
+class _NullSpan:
+    """The disabled/fast path: a reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set_attr(self, name: str, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+#: thread-name cache keyed by ident -- ``current_thread()`` per span is
+#: measurable; names never change after a thread starts, and a recycled
+#: ident from a dead thread would only mislabel a diagnostic field
+_THREAD_NAMES: Dict[int, str] = {}
+
+
+class _OpenSpan:
+    """An in-flight span: context manager that records itself on exit.
+
+    Duck-types :class:`SpanContext` (``trace_id``/``span_id``) so the
+    context variable can hold the open span itself -- children read the
+    two ids straight off it, and the hot path never allocates a context
+    object (``current_context()`` materializes one only when asked,
+    i.e. once per wire call, not once per span).
+    """
+
+    __slots__ = ("name", "attrs", "trace_id", "span_id", "_parent", "_token", "_start_ns")
+
+    def __init__(self, name: str, attrs, parent) -> None:
+        self.name = name
+        # Takes ownership of the caller's dict (every call site builds a
+        # fresh literal) -- copying it per span is measurable on hot paths.
+        self.attrs = attrs if attrs is not None else {}
+        self._parent = parent
+
+    def __enter__(self) -> "_OpenSpan":
+        parent = self._parent if self._parent is not None else _ACTIVE.get()
+        if parent is not None:
+            self.trace_id = parent.trace_id
+            self._parent = parent.span_id
+        else:
+            self.trace_id = _new_trace_id()
+            self._parent = None
+        self.span_id = _new_id()
+        self._token = _ACTIVE.set(self)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_ns = time.perf_counter_ns()
+        _ACTIVE.reset(self._token)
+        ident = threading.get_ident()
+        thread = _THREAD_NAMES.get(ident)
+        if thread is None:
+            thread = _THREAD_NAMES[ident] = threading.current_thread().name
+        _TRACER.record(
+            (
+                self.trace_id,
+                self.span_id,
+                self._parent,
+                self.name,
+                self._start_ns - _EPOCH_NS,
+                end_ns - self._start_ns,
+                thread,
+                self.attrs,
+                None if exc_type is None else exc_type.__name__,
+            )
+        )
+        return False
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def set_attr(self, name: str, value) -> None:
+        self.attrs[name] = value
+
+
+def noop_span() -> _NullSpan:
+    """The shared no-op span: for call sites that conditionally skip
+    instrumentation but still need a with-able object."""
+    return _NULL_SPAN
+
+
+def span(name: str, attrs: Optional[Dict[str, object]] = None, parent=None):
+    """Open a span around a ``with`` block.
+
+    ``parent`` overrides the implicit (context-local) parent: pass a
+    :class:`SpanContext` -- e.g. one decoded from a request envelope --
+    to stitch this span onto a remote caller's trace.  When tracing is
+    disabled this returns a shared no-op context manager; the cost is
+    one attribute check.
+    """
+    if not _TRACER.enabled:
+        return _NULL_SPAN
+    if parent is not None and not isinstance(parent, SpanContext):
+        parent = SpanContext.from_wire(parent)
+    return _OpenSpan(name, attrs, parent)
+
+
+def enable(capacity: Optional[int] = None) -> None:
+    """Turn tracing on process-wide (optionally resizing the span buffer)."""
+    _TRACER.enable(capacity)
+
+
+def disable() -> None:
+    """Turn tracing off; buffered spans stay until drained/cleared."""
+    _TRACER.disable()
+
+
+def enabled() -> bool:
+    return _TRACER.enabled
+
+
+def spans() -> List[Span]:
+    """A copy of the finished spans currently buffered."""
+    return _TRACER.spans()
+
+
+def drain() -> List[Span]:
+    """Pop every buffered span (what exporters call)."""
+    return _TRACER.drain()
+
+
+def clear() -> None:
+    _TRACER.clear()
+
+
+def current_context() -> Optional[SpanContext]:
+    """The active span's context in this thread/task, if any."""
+    active = _ACTIVE.get()
+    if active is None:
+        return None
+    return SpanContext(trace_id=active.trace_id, span_id=active.span_id)
+
+
+def current_wire() -> Optional[Dict[str, str]]:
+    """The active span's context in envelope form (one dict, no
+    intermediate :class:`SpanContext`) -- what the wire client embeds."""
+    active = _ACTIVE.get()
+    if active is None:
+        return None
+    return {"trace_id": active.trace_id, "span_id": active.span_id}
+
+
+def chrome_trace(span_list: Optional[List[Span]] = None) -> dict:
+    """Spans as a Chrome trace-event JSON document.
+
+    The result loads directly in ``chrome://tracing`` / Perfetto; spans
+    from different threads appear as separate tracks sharing one
+    timeline.  With no argument, drains the process tracer.
+    """
+    if span_list is None:
+        span_list = drain()
+    return {
+        "traceEvents": [item.to_chrome_event() for item in span_list],
+        "displayTimeUnit": "ms",
+    }

@@ -15,11 +15,13 @@ producing ``(PName, record)`` pairs:
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 from typing import List, Tuple
 
 from repro.core.provenance import PName, ProvenanceRecord
 from repro.core.query import Query
+from repro.obs import trace
 from repro.query.explain import Explain
 from repro.query.paths import FullScanPath
 
@@ -34,29 +36,42 @@ def execute(
     Returns the matching ``(PName, record)`` pairs (ordered and limited
     per the query's options) plus the :class:`Explain` of what ran.
     """
-    plan = store.planner.plan(query, force_full_scan=force_full_scan)
-    full_scan = isinstance(plan.path, FullScanPath)
-    if full_scan:
-        candidates = list(store.backend.iter_records())
-        store.stats.full_scans += 1
-    else:
-        hits = plan.path.probe(store)
-        store.stats.index_hits += plan.path.probes_run()
-        # Digest order keeps index-served answers deterministic across
-        # backends and runs (sets have no stable iteration order); the
-        # bulk fetch keeps durable backends at one statement per chunk
-        # instead of one per candidate.
-        candidates = store.backend.get_records(sorted(hits, key=lambda p: p.digest))
-    store.stats.records_scanned += len(candidates)
-    if plan.cache_hit:
-        store.stats.plan_cache_hits += 1
+    started = time.perf_counter()
+    # One span covers plan + probe/scan + fetch + evaluate: the phase
+    # facts ride as attrs (Explain carries the full breakdown), keeping
+    # the traced read path at a single span per executor run -- the
+    # per-phase spans measurably taxed hot queries.
+    with trace.span("query.execute", attrs={"site": store.site}) as op_span:
+        plan = store.planner.plan(query, force_full_scan=force_full_scan)
+        full_scan = isinstance(plan.path, FullScanPath)
+        if full_scan:
+            candidates = list(store.backend.iter_records())
+            store.stats.full_scans += 1
+        else:
+            hits = plan.path.probe(store)
+            store.stats.index_hits += plan.path.probes_run()
+            # Digest order keeps index-served answers deterministic across
+            # backends and runs (sets have no stable iteration order); the
+            # bulk fetch keeps durable backends at one statement per chunk
+            # instead of one per candidate.
+            candidates = store.backend.get_records(
+                sorted(hits, key=lambda p: p.digest)
+            )
+        store.stats.records_scanned += len(candidates)
+        if plan.cache_hit:
+            store.stats.plan_cache_hits += 1
 
-    # The residual drops conjuncts the path answered exactly (a lineage
-    # probe already enumerated the closure; re-testing reachability per
-    # candidate would re-pay the walk).  Ordering/limit/removed-data
-    # options still apply in full.
-    residual = replace(query, predicate=plan.residual)
-    pairs = residual.evaluate_pairs(candidates, lineage=store, removed=store.is_removed)
+        # The residual drops conjuncts the path answered exactly (a lineage
+        # probe already enumerated the closure; re-testing reachability per
+        # candidate would re-pay the walk).  Ordering/limit/removed-data
+        # options still apply in full.
+        residual = replace(query, predicate=plan.residual)
+        pairs = residual.evaluate_pairs(
+            candidates, lineage=store, removed=store.is_removed
+        )
+        op_span.set_attr("path", plan.path.kind)
+        op_span.set_attr("rows_scanned", len(candidates))
+        op_span.set_attr("rows", len(pairs))
     explain = Explain(
         site=store.site,
         path=plan.path.describe(),
@@ -64,6 +79,7 @@ def execute(
         estimated_rows=plan.estimated_rows,
         actual_rows=len(pairs),
         rows_scanned=len(candidates),
+        duration_ms=(time.perf_counter() - started) * 1000.0,
         cache_hit=plan.cache_hit,
         used_index=not full_scan,
         shape=plan.shape,

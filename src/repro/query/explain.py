@@ -30,6 +30,9 @@ class Explain:
     actual_rows: int
     #: records materialized and evaluated to answer
     rows_scanned: int
+    #: wall time of plan + execute, so estimated-vs-actual rows carry a
+    #: latency column (distributed roots report the whole scatter/gather)
+    duration_ms: float = 0.0
     #: True when the predicate shape was already in the plan cache
     cache_hit: bool = False
     #: True when an index (not a full scan) produced the candidates
@@ -49,6 +52,7 @@ class Explain:
             "estimated_rows": self.estimated_rows,
             "actual_rows": self.actual_rows,
             "rows_scanned": self.rows_scanned,
+            "duration_ms": self.duration_ms,
             "cache_hit": self.cache_hit,
             "used_index": self.used_index,
             "shape": self.shape,
@@ -69,6 +73,7 @@ class Explain:
             estimated_rows=payload["estimated_rows"],
             actual_rows=payload["actual_rows"],
             rows_scanned=payload["rows_scanned"],
+            duration_ms=payload.get("duration_ms", 0.0),
             cache_hit=payload.get("cache_hit", False),
             used_index=payload.get("used_index", False),
             shape=payload.get("shape"),
@@ -83,7 +88,8 @@ class Explain:
             f"{pad}[{self.site}] {self.path}",
             f"{pad}  estimated rows: {self.estimated_rows}"
             f"   actual rows: {self.actual_rows}"
-            f"   rows scanned: {self.rows_scanned}",
+            f"   rows scanned: {self.rows_scanned}"
+            f"   duration: {self.duration_ms:.3f} ms",
             f"{pad}  index used: {'yes' if self.used_index else 'no'}"
             f"   plan cache: {'hit' if self.cache_hit else 'miss'}",
         ]

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.attributes import AttributeValue, GeoPoint, Timestamp
 from repro.core.provenance import PName
+from repro.obs import trace
 
 __all__ = [
     "AccessPath",
@@ -270,18 +271,22 @@ class _LineageProbe(AccessPath):
         return estimated + (1 if self.include_self else 0)
 
     def probe(self, store) -> Set[PName]:
-        if self.focus in store.graph:
-            walker = (
-                store.closure.ancestors
-                if self.direction == "ancestors"
-                else store.closure.descendants
-            )
-            found = set(walker(self.focus))
-        else:
-            found = set()
-        if self.include_self:
-            found.add(self.focus)
-        return found
+        with trace.span(
+            "closure.probe",
+            attrs={"direction": self.direction, "focus": self.focus.short},
+        ):
+            if self.focus in store.graph:
+                walker = (
+                    store.closure.ancestors
+                    if self.direction == "ancestors"
+                    else store.closure.descendants
+                )
+                found = set(walker(self.focus))
+            else:
+                found = set()
+            if self.include_self:
+                found.add(self.focus)
+            return found
 
 
 class LineageAncestorsProbe(_LineageProbe):

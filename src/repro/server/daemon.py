@@ -22,6 +22,14 @@
   and runs the closure rebuild as a loop task; ``task_status`` polls it
   (pending → running → completed/failed), mirroring service APIs whose
   index builds outlive an HTTP request.
+* **Introspection.**  Every request is access-logged through the
+  ``repro.server`` :mod:`logging` logger (op, tenant, duration, error
+  code); per-tenant op counters and latency histograms are served live
+  by the ``metrics`` wire op (rendered by ``repro top``); queries
+  slower than ``slow_query_ms`` get their :class:`Explain` tree written
+  to the slow-query log.  When the requester carries a trace context in
+  its frame, the daemon's ``daemon.<op>`` span -- and everything the
+  handler does beneath it -- stitches onto the caller's trace tree.
 
 The daemon can run embedded (``start()``/``stop()`` around a background
 thread -- what the tests and benches do) or in the foreground
@@ -32,7 +40,10 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import logging
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -43,6 +54,7 @@ from repro.errors import (
     ProtocolError,
     UnknownEntityError,
 )
+from repro.obs import Counter, Histogram, trace
 from repro.server import protocol
 from repro.server.protocol import (
     WIRE_VERSION,
@@ -52,6 +64,8 @@ from repro.server.protocol import (
 )
 
 __all__ = ["DaemonAddress", "PassDaemon"]
+
+_LOGGER = logging.getLogger("repro.server")
 
 
 @dataclass(frozen=True)
@@ -96,6 +110,80 @@ class _Connection:
         self.send({"push": "event", "event": event_to_wire(event)})
 
 
+class _Telemetry:
+    """Daemon introspection state: per-tenant op stats + slow-query ring.
+
+    All mutation happens on the loop thread (the dispatch path), so the
+    dict juggling needs no lock; the instruments themselves are the
+    :mod:`repro.obs` ones, giving the same streaming percentiles as
+    client-side metrics.
+    """
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        #: tenant -> op -> (calls, errors, latency histogram)
+        self._ops: Dict[str, Dict[str, tuple]] = {}
+        self._slow: deque = deque(maxlen=64)
+
+    def record(
+        self, tenant: str, op: str, duration_ms: float, error_code: Optional[str]
+    ) -> None:
+        ops = self._ops.setdefault(tenant, {})
+        entry = ops.get(op)
+        if entry is None:
+            entry = ops[op] = (
+                Counter(f"daemon.{op}"),
+                Counter(f"daemon.{op}.errors"),
+                Histogram(f"daemon.{op}.ms"),
+            )
+        calls, errors, latency = entry
+        calls.inc()
+        if error_code is not None:
+            errors.inc()
+        latency.observe(duration_ms)
+
+    def record_slow(self, tenant: str, duration_ms: float, explain: str) -> None:
+        self._slow.append(
+            {
+                "tenant": tenant,
+                "duration_ms": round(duration_ms, 3),
+                "explain": explain,
+            }
+        )
+
+    def snapshot(self, tenants=None, subscriptions=None) -> dict:
+        """The ``metrics`` op answer; restricted to ``tenants`` when given."""
+        uptime = max(time.monotonic() - self.started, 1e-9)
+        subscriptions = subscriptions or {}
+        names = set(self._ops) | set(subscriptions)
+        visible: Dict[str, dict] = {}
+        for name in sorted(names):
+            if tenants is not None and name not in tenants:
+                continue
+            blocks: Dict[str, dict] = {}
+            for op, (calls, errors, latency) in sorted(self._ops.get(name, {}).items()):
+                timing = latency.snapshot()
+                blocks[op] = {
+                    "count": calls.value,
+                    "errors": errors.value,
+                    "rate_per_s": calls.value / uptime,
+                    "mean_ms": timing["mean"],
+                    "p50_ms": timing["p50"],
+                    "p95_ms": timing["p95"],
+                    "p99_ms": timing["p99"],
+                }
+            visible[name] = {
+                "ops": blocks,
+                "active_subscriptions": subscriptions.get(name, 0),
+            }
+        slow = [
+            dict(entry)
+            for entry in self._slow
+            if tenants is None or entry["tenant"] in tenants
+        ]
+        return {"uptime_s": uptime, "tenants": visible, "slow_queries": slow}
+
+
 class PassDaemon:
     """Serve one or many provenance stores to remote :mod:`pass://` clients.
 
@@ -114,6 +202,11 @@ class PassDaemon:
         every connection's first frame must present a known token and is
         bound to that token's tenant.  When ``None``, connections are
         unauthenticated and may name any tenant (default ``"default"``).
+    slow_query_ms:
+        When set, any ``query`` op slower than this many milliseconds
+        has its :class:`Explain` tree re-derived and written to the
+        slow-query log (``repro.server`` logger, WARNING) and kept in
+        the ring served by the ``metrics`` op.  ``None`` disables it.
     """
 
     def __init__(
@@ -122,11 +215,14 @@ class PassDaemon:
         port: int = 0,
         backend_url: str = "memory://",
         tokens: Optional[Dict[str, str]] = None,
+        slow_query_ms: Optional[float] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.backend_url = backend_url
         self.tokens = dict(tokens) if tokens else None
+        self.slow_query_ms = slow_query_ms
+        self.telemetry = _Telemetry()
         self.address: Optional[DaemonAddress] = None
         self._tenants: Dict[str, _Tenant] = {}
         self._connections: set = set()
@@ -319,29 +415,95 @@ class PassDaemon:
                 return
 
     def _dispatch(self, connection: _Connection, payload: dict) -> bool:
-        """Handle one request frame; False closes the connection."""
+        """Handle one request frame; False closes the connection.
+
+        The handler runs under a ``daemon.<op>`` span parented on the
+        trace context the request frame carried (if any), so a traced
+        remote call yields one stitched tree across the wire.  Every
+        request -- success or typed failure -- lands one access-log line
+        and one telemetry sample.
+        """
         request_id = payload.get("id")
         op = payload.get("op")
         args = payload.get("args") or {}
+        started = time.perf_counter()
         try:
             if not isinstance(op, str):
                 raise ProtocolError(f"request lacks an op: {payload!r}")
             if not isinstance(args, dict):
                 raise ProtocolError("request args must be an object")
-            if op == "hello":
-                result = self._handle_hello(connection, args)
-            elif connection.tenant is None:
-                raise AuthError("first frame must be a 'hello' (auth handshake)")
-            else:
-                handler = self._HANDLERS.get(op)
-                if handler is None:
-                    raise ProtocolError(f"unknown op {op!r}")
-                result = handler(self, connection, args)
+            with trace.span(f"daemon.{op}", parent=payload.get("trace")):
+                if op == "hello":
+                    result = self._handle_hello(connection, args)
+                elif connection.tenant is None:
+                    raise AuthError("first frame must be a 'hello' (auth handshake)")
+                else:
+                    handler = self._HANDLERS.get(op)
+                    if handler is None:
+                        raise ProtocolError(f"unknown op {op!r}")
+                    result = handler(self, connection, args)
         except Exception as error:  # typed envelope, never a traceback
-            connection.send({"id": request_id, "ok": False, "error": error_to_wire(error)})
+            envelope = error_to_wire(error)
+            # Observe before sending: once the client holds the answer,
+            # the access-log line and telemetry sample already exist.
+            self._observe_request(
+                connection, op, args, started, envelope.get("code", "error")
+            )
+            connection.send({"id": request_id, "ok": False, "error": envelope})
             return not isinstance(error, (AuthError, ProtocolError))
+        self._observe_request(connection, op, args, started, None)
         connection.send({"id": request_id, "ok": True, "result": result})
         return True
+
+    def _observe_request(
+        self,
+        connection: _Connection,
+        op,
+        args: dict,
+        started: float,
+        error_code: Optional[str],
+    ) -> None:
+        """Access-log one request and fold it into the telemetry state."""
+        duration_ms = (time.perf_counter() - started) * 1000.0
+        opname = op if isinstance(op, str) else "?"
+        tenant = connection.tenant.name if connection.tenant is not None else "-"
+        self.telemetry.record(tenant, opname, duration_ms, error_code)
+        _LOGGER.info(
+            "op=%s tenant=%s duration_ms=%.3f status=%s",
+            opname,
+            tenant,
+            duration_ms,
+            error_code or "ok",
+        )
+        if (
+            error_code is None
+            and opname == "query"
+            and self.slow_query_ms is not None
+            and duration_ms >= self.slow_query_ms
+            and connection.tenant is not None
+        ):
+            self._log_slow_query(connection, args, duration_ms)
+
+    def _log_slow_query(
+        self, connection: _Connection, args: dict, duration_ms: float
+    ) -> None:
+        try:
+            payload = args.get("query")
+            explain = connection.tenant.client.explain(
+                None if payload is None else protocol.query_from_wire(payload),
+                origin=args.get("origin"),
+            )
+            tree = explain.format()
+        except Exception as error:  # never fail a request over a log line
+            tree = f"(explain unavailable: {error})"
+        self.telemetry.record_slow(connection.tenant.name, duration_ms, tree)
+        _LOGGER.warning(
+            "slow query: tenant=%s duration_ms=%.3f threshold_ms=%.3f\n%s",
+            connection.tenant.name,
+            duration_ms,
+            self.slow_query_ms,
+            tree,
+        )
 
     def _drop_subscriptions(self, connection: _Connection) -> None:
         if connection.tenant is None:
@@ -437,6 +599,18 @@ class PassDaemon:
         stats["tenant"] = connection.tenant.name
         return stats
 
+    def _handle_metrics(self, connection: _Connection, args: dict) -> dict:
+        # Open daemons show the whole house; token-authed connections
+        # only see their own tenant (no cross-tenant traffic intel).
+        scope = None if self.tokens is None else {connection.tenant.name}
+        subscriptions: Dict[str, int] = {}
+        for other in self._connections:
+            if other.tenant is not None:
+                subscriptions[other.tenant.name] = subscriptions.get(
+                    other.tenant.name, 0
+                ) + len(other.subscriptions)
+        return self.telemetry.snapshot(tenants=scope, subscriptions=subscriptions)
+
     def _handle_refresh(self, connection: _Connection, args: dict) -> None:
         connection.tenant.client.refresh()
         return None
@@ -519,6 +693,7 @@ class PassDaemon:
         "locate": _handle_locate,
         "describe_record": _handle_describe_record,
         "stats": _handle_stats,
+        "metrics": _handle_metrics,
         "refresh": _handle_refresh,
         "supports_lineage": _handle_supports_lineage,
         "subscribe": _handle_subscribe,

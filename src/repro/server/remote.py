@@ -35,6 +35,7 @@ from repro.errors import (
     ProtocolError,
     error_from_code,
 )
+from repro.obs import MetricsRegistry, trace
 from repro.query.explain import Explain
 from repro.server import protocol
 from repro.stream.subscription import Subscription
@@ -56,6 +57,11 @@ class _Pending:
 class RemoteClient(PassClient):
     """A :class:`PassClient` talking to a :class:`~repro.server.daemon.PassDaemon`."""
 
+    #: ``rpc.<op>`` already spans every call at this same boundary; a
+    #: second ``client.<op>`` wrapper span would only restate it (op
+    #: metrics still record under the ``client.<op>`` names)
+    _client_op_spans = False
+
     def __init__(
         self,
         host: str,
@@ -67,6 +73,7 @@ class RemoteClient(PassClient):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.metrics = MetricsRegistry()
         self._closed = False
         self._send_lock = threading.Lock()
         self._state_lock = threading.Lock()
@@ -99,37 +106,49 @@ class RemoteClient(PassClient):
     # Transport
     # ------------------------------------------------------------------
     def _call(self, op: str, **args):
-        """Send one request and block for its (typed) answer."""
+        """Send one request and block for its (typed) answer.
+
+        An ``rpc.<op>`` span covers send-to-response; when a trace is
+        active its context rides the request envelope (a top-level
+        ``trace`` key next to ``id``/``op``/``args``), so the daemon's
+        handler span -- and everything beneath it -- stitches onto this
+        caller's trace tree.
+        """
         if self._closed:
             raise NetworkError("client is closed")
         if self._dead is not None:
             raise self._dead
-        request_id = next(self._ids)
-        pending = _Pending()
-        arguments = {name: value for name, value in args.items() if value is not None}
-        frame = protocol.encode_frame({"id": request_id, "op": op, "args": arguments})
-        with self._state_lock:
-            self._pending[request_id] = pending
-        try:
-            with self._send_lock:
-                self._sock.sendall(frame)
-        except OSError as error:
+        with trace.span(f"rpc.{op}", attrs={"host": self.host, "port": self.port}):
+            request_id = next(self._ids)
+            pending = _Pending()
+            arguments = {name: value for name, value in args.items() if value is not None}
+            envelope = {"id": request_id, "op": op, "args": arguments}
+            context = trace.current_wire()
+            if context is not None:
+                envelope["trace"] = context
+            frame = protocol.encode_frame(envelope)
             with self._state_lock:
-                self._pending.pop(request_id, None)
-            raise NetworkError(f"daemon connection lost: {error}") from None
-        if not pending.event.wait(self.timeout):
-            with self._state_lock:
-                self._pending.pop(request_id, None)
-            raise NetworkError(f"daemon did not answer {op!r} within {self.timeout}s")
-        payload = pending.payload
-        if isinstance(payload, NetworkError):
-            raise payload
-        if not payload.get("ok"):
-            envelope = payload.get("error") or {}
-            raise error_from_code(
-                envelope.get("code", "error"), envelope.get("message", "remote error")
-            )
-        return payload.get("result")
+                self._pending[request_id] = pending
+            try:
+                with self._send_lock:
+                    self._sock.sendall(frame)
+            except OSError as error:
+                with self._state_lock:
+                    self._pending.pop(request_id, None)
+                raise NetworkError(f"daemon connection lost: {error}") from None
+            if not pending.event.wait(self.timeout):
+                with self._state_lock:
+                    self._pending.pop(request_id, None)
+                raise NetworkError(f"daemon did not answer {op!r} within {self.timeout}s")
+            payload = pending.payload
+            if isinstance(payload, NetworkError):
+                raise payload
+            if not payload.get("ok"):
+                envelope = payload.get("error") or {}
+                raise error_from_code(
+                    envelope.get("code", "error"), envelope.get("message", "remote error")
+                )
+            return payload.get("result")
 
     def _read_loop(self) -> None:
         reason = "daemon closed the connection"
@@ -260,7 +279,21 @@ class RemoteClient(PassClient):
         )
 
     def stats(self) -> Dict[str, object]:
-        return self._call("stats")
+        served = dict(self._call("stats"))
+        served["tenant"] = self.tenant
+        # Socket-side view: op counters/latencies observed by *this*
+        # client, distinct from the daemon-side numbers in the rest.
+        served["client"] = self.metrics.collect()["obs"]
+        return served
+
+    def daemon_metrics(self) -> Dict[str, object]:
+        """The daemon's live introspection snapshot (the ``metrics`` op).
+
+        Per-tenant op rates, latency percentiles, and active
+        subscription counts; tenant-scoped when the daemon requires
+        tokens, whole-daemon when it is open.  ``repro top`` renders it.
+        """
+        return self._call("metrics")
 
     def describe_record(self, pname) -> Optional[ProvenanceRecord]:
         payload = self._call("describe_record", pname=coerce_pname(pname).digest)

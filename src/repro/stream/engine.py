@@ -50,6 +50,7 @@ from repro.api.dsl import as_query, coerce_pname
 from repro.core.provenance import PName, ProvenanceRecord
 from repro.core.query import Query
 from repro.errors import QueryError, UnsupportedQueryError
+from repro.obs import trace
 from repro.query.normalize import normalize
 from repro.stream.dispatch import DispatchIndex
 from repro.stream.subscription import (
@@ -305,8 +306,9 @@ class StreamEngine:
         instead, so a delivery only happens when its simulated ``notify``
         message actually got through.
         """
-        events = self.match(pname, record)
-        self._deliver_all(events)
+        with trace.span("stream.dispatch", attrs={"record": pname.short}):
+            events = self.match(pname, record)
+            self._deliver_all(events)
         return events
 
     def match(self, pname: PName, record: ProvenanceRecord) -> List[Delivery]:

@@ -1,0 +1,125 @@
+"""The observability CLI surface: ``repro top``, ``repro trace``, serve flags."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.server import PassDaemon
+
+
+class TestServeFlags:
+    def test_serve_accepts_log_level_and_slow_query_ms(self):
+        args = build_parser().parse_args(
+            ["serve", "--log-level", "debug", "--slow-query-ms", "5"]
+        )
+        assert args.log_level == "debug"
+        assert args.slow_query_ms == 5.0
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.log_level == "info"
+        assert args.slow_query_ms is None
+
+    def test_bad_log_level_is_refused(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--log-level", "chatty"])
+
+
+class TestTop:
+    def test_top_once_renders_tenant_op_table(self):
+        with PassDaemon() as daemon:
+            from repro.api import Q, connect
+
+            with connect(daemon.address.url) as client:
+                client.query(Q.attr("city") == "x", limit=1)
+                out = io.StringIO()
+                code = main(["top", daemon.address.url, "--once"], out=out)
+        assert code == 0
+        screen = out.getvalue()
+        assert "daemon up" in screen
+        assert "tenant default" in screen
+        assert "query" in screen
+        assert "p95 ms" in screen
+
+    def test_top_iterations_poll_repeatedly(self):
+        with PassDaemon() as daemon:
+            out = io.StringIO()
+            code = main(
+                ["top", daemon.address.url, "--iterations", "2", "--interval", "0.01"],
+                out=out,
+            )
+        assert code == 0
+        assert out.getvalue().count("daemon up") == 2
+
+    def test_top_refuses_non_daemon_targets(self, capsys):
+        out = io.StringIO()
+        code = main(["top", "memory://"], out=out)
+        assert code == 2
+        assert "not a pass:// daemon" in capsys.readouterr().err
+
+    def test_top_with_token_scopes_to_its_tenant(self):
+        with PassDaemon(tokens={"tok": "alpha"}) as daemon:
+            out = io.StringIO()
+            code = main(["top", daemon.address.url, "--token", "tok", "--once"], out=out)
+        assert code == 0
+        assert "tenant alpha" in out.getvalue()
+
+
+class TestTraceCommand:
+    def test_trace_writes_valid_chrome_json(self, tmp_path):
+        target = tmp_path / "trace.json"
+        out = io.StringIO()
+        code = main(
+            [
+                "trace",
+                "traffic",
+                "city=london",
+                "--hours",
+                "0.25",
+                "--output",
+                str(target),
+            ],
+            out=out,
+        )
+        assert code == 0
+        document = json.loads(target.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert events, "trace produced no spans"
+        names = {event["name"] for event in events}
+        assert "cli.trace" in names
+        assert any(name.startswith("client.") for name in names)
+        assert any(name.startswith("query.") for name in names)
+        root = next(event for event in events if event["name"] == "cli.trace")
+        children = [
+            event
+            for event in events
+            if event["args"].get("parent_id") == root["args"]["span_id"]
+        ]
+        assert children, "cli.trace has no child spans"
+        assert "span(s)" in out.getvalue()
+
+    def test_trace_prints_json_without_output_flag(self):
+        out = io.StringIO()
+        code = main(["trace", "traffic", "city=london", "--hours", "0.25"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        document = json.loads(text[: text.rindex("}") + 1])
+        assert document["traceEvents"]
+
+    def test_trace_rejects_malformed_predicates(self, capsys):
+        out = io.StringIO()
+        code = main(["trace", "traffic", "city"], out=out)
+        assert code == 2
+        assert "malformed predicate" in capsys.readouterr().err
+
+    def test_tracing_is_disabled_again_after_the_command(self):
+        from repro.obs import trace
+
+        out = io.StringIO()
+        main(["trace", "traffic", "city=london", "--hours", "0.25"], out=out)
+        assert not trace.enabled()

@@ -1,0 +1,112 @@
+"""The metrics registry: instruments, streaming quantiles, providers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_set_and_callback(self):
+        gauge = Gauge("level")
+        assert gauge.read() is None
+        gauge.set(7)
+        assert gauge.read() == 7
+        computed = Gauge("derived", fn=lambda: 42)
+        assert computed.read() == 42
+
+
+class TestHistogram:
+    def test_empty_histogram_snapshot(self):
+        snapshot = Histogram("empty").snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["mean"] is None
+        assert snapshot["p50"] is None
+
+    @pytest.mark.parametrize("quantile", [0.50, 0.95, 0.99])
+    def test_quantiles_track_sorted_samples_within_bucket_error(self, quantile):
+        # Log buckets with base 1.1 promise <= ~5% relative error; allow
+        # 6% for the rank-rounding difference against nearest-rank.
+        rng = random.Random(7)
+        samples = [rng.lognormvariate(1.0, 1.5) for _ in range(5000)]
+        histogram = Histogram("latency")
+        for value in samples:
+            histogram.observe(value)
+        ordered = sorted(samples)
+        exact = ordered[min(len(ordered) - 1, int(quantile * len(ordered)))]
+        estimated = histogram.quantile(quantile)
+        assert estimated == pytest.approx(exact, rel=0.06)
+
+    def test_min_max_mean_are_exact(self):
+        histogram = Histogram("d")
+        for value in (2.0, 4.0, 6.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["min"] == 2.0
+        assert snapshot["max"] == 6.0
+        assert snapshot["mean"] == pytest.approx(4.0)
+        assert snapshot["count"] == 3
+
+    def test_non_positive_values_share_the_underflow_bucket(self):
+        histogram = Histogram("z")
+        histogram.observe(0.0)
+        histogram.observe(-3.0)
+        histogram.observe(10.0)
+        assert histogram.quantile(0.01) == -3.0  # underflow answers min
+        assert histogram.snapshot()["min"] == -3.0
+
+    def test_sub_one_values_bucket_correctly(self):
+        histogram = Histogram("small")
+        for value in (0.001, 0.01, 0.5):
+            histogram.observe(value)
+        assert histogram.quantile(0.01) == pytest.approx(0.001, rel=0.06)
+        assert histogram.quantile(0.99) == pytest.approx(0.5, rel=0.06)
+
+    def test_quantile_never_leaves_observed_range(self):
+        histogram = Histogram("clamped")
+        histogram.observe(5.0)
+        for quantile in (0.01, 0.5, 0.99):
+            assert histogram.quantile(quantile) == 5.0
+
+
+class TestRegistry:
+    def test_instruments_are_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.gauge("g") is registry.gauge("g")
+
+    def test_record_op_builds_the_documented_names(self):
+        registry = MetricsRegistry()
+        registry.record_op("query", 12.5)
+        registry.record_op("query", 2.5, failed=True)
+        obs = registry.obs_snapshot()
+        assert obs["counters"]["client.query"] == 2
+        assert obs["counters"]["client.query.errors"] == 1
+        assert obs["histograms"]["client.query.ms"]["count"] == 2
+
+    def test_collect_serves_providers_in_order_plus_obs(self):
+        registry = MetricsRegistry()
+        registry.register_provider("store", lambda: {"records": 3})
+        registry.register_provider("planner", lambda: {"cache": "cold"})
+        facts = registry.collect()
+        assert list(facts) == ["store", "planner", "obs"]
+        assert facts["store"] == {"records": 3}
+        assert set(facts["obs"]) == {"counters", "gauges", "histograms"}
+
+    def test_gauge_callbacks_are_read_at_collection_time(self):
+        registry = MetricsRegistry()
+        state = {"n": 1}
+        registry.gauge("live", fn=lambda: state["n"])
+        assert registry.obs_snapshot()["gauges"]["live"] == 1
+        state["n"] = 9
+        assert registry.obs_snapshot()["gauges"]["live"] == 9

@@ -1,0 +1,115 @@
+"""The golden-key stats() contract: every connect target, one schema.
+
+``docs/OBSERVABILITY.md`` documents the top-level keys each target
+family's ``stats()`` answer carries; the ``STATS_*_KEYS`` constants in
+:mod:`repro.obs` are that contract in code.  This suite holds every
+target to it, so a refactor that drops (or silently renames) a stats
+block fails here and not in a user's dashboard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Q, connect
+from repro.obs import (
+    STATS_COMMON_KEYS,
+    STATS_LOCAL_KEYS,
+    STATS_MODEL_KEYS,
+    STATS_REMOTE_KEYS,
+)
+from repro.sensors.workloads import TrafficWorkload
+
+LOCAL_TARGETS = ["memory://", "sqlite://"]
+MODEL_TARGETS = [
+    "centralized://",
+    "distributed-db://",
+    "federated://",
+    "soft-state://",
+    "hierarchical://",
+    "dht://",
+    "locale-aware-pass://",
+]
+ALL_TARGETS = LOCAL_TARGETS + MODEL_TARGETS + ["pass://"]
+
+
+@pytest.fixture(scope="module")
+def workload_sets():
+    workload = TrafficWorkload(seed=3, cities=("london",), stations_per_city=2)
+    raw, derived = workload.all_sets(hours=0.25)
+    return raw, derived
+
+
+@pytest.fixture(scope="module")
+def daemon_url():
+    from repro.server import PassDaemon
+
+    with PassDaemon() as daemon:
+        yield daemon.address.url
+
+
+@pytest.fixture(params=ALL_TARGETS, scope="module")
+def exercised(request, workload_sets):
+    """Each target with a little real traffic behind its stats()."""
+    raw, derived = workload_sets
+    url = request.param
+    if url == "pass://":
+        url = request.getfixturevalue("daemon_url")
+    client = connect(url)
+    client.publish_many(raw + derived)
+    client.refresh()
+    client.query(Q.attr("city") == "london", limit=5)
+    yield request.param, client
+    client.close()
+
+
+def _expected_keys(target: str) -> frozenset:
+    if target == "pass://":
+        return STATS_REMOTE_KEYS
+    if target in LOCAL_TARGETS:
+        return STATS_LOCAL_KEYS
+    return STATS_MODEL_KEYS
+
+
+class TestGoldenKeys:
+    def test_documented_keys_are_present(self, exercised):
+        target, client = exercised
+        stats = client.stats()
+        missing = _expected_keys(target) - set(stats)
+        assert not missing, f"{target} stats() lacks documented keys: {sorted(missing)}"
+
+    def test_common_keys_on_every_target(self, exercised):
+        _, client = exercised
+        stats = client.stats()
+        assert STATS_COMMON_KEYS <= set(stats)
+
+    def test_local_targets_emit_exactly_the_documented_schema(self, exercised):
+        target, client = exercised
+        if target not in LOCAL_TARGETS:
+            pytest.skip("exact-schema check is for local stores")
+        assert set(client.stats()) == STATS_LOCAL_KEYS
+
+    def test_obs_block_has_the_registry_shape(self, exercised):
+        _, client = exercised
+        obs = client.stats()["obs"]
+        assert set(obs) == {"counters", "gauges", "histograms"}
+
+    def test_op_metrics_recorded_the_traffic(self, exercised):
+        target, client = exercised
+        obs = client.stats()["obs"]
+        if target == "pass://":
+            # The daemon-side obs block counts the *tenant store's* ops;
+            # this client's socket-side ops live under "client".
+            obs = client.stats()["client"]
+        assert obs["counters"].get("client.query", 0) >= 1
+        histogram = obs["histograms"].get("client.query.ms")
+        assert histogram is not None and histogram["count"] >= 1
+
+    def test_remote_stats_carry_identity_and_client_blocks(self, exercised):
+        target, client = exercised
+        if target != "pass://":
+            pytest.skip("remote-only keys")
+        stats = client.stats()
+        assert stats["tenant"] == "default"
+        assert stats["target"].startswith("remote+")
+        assert set(stats["client"]) == {"counters", "gauges", "histograms"}

@@ -1,0 +1,157 @@
+"""The span API: nesting, propagation, wire contexts, Chrome export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import SpanContext, chrome_trace, span
+from repro.obs import trace as tracing
+
+
+@pytest.fixture(autouse=True)
+def _tracing_on():
+    tracing.enable()
+    tracing.clear()
+    yield
+    tracing.disable()
+    tracing.clear()
+
+
+def _by_name(spans):
+    return {item.name: item for item in spans}
+
+
+class TestSpanTree:
+    def test_nested_spans_share_a_trace_and_parent_correctly(self):
+        with span("outer"):
+            with span("middle"):
+                with span("inner"):
+                    pass
+        tree = _by_name(tracing.drain())
+        assert set(tree) == {"outer", "middle", "inner"}
+        outer, middle, inner = tree["outer"], tree["middle"], tree["inner"]
+        assert outer.trace_id == middle.trace_id == inner.trace_id
+        assert outer.parent_id is None
+        assert middle.parent_id == outer.span_id
+        assert inner.parent_id == middle.span_id
+
+    def test_sibling_roots_get_distinct_traces(self):
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+        first, second = tracing.drain()
+        assert first.trace_id != second.trace_id
+
+    def test_explicit_parent_overrides_the_context(self):
+        remote = SpanContext(trace_id="t" * 16, span_id="s" * 16)
+        with span("stitched", parent=remote):
+            pass
+        (recorded,) = tracing.drain()
+        assert recorded.trace_id == remote.trace_id
+        assert recorded.parent_id == remote.span_id
+
+    def test_wire_dict_parent_is_decoded(self):
+        payload = {"trace_id": "a" * 16, "span_id": "b" * 16}
+        with span("from-wire", parent=payload):
+            pass
+        (recorded,) = tracing.drain()
+        assert recorded.trace_id == "a" * 16
+        assert recorded.parent_id == "b" * 16
+
+    def test_malformed_wire_parent_means_new_trace(self):
+        with span("orphan", parent={"nope": 1}):
+            pass
+        (recorded,) = tracing.drain()
+        assert recorded.parent_id is None
+
+    def test_exceptions_are_recorded_and_propagate(self):
+        with pytest.raises(ValueError):
+            with span("failing"):
+                raise ValueError("boom")
+        (recorded,) = tracing.drain()
+        assert recorded.error == "ValueError"
+
+    def test_current_context_tracks_the_open_span(self):
+        assert tracing.current_context() is None
+        with span("open"):
+            inside = tracing.current_context()
+            assert inside is not None
+        assert tracing.current_context() is None
+        (recorded,) = tracing.drain()
+        assert inside.span_id == recorded.span_id
+
+    def test_attrs_and_duration_land_on_the_span(self):
+        with span("attributed", attrs={"rows": 3}):
+            pass
+        (recorded,) = tracing.drain()
+        assert recorded.attrs == {"rows": 3}
+        assert recorded.duration_ns >= 0
+        assert recorded.duration_ms == recorded.duration_ns / 1e6
+
+
+class TestDisabledPath:
+    def test_disabled_tracer_records_nothing(self):
+        tracing.disable()
+        with span("invisible"):
+            pass
+        assert tracing.spans() == []
+
+    def test_disabled_span_is_the_shared_null_object(self):
+        tracing.disable()
+        assert span("a") is span("b")
+
+
+class TestBuffer:
+    def test_capacity_bounds_the_buffer_and_counts_drops(self):
+        tracing.enable(capacity=4)
+        try:
+            for index in range(6):
+                with span(f"s{index}"):
+                    pass
+            kept = tracing.drain()
+            assert [item.name for item in kept] == ["s2", "s3", "s4", "s5"]
+            assert tracing._TRACER.dropped == 2
+        finally:
+            tracing.enable(capacity=8192)
+            tracing.clear()
+
+    def test_drain_empties_spans_copies(self):
+        with span("kept"):
+            pass
+        assert len(tracing.spans()) == 1
+        assert len(tracing.spans()) == 1  # spans() is a copy
+        assert len(tracing.drain()) == 1
+        assert tracing.spans() == []
+
+
+class TestChromeExport:
+    def test_export_is_valid_chrome_trace_json(self):
+        with span("outer", attrs={"k": "v"}):
+            with span("inner"):
+                pass
+        document = chrome_trace(tracing.drain())
+        parsed = json.loads(json.dumps(document))
+        assert parsed["displayTimeUnit"] == "ms"
+        events = parsed["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["pid"] == 1
+            assert event["args"]["trace_id"]
+        inner = next(event for event in events if event["name"] == "inner")
+        outer = next(event for event in events if event["name"] == "outer")
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert outer["args"]["k"] == "v"
+        assert outer["cat"] == "outer"
+
+    def test_chrome_trace_without_argument_drains_the_tracer(self):
+        with span("drained"):
+            pass
+        document = chrome_trace()
+        assert len(document["traceEvents"]) == 1
+        assert tracing.spans() == []
