@@ -12,6 +12,12 @@ then asserts the whole introspection surface actually worked:
   duration, status) and a slow-query WARNING with the Explain tree --
   and its stdout carries *only* the banner (library code never prints).
 
+A second section gates the background sampler's scrape overhead: two
+in-process daemons (sampler off vs. the default 1 s tick) serve the same
+query loop, and the sampled daemon's median latency must stay within
+budget of the bare one -- while actually having produced time-series,
+an OpenMetrics exposition and a health report.
+
 Run with:  python benchmarks/bench_obs.py
       or:  pytest benchmarks/bench_obs.py -s
 """
@@ -169,17 +175,91 @@ def run_smoke() -> int:
     return len(failures)
 
 
+SCRAPE_OVERHEAD_BUDGET = 1.5  # sampled/bare median-latency ratio ceiling
+SCRAPE_OPS = 600
+
+
+def _median_query_ms(url: str, ops: int) -> float:
+    from repro.api import connect
+
+    with connect(url) as client:
+        samples = []
+        for _ in range(ops):
+            started = time.perf_counter()
+            client.query(None, limit=1)
+            samples.append((time.perf_counter() - started) * 1000.0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def run_scrape_overhead() -> int:
+    """The 1 s sampler tick must not tax the serving path."""
+    import sys as _sys
+
+    _sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.server import PassDaemon
+
+    failures: list = []
+    with PassDaemon(sample_interval_s=None) as daemon:
+        bare_ms = _median_query_ms(daemon.address.url, SCRAPE_OPS)
+    with PassDaemon(sample_interval_s=1.0) as daemon:
+        sampled_ms = _median_query_ms(daemon.address.url, SCRAPE_OPS)
+        # While we're here: the sampler must actually have sampled.
+        # The query loop can finish inside the first 1 s interval, so
+        # give the tick a moment to land before reading the store.
+        deadline = time.time() + 5.0
+        while not daemon.timeseries.names() and time.time() < deadline:
+            time.sleep(0.05)
+        names = daemon.timeseries.names()
+        _check(
+            "daemon.default.query.calls" in names,
+            f"sampler produced no per-op series (got {names})",
+            failures,
+        )
+        export = daemon._export_text(None)
+        _check(
+            "daemon_default_query_calls_total" in export
+            and export.rstrip().endswith("# EOF"),
+            "OpenMetrics exposition incomplete",
+            failures,
+        )
+        health = daemon._health_report(None)
+        _check(
+            health["status"] == "ok",
+            f"daemon unhealthy under benchmark load: {health}",
+            failures,
+        )
+    ratio = sampled_ms / bare_ms if bare_ms > 0 else 1.0
+    _check(
+        ratio <= SCRAPE_OVERHEAD_BUDGET,
+        f"sampler overhead {ratio:.2f}x exceeds {SCRAPE_OVERHEAD_BUDGET}x budget "
+        f"(bare {bare_ms:.3f} ms, sampled {sampled_ms:.3f} ms)",
+        failures,
+    )
+    print(
+        f"  scrape overhead: bare {bare_ms:.3f} ms vs sampled {sampled_ms:.3f} ms "
+        f"median ({ratio:.2f}x, budget {SCRAPE_OVERHEAD_BUDGET}x)"
+    )
+    return len(failures)
+
+
 # ----------------------------------------------------------------------
-# pytest entry point
+# pytest entry points
 # ----------------------------------------------------------------------
 def test_obs_smoke():
     """CI gate: serve + traced workload + access log + metrics op."""
     assert run_smoke() == 0
 
 
+def test_scrape_overhead():
+    """CI gate: the metrics sampler stays within its latency budget."""
+    assert run_scrape_overhead() == 0
+
+
 def main() -> int:
     started = time.perf_counter()
     failures = run_smoke()
+    failures += run_scrape_overhead()
     elapsed = time.perf_counter() - started
     if failures:
         print(f"\n{failures} failure(s) in {elapsed:.1f}s")

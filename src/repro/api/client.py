@@ -41,6 +41,7 @@ from repro.distributed.base import ArchitectureModel, OperationResult
 from repro.errors import ConfigurationError, PassError
 from repro.net.topology import Topology
 from repro.obs import MetricsRegistry, trace
+from repro.obs import health as obs_health
 from repro.query.explain import Explain
 from repro.sim.workload import SimReport, simulate_publish_workload
 from repro.stream.engine import StreamEngine
@@ -357,6 +358,26 @@ class PassClient(ABC):
             engine = StreamEngine()  # unused: just the zeroed stats shape
         return engine.stats()
 
+    # -- health ----------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """This target's health report (``repro.obs.health`` shape).
+
+        Checks are built once per client and re-evaluated on every call
+        (the trace-ring check is stateful: it compares drop counters
+        between probes).  Local stores add storage / closure-freshness /
+        subscription-queue checks; the ``pass://`` client asks the
+        daemon over the wire instead.
+        """
+        if self._health_check_list is None:
+            self._health_check_list = self._build_health_checks()
+        return obs_health.evaluate(self._health_check_list)
+
+    #: lazily built by :meth:`health` (None until first asked)
+    _health_check_list = None
+
+    def _build_health_checks(self) -> list:
+        return [obs_health.trace_ring_check()]
+
     # -- capabilities and lifecycle --------------------------------------
     @property
     def supports_lineage(self) -> bool:
@@ -540,6 +561,14 @@ class LocalClient(PassClient):
         if pname not in self.store:
             return None
         return self.store.get_record(pname)
+
+    def _build_health_checks(self) -> list:
+        return [
+            obs_health.storage_check(self.store),
+            obs_health.closure_check(self.store),
+            obs_health.subscription_check(self.subscriptions),
+            obs_health.trace_ring_check(),
+        ]
 
     def rebuild_lineage_index(self) -> Dict[str, object]:
         return self.store.rebuild_closure_index()
@@ -743,6 +772,8 @@ class ModelClient(PassClient):
         config=None,
         schedule=None,
         think_ms: float = 0.0,
+        sample_interval_ms: Optional[float] = None,
+        alert_rules=None,
     ) -> SimReport:
         """Publish ``tuple_sets`` through N concurrent simulated clients.
 
@@ -753,6 +784,11 @@ class ModelClient(PassClient):
         partition/heal sites mid-run.  The returned
         :class:`~repro.sim.workload.SimReport` (latency percentiles,
         per-site utilization) also becomes ``stats()["sim"]``.
+
+        ``sample_interval_ms`` turns on virtual-clock time-series
+        sampling (``report.timeseries``, daemon-identical schema);
+        ``alert_rules`` evaluates alert rules on those series as the
+        simulation runs (``report.alerts``).
         """
         return simulate_publish_workload(
             self.model,
@@ -761,6 +797,8 @@ class ModelClient(PassClient):
             config=config,
             schedule=schedule,
             think_ms=think_ms,
+            sample_interval_ms=sample_interval_ms,
+            alert_rules=alert_rules,
         )
 
     @property

@@ -35,9 +35,18 @@ Three subcommands cover what a user wants from a terminal:
   the foreground; remote clients then reach the same façade through
   ``connect("pass://host:port")``.  ``--log-level`` controls the
   structured access log, ``--slow-query-ms`` arms the slow-query log,
+  ``--metrics-port`` serves plain-HTTP OpenMetrics/health endpoints,
+  ``--alert-rules FILE`` loads alert rules and ``--sample-interval``
+  tunes (or, at 0, disables) the time-series sampler,
 * ``top`` -- live daemon introspection: poll a running daemon's
   ``metrics`` op and render per-tenant op rates, latency percentiles,
-  active subscriptions and the slow-query ring,
+  active subscriptions and the slow-query ring; ``--json`` emits one
+  JSON line per refresh and the watch survives a daemon restart
+  (``--reconnect-attempts``),
+* ``healthcheck`` -- probe a target's ``health`` checks and exit
+  0 / 1 / 2 for ok / degraded / failing (3 when unreachable),
+* ``alerts`` -- show a daemon's alert rules, what is firing, and the
+  recent firing/resolved transitions,
 * ``trace`` -- run a traced workload + query (``repro.obs``) and export
   the span tree as Chrome trace-event JSON (load it in
   ``chrome://tracing`` or Perfetto); with a ``pass://`` store the tree
@@ -276,6 +285,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MS",
         help="log the Explain tree of any query slower than this many ms",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve OpenMetrics text on this plain HTTP port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--alert-rules",
+        default=None,
+        metavar="FILE",
+        help="JSON file of alert rules evaluated on the sampler tick",
+    )
+    serve.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="time-series sampling interval (default: 1.0; 0 disables the sampler)",
+    )
 
     top = subcommands.add_parser(
         "top",
@@ -297,6 +326,36 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument(
         "--once", action="store_true", help="print one snapshot and exit (== --iterations 1)"
     )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="emit each snapshot as one JSON line instead of the screen layout",
+    )
+    top.add_argument(
+        "--reconnect-attempts",
+        type=int,
+        default=5,
+        metavar="N",
+        help="retries (with backoff) if the daemon restarts mid-watch (default: 5)",
+    )
+
+    healthcheck = subcommands.add_parser(
+        "healthcheck",
+        help="probe a daemon's health op; exit 0 ok / 1 degraded / 2 failing",
+    )
+    healthcheck.add_argument("url", help="daemon URL, e.g. pass://127.0.0.1:7100")
+    healthcheck.add_argument("--token", default=None, help="auth token for a tokened daemon")
+    healthcheck.add_argument("--tenant", default=None, help="tenant name (open daemons only)")
+    healthcheck.add_argument("--json", action="store_true", help="print the full report as JSON")
+
+    alerts = subcommands.add_parser(
+        "alerts",
+        help="show a daemon's alert rules, firing alerts, and recent transitions",
+    )
+    alerts.add_argument("url", help="daemon URL, e.g. pass://127.0.0.1:7100")
+    alerts.add_argument("--token", default=None, help="auth token for a tokened daemon")
+    alerts.add_argument("--tenant", default=None, help="tenant name (open daemons only)")
+    alerts.add_argument("--json", action="store_true", help="print the full snapshot as JSON")
 
     tracecmd = subcommands.add_parser(
         "trace",
@@ -813,6 +872,7 @@ def _cmd_serve(args, out) -> int:
     """Run the repro.server daemon in the foreground until interrupted."""
     import logging
 
+    from repro.errors import PassError
     from repro.server import PassDaemon
 
     tokens = None
@@ -830,15 +890,31 @@ def _cmd_serve(args, out) -> int:
         level=getattr(logging, args.log_level.upper()),
         format="%(asctime)s %(levelname)s %(name)s %(message)s",
     )
-    daemon = PassDaemon(
-        host=args.host,
-        port=args.port,
-        backend_url=args.store,
-        tokens=tokens,
-        slow_query_ms=args.slow_query_ms,
-    )
+    sample_interval = args.sample_interval if args.sample_interval > 0 else None
+    try:
+        daemon = PassDaemon(
+            host=args.host,
+            port=args.port,
+            backend_url=args.store,
+            tokens=tokens,
+            slow_query_ms=args.slow_query_ms,
+            sample_interval_s=sample_interval,
+            alert_rules=args.alert_rules,
+            metrics_port=args.metrics_port,
+        )
+    except (OSError, ValueError, PassError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     address = daemon.start()
     auth = f"{len(tokens)} token(s)" if tokens else "open (no auth)"
+    # One banner line on stdout: scripts (and bench_obs.py) readline it
+    # for the bound address.  Metrics-endpoint facts go to the logger.
+    if daemon.metrics_address is not None:
+        logging.getLogger("repro.server").info(
+            "metrics endpoint at http://%s:%d/metrics",
+            daemon.metrics_address.host,
+            daemon.metrics_address.port,
+        )
     print(f"serving {args.store} at {address.url}  [{auth}]", file=out)
     out.flush()
     try:
@@ -894,12 +970,8 @@ def _format_top_snapshot(snapshot: dict, previous: Optional[dict], interval: flo
     return "\n".join(lines)
 
 
-def _cmd_top(args, out) -> int:
-    """Poll a daemon's ``metrics`` op and render it, ``top``-style."""
-    import time as _time
-
-    from repro.errors import NetworkError, PassError
-
+def _introspection_url(args) -> str:
+    """Fold ``--token``/``--tenant`` into a daemon URL's query string."""
     url = args.url
     extras = [
         f"{key}={value}"
@@ -908,24 +980,66 @@ def _cmd_top(args, out) -> int:
     ]
     if extras:
         url = url + ("&" if "?" in url else "?") + "&".join(extras)
-    try:
+    return url
+
+
+def _cmd_top(args, out) -> int:
+    """Poll a daemon's ``metrics`` op and render it, ``top``-style."""
+    import json
+    import time as _time
+
+    from repro.errors import NetworkError, PassError
+
+    url = _introspection_url(args)
+
+    def _connect():
         client = connect(url)
+        if not hasattr(client, "daemon_metrics"):
+            client.close()
+            raise PassError(f"{args.url!r} is not a pass:// daemon URL")
+        return client
+
+    try:
+        client = _connect()
     except (NetworkError, PassError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
-    if not hasattr(client, "daemon_metrics"):
-        print(f"error: {args.url!r} is not a pass:// daemon URL", file=sys.stderr)
-        client.close()
         return 2
     iterations = 1 if args.once else args.iterations
     previous = None
     shown = 0
+    retries_left = max(0, args.reconnect_attempts)
     try:
         while True:
-            snapshot = client.daemon_metrics()
-            if shown:
-                print(file=out)
-            print(_format_top_snapshot(snapshot, previous, args.interval), file=out)
+            try:
+                snapshot = client.daemon_metrics()
+            except NetworkError as error:
+                # The daemon restarted (or dropped us) mid-watch: keep
+                # the screen alive and re-dial with capped backoff.
+                if retries_left <= 0:
+                    print(f"error: daemon went away: {error}", file=sys.stderr)
+                    return 1
+                attempt = args.reconnect_attempts - retries_left
+                retries_left -= 1
+                delay = min(10.0, max(0.1, args.interval) * (2**attempt))
+                print(
+                    f"connection lost ({error}); retrying in {delay:.1f}s",
+                    file=sys.stderr,
+                )
+                _time.sleep(delay)
+                client.close()
+                try:
+                    client = _connect()
+                except (NetworkError, PassError):
+                    continue
+                previous = None  # rates across a restart are meaningless
+                continue
+            retries_left = max(0, args.reconnect_attempts)
+            if args.json:
+                print(json.dumps(snapshot, sort_keys=True), file=out)
+            else:
+                if shown:
+                    print(file=out)
+                print(_format_top_snapshot(snapshot, previous, args.interval), file=out)
             out.flush()
             shown += 1
             previous = snapshot
@@ -934,11 +1048,81 @@ def _cmd_top(args, out) -> int:
             _time.sleep(args.interval)
     except KeyboardInterrupt:
         return 0
-    except NetworkError as error:
-        print(f"error: daemon went away: {error}", file=sys.stderr)
-        return 1
     finally:
         client.close()
+
+
+def _cmd_healthcheck(args, out) -> int:
+    """Probe a daemon's ``health`` op; map its status to an exit code."""
+    import json
+
+    from repro.errors import NetworkError, PassError
+
+    try:
+        client = connect(_introspection_url(args))
+    except (NetworkError, PassError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    try:
+        report = client.health()
+    except (NetworkError, PassError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(report, sort_keys=True), file=out)
+    else:
+        print(f"status: {report['status']}", file=out)
+        for name, check in sorted(report.get("checks", {}).items()):
+            marker = "ok" if check.get("ok") else ("FAIL" if check.get("critical") else "warn")
+            print(f"  [{marker:>4}] {name}: {check.get('detail', '')}", file=out)
+    return {"ok": 0, "degraded": 1, "failing": 2}.get(report.get("status"), 3)
+
+
+def _cmd_alerts(args, out) -> int:
+    """Show a daemon's alert rules, firing alerts and transitions."""
+    import json
+
+    from repro.errors import NetworkError, PassError
+
+    try:
+        client = connect(_introspection_url(args))
+    except (NetworkError, PassError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        if not hasattr(client, "alerts"):
+            print(f"error: {args.url!r} is not a pass:// daemon URL", file=sys.stderr)
+            return 2
+        snapshot = client.alerts()
+    except (NetworkError, PassError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(snapshot, sort_keys=True), file=out)
+        return 0
+    if not snapshot.get("enabled"):
+        print(f"alerts disabled: {snapshot.get('reason', 'unknown')}", file=out)
+        return 0
+    rules = snapshot.get("rules", [])
+    firing = snapshot.get("firing", [])
+    print(f"{len(rules)} rule(s), {len(firing)} firing", file=out)
+    for rule in rules:
+        status = rule.get("status", "ok")
+        print(f"  [{status:>7}] {rule['name']}: {rule.get('condition', '')}", file=out)
+    transitions = snapshot.get("transitions", [])
+    if transitions:
+        print(f"recent transitions ({len(transitions)}, newest last):", file=out)
+        for entry in transitions[-10:]:
+            print(
+                f"  t={entry['t']:.1f} {entry['rule']}: "
+                f"{entry['from']} -> {entry['to']} (value={entry['value']})",
+                file=out,
+            )
+    return 0
 
 
 def _cmd_trace(args, out) -> int:
@@ -997,6 +1181,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_serve(args, out)
     if args.command == "top":
         return _cmd_top(args, out)
+    if args.command == "healthcheck":
+        return _cmd_healthcheck(args, out)
+    if args.command == "alerts":
+        return _cmd_alerts(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
     if args.command == "simulate":

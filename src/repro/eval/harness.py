@@ -127,6 +127,8 @@ def run_simulation_matrix(
     config=None,
     schedule=None,
     think_ms: float = 0.0,
+    sample_interval_ms=None,
+    alert_rules=None,
 ) -> List[Dict[str, object]]:
     """Publish one workload into several targets under concurrent clients.
 
@@ -136,6 +138,13 @@ def run_simulation_matrix(
     distribution (mean / p50 / p95 / p99), the hottest site's
     utilization, and failure/loss counters.  Local (store) targets have
     no simulated network and report ``"unsupported"``.
+
+    ``sample_interval_ms`` turns on the virtual-clock time-series
+    sampler (``repro.obs.timeseries``) inside each simulation, and
+    ``alert_rules`` evaluates the same JSON rule file a live daemon
+    accepts against the simulated series -- the row then also reports
+    which rules ended the run firing (``alerts_firing``), so a
+    deployment can be rejected *before* it exists.
     """
     from repro.sim.workload import simulate_publish_workload
 
@@ -153,6 +162,8 @@ def run_simulation_matrix(
                 config=config,
                 schedule=schedule,
                 think_ms=think_ms,
+                sample_interval_ms=sample_interval_ms,
+                alert_rules=alert_rules,
             )
             summary = report.summary()
             busiest_site, busiest = max(
@@ -174,6 +185,8 @@ def run_simulation_matrix(
                     "events": report.events,
                 }
             )
+            if report.alerts is not None:
+                rows[-1]["alerts_firing"] = list(report.alerts.get("firing", []))
     return rows
 
 

@@ -8,6 +8,16 @@ Three pieces, documented in ``docs/OBSERVABILITY.md``:
 * :mod:`repro.obs.metrics` -- the unified registry (counters, gauges,
   log-bucketed histograms with streaming p50/p95/p99) every
   ``client.stats()`` answer is served from,
+* :mod:`repro.obs.timeseries` -- the bounded fixed-interval ring store
+  retaining metric history (rates, windowed percentiles), fed by the
+  daemon's background sampler on wall time and by the sim kernel on the
+  virtual clock -- one schema for both,
+* :mod:`repro.obs.export` -- OpenMetrics-style text exposition of a
+  time-series store (``metrics_export`` wire op, ``--metrics-port``),
+* :mod:`repro.obs.health` -- health/readiness checks behind the
+  ``health`` wire op and ``repro healthcheck``,
+* :mod:`repro.obs.alerts` -- declarative threshold + SLO burn-rate
+  rules evaluated over the time-series on every sampler tick,
 * the daemon introspection surface (access log, ``metrics`` wire op,
   slow-query log) lives with the daemon in :mod:`repro.server.daemon`
   and is read by ``repro top``.
@@ -18,18 +28,31 @@ target family adds its own.  The golden-key test
 (``tests/obs/test_stats_schema.py``) holds every target to this.
 """
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.alerts import AlertEngine, AlertRule, load_rules
+from repro.obs.export import OPENMETRICS_CONTENT_TYPE, openmetrics
+from repro.obs.health import HealthCheck, evaluate
+from repro.obs.metrics import Counter, Gauge, Histogram, HistogramState, MetricsRegistry
+from repro.obs.timeseries import TimeSeriesStore
 from repro.obs.trace import Span, SpanContext, Tracer, chrome_trace, span
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
     "Counter",
     "Gauge",
+    "HealthCheck",
     "Histogram",
+    "HistogramState",
     "MetricsRegistry",
+    "OPENMETRICS_CONTENT_TYPE",
     "Span",
     "SpanContext",
+    "TimeSeriesStore",
     "Tracer",
     "chrome_trace",
+    "evaluate",
+    "load_rules",
+    "openmetrics",
     "span",
     "STATS_COMMON_KEYS",
     "STATS_LOCAL_KEYS",

@@ -1,0 +1,107 @@
+"""OpenMetrics-style text exposition for the time-series store.
+
+External scrapers (Prometheus, curl, a CI assertion) need no client
+library: the daemon serves this text both over the wire
+(``metrics_export`` op) and on a plain ``--metrics-port`` HTTP endpoint.
+The grammar is the OpenMetrics subset that matters:
+
+* ``# TYPE <name> <kind>`` / ``# HELP`` metadata lines,
+* counters exposed as ``<name>_total`` samples,
+* gauges as bare samples,
+* histograms as summaries -- ``{quantile="0.5|0.95|0.99"}`` samples
+  plus ``_count`` and ``_sum``, computed over the exporter's window,
+* a trailing ``# EOF`` marker.
+
+Series names are sanitized to the metric-name charset
+(``[a-zA-Z_][a-zA-Z0-9_]*``); the original dotted series name rides in
+the HELP line so nothing is lost.  Because the exposition is rendered
+from a :class:`TimeSeriesStore` snapshot, a live daemon and a finished
+sim run produce *grammatically identical* output -- one scrape pipeline
+monitors both.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.timeseries import TimeSeriesStore
+
+__all__ = ["OPENMETRICS_CONTENT_TYPE", "metric_name", "openmetrics"]
+
+OPENMETRICS_CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_QUANTILES = (("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99))
+
+
+def metric_name(name: str) -> str:
+    """A dotted series name as a legal OpenMetrics metric name."""
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not safe or not (safe[0].isalpha() or safe[0] == "_"):
+        safe = "_" + safe
+    return safe
+
+
+def _format(value) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def openmetrics(
+    store: TimeSeriesStore,
+    window_s: Optional[float] = None,
+    extra_gauges: Optional[dict] = None,
+    names: Optional[list] = None,
+) -> str:
+    """Render ``store`` as an OpenMetrics text document.
+
+    Counters and gauges expose their latest sample; histogram summaries
+    are computed over ``window_s`` (default: every retained interval).
+    ``extra_gauges`` appends process facts (uptime, connection counts)
+    that live outside the store; ``names`` restricts the exposition to
+    those series (tenant scoping on token-authed daemons).
+    """
+    lines = []
+    seen = set()
+    wanted = store.names() if names is None else [n for n in store.names() if n in set(names)]
+    for name in wanted:
+        metric = metric_name(name)
+        if metric in seen:
+            continue
+        seen.add(metric)
+        kind = store.kind(name)
+        latest = store.latest(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"# HELP {metric} series {name}")
+            value = latest[1] if latest else 0
+            lines.append(f"{metric}_total {_format(value)}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"# HELP {metric} series {name}")
+            value = latest[1] if latest else 0
+            lines.append(f"{metric} {_format(value)}")
+        else:
+            state = store.window_state(name, window_s=window_s)
+            lines.append(f"# TYPE {metric} summary")
+            lines.append(f"# HELP {metric} series {name}")
+            count = state.count if state is not None else 0
+            total = state.total if state is not None else 0.0
+            for label, q in _QUANTILES:
+                quantile = state.quantile(q) if state is not None else None
+                lines.append(f'{metric}{{quantile="{label}"}} {_format(quantile)}')
+            lines.append(f"{metric}_count {_format(count)}")
+            lines.append(f"{metric}_sum {_format(total)}")
+    for name in sorted(extra_gauges or {}):
+        metric = metric_name(name)
+        if metric in seen:
+            continue
+        seen.add(metric)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"# HELP {metric} series {name}")
+        lines.append(f"{metric} {_format(extra_gauges[name])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

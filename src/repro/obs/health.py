@@ -1,0 +1,157 @@
+"""Health and readiness checks for clients, daemons, and the CLI.
+
+A :class:`HealthCheck` is a named probe returning ``(ok, detail)``;
+:func:`evaluate` runs a list of them into one stable report::
+
+    {"status": "ok" | "degraded" | "failing",
+     "checks": {name: {"ok": bool, "critical": bool, "detail": str}}}
+
+A failing *critical* check makes the whole report ``failing`` (the
+``--metrics-port`` ``/health`` endpoint answers 503, ``repro
+healthcheck`` exits non-zero); a failing non-critical check only
+degrades it.  A probe that raises counts as failing -- a health check
+must never take the process down with it.
+
+The builders below cover the standard worries of a provenance site:
+
+* :func:`storage_check` -- the store's backend is open, readable, and
+  (for file-backed SQLite) its database file is writable,
+* :func:`closure_check` -- the lineage closure index is fresh (bounded
+  dirty-edge backlog),
+* :func:`subscription_check` -- no standing-query delivery queue is
+  near capacity or silently dropping events,
+* :func:`trace_ring_check` -- the span ring is not currently evicting
+  spans faster than anyone exports them.
+
+Checks are stateful where a *rate* matters (trace drops): build them
+once and re-evaluate, as clients and the daemon do.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Tuple
+
+from repro.obs import trace
+
+__all__ = [
+    "HealthCheck",
+    "closure_check",
+    "evaluate",
+    "storage_check",
+    "subscription_check",
+    "trace_ring_check",
+]
+
+
+@dataclass(frozen=True)
+class HealthCheck:
+    """One named probe; ``critical`` failures fail the whole report."""
+
+    name: str
+    probe: Callable[[], Tuple[bool, str]]
+    critical: bool = True
+
+
+def evaluate(checks: Iterable[HealthCheck]) -> dict:
+    """Run every check into the stable health-report shape."""
+    results = {}
+    status = "ok"
+    for check in checks:
+        try:
+            ok, detail = check.probe()
+        except Exception as exc:  # a probe must never propagate
+            ok, detail = False, f"probe raised {type(exc).__name__}: {exc}"
+        results[check.name] = {"ok": ok, "critical": check.critical, "detail": detail}
+        if not ok:
+            if check.critical:
+                status = "failing"
+            elif status == "ok":
+                status = "degraded"
+    return {"status": status, "checks": results}
+
+
+def storage_check(store, name: str = "storage") -> HealthCheck:
+    """The store's backend answers reads and its file (if any) is writable."""
+
+    def probe() -> Tuple[bool, str]:
+        backend = store.backend
+        if getattr(backend, "_closed", False):
+            return False, "backend connection is closed"
+        records = len(store)
+        path = getattr(backend, "_path", None)
+        if path and path != ":memory:" and os.path.exists(path):
+            if not os.access(path, os.W_OK):
+                return False, f"database file {path} is not writable"
+            return True, f"{records} record(s); {path} writable"
+        return True, f"{records} record(s); in-memory backend"
+
+    return HealthCheck(name=name, probe=probe)
+
+
+def closure_check(store, max_dirty_edges: int = 10_000, name: str = "closure") -> HealthCheck:
+    """The lineage closure index has a bounded dirty-edge backlog."""
+
+    def probe() -> Tuple[bool, str]:
+        stats = store.closure.index_stats()
+        dirty = int(stats.get("dirty_edges", 0) or 0)
+        strategy = stats.get("strategy", "?")
+        if dirty > max_dirty_edges:
+            return False, f"{strategy}: {dirty} dirty edge(s) (limit {max_dirty_edges})"
+        return True, f"{strategy}: {dirty} dirty edge(s)"
+
+    return HealthCheck(name=name, probe=probe)
+
+
+def subscription_check(
+    subscriptions_fn: Callable[[], Iterable],
+    depth_ratio: float = 0.9,
+    name: str = "subscriptions",
+) -> HealthCheck:
+    """No delivery queue near capacity; drops reported as degradation.
+
+    Non-critical: a saturated subscriber degrades delivery guarantees
+    but does not make the site unable to serve.
+    """
+
+    def probe() -> Tuple[bool, str]:
+        total = 0
+        saturated: List[str] = []
+        dropped = 0
+        for subscription in subscriptions_fn():
+            total += 1
+            dropped += subscription.dropped
+            queue = getattr(subscription, "queue", None)
+            if queue is not None and queue.maxsize:
+                if len(queue) >= depth_ratio * queue.maxsize:
+                    saturated.append(subscription.id)
+        if saturated:
+            return False, f"{len(saturated)}/{total} queue(s) >= {depth_ratio:.0%} full"
+        if dropped:
+            return False, f"{dropped} event(s) dropped across {total} subscription(s)"
+        return True, f"{total} subscription(s), no drops, queues healthy"
+
+    return HealthCheck(name=name, probe=probe, critical=False)
+
+
+def trace_ring_check(name: str = "trace-ring") -> HealthCheck:
+    """The span ring is not dropping *new* spans since the last probe.
+
+    Stateful by design: a burst of drops in the past should not mark a
+    recovered process unhealthy forever, so each probe baselines against
+    the previous one.  Non-critical -- losing trace detail degrades
+    observability, not service.
+    """
+    last = {"dropped": trace.ring_counters()["trace.spans_dropped"]}
+
+    def probe() -> Tuple[bool, str]:
+        counters = trace.ring_counters()
+        dropped = counters["trace.spans_dropped"]
+        fresh = dropped - last["dropped"]
+        last["dropped"] = dropped
+        if fresh > 0:
+            return False, f"{fresh} span(s) dropped since last probe ({dropped} total)"
+        return True, f"no new drops ({dropped} total)"
+
+    return HealthCheck(name=name, probe=probe, critical=False)

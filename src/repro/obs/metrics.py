@@ -30,7 +30,9 @@ import math
 import threading
 from typing import Callable, Dict, List, Optional
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+from repro.obs.trace import ring_counters
+
+__all__ = ["Counter", "Gauge", "Histogram", "HistogramState", "MetricsRegistry"]
 
 
 class Counter:
@@ -69,6 +71,142 @@ class Gauge:
 _BUCKET_BASE = 1.1
 _LOG_BASE = math.log(_BUCKET_BASE)
 
+#: the shared bucket for observations <= 0 (log-bucketing needs positives)
+_UNDERFLOW = -(10**6)
+
+
+def _bucket_quantile(
+    count: int,
+    buckets: Dict[int, int],
+    low: Optional[float],
+    high: Optional[float],
+    q: float,
+) -> Optional[float]:
+    """Walk sorted sparse buckets to rank ``q`` and answer the hit
+    bucket's geometric midpoint, clamped into the observed [low, high]
+    envelope.  One implementation serves both the live :class:`Histogram`
+    and merged :class:`HistogramState` windows, so window quantiles carry
+    exactly the same <= ~5% bucket error as live ones."""
+    if not count:
+        return None
+    rank = max(1, math.ceil(q * count))
+    seen = 0
+    for index in sorted(buckets):
+        seen += buckets[index]
+        if seen >= rank:
+            if index == _UNDERFLOW:
+                return low if low is not None and low <= 0 else 0.0
+            midpoint = _BUCKET_BASE ** (index + 0.5)
+            lo = low if low is not None else midpoint
+            hi = high if high is not None else midpoint
+            return min(max(midpoint, lo), hi)
+    return None  # pragma: no cover - loop always hits the rank
+
+
+class HistogramState:
+    """A mergeable snapshot of a histogram's buckets at one instant.
+
+    Bucket counts are exact, so merging K states reproduces the bucket
+    table of the union of their observations *exactly* -- quantiles over
+    a merged window carry only the underlying ~5% bucket error, never
+    additional merge error.  The time-series layer stores one interval
+    state per sampling tick (the :meth:`delta` between consecutive
+    cumulative scrapes) and answers percentile-over-window queries by
+    merging the interval states inside the window.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(
+        self,
+        count: int = 0,
+        total: float = 0.0,
+        minimum: Optional[float] = None,
+        maximum: Optional[float] = None,
+        buckets: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.count = count
+        self.total = total
+        self.min = minimum
+        self.max = maximum
+        self.buckets: Dict[int, int] = dict(buckets) if buckets else {}
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0
+
+    def merge(self, other: "HistogramState") -> "HistogramState":
+        """The state of the union of both states' observations."""
+        buckets = dict(self.buckets)
+        for index, n in other.buckets.items():
+            buckets[index] = buckets.get(index, 0) + n
+        mins = [v for v in (self.min, other.min) if v is not None]
+        maxes = [v for v in (self.max, other.max) if v is not None]
+        return HistogramState(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            minimum=min(mins) if mins else None,
+            maximum=max(maxes) if maxes else None,
+            buckets=buckets,
+        )
+
+    def delta(self, earlier: "HistogramState") -> "HistogramState":
+        """The observations between ``earlier`` and this cumulative state.
+
+        Bucket counts subtract exactly.  A true per-interval min/max is
+        not recoverable from two cumulative snapshots, so the delta's
+        envelope is derived from its populated buckets' geometric bounds
+        (then clamped into the cumulative envelope) -- an approximation
+        that stays within the bucket error quantiles already carry.
+        """
+        buckets: Dict[int, int] = {}
+        for index, n in self.buckets.items():
+            remaining = n - earlier.buckets.get(index, 0)
+            if remaining > 0:
+                buckets[index] = remaining
+        count = sum(buckets.values())
+        if not count:
+            return HistogramState()
+        lows: List[float] = []
+        highs: List[float] = []
+        for index in buckets:
+            if index == _UNDERFLOW:
+                low = self.min if self.min is not None and self.min <= 0 else 0.0
+                lows.append(low)
+                highs.append(0.0)
+            else:
+                lows.append(_BUCKET_BASE**index)
+                highs.append(_BUCKET_BASE ** (index + 1))
+        minimum = min(lows)
+        maximum = max(highs)
+        if self.min is not None:
+            minimum = max(minimum, self.min)
+        if self.max is not None:
+            maximum = min(maximum, self.max)
+        return HistogramState(
+            count=count,
+            total=max(0.0, self.total - earlier.total),
+            minimum=minimum,
+            maximum=max(minimum, maximum),
+            buckets=buckets,
+        )
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The estimated ``q``-quantile (``q`` in [0, 1]); None when empty."""
+        return _bucket_quantile(self.count, self.buckets, self.min, self.max, q)
+
+    def summary(self) -> dict:
+        """The stable histogram shape: count/mean/min/max + p50/p95/p99."""
+        return {
+            "count": self.count,
+            "mean": self.total / self.count if self.count else None,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
 
 class Histogram:
     """A log-bucketed distribution with streaming quantile estimation.
@@ -98,7 +236,7 @@ class Histogram:
             if value < _BUCKET_BASE**index:
                 index -= 1
         else:
-            index = -(10**6)  # shared underflow bucket for <= 0
+            index = _UNDERFLOW
         with self._lock:
             self.count += 1
             self.total += value
@@ -109,20 +247,12 @@ class Histogram:
     def quantile(self, q: float) -> Optional[float]:
         """The estimated ``q``-quantile (``q`` in [0, 1]); None when empty."""
         with self._lock:
-            if not self.count:
-                return None
-            rank = max(1, math.ceil(q * self.count))
-            seen = 0
-            for index in sorted(self._buckets):
-                seen += self._buckets[index]
-                if seen >= rank:
-                    if index == -(10**6):
-                        return self.min if self.min is not None and self.min <= 0 else 0.0
-                    midpoint = _BUCKET_BASE ** (index + 0.5)
-                    low = self.min if self.min is not None else midpoint
-                    high = self.max if self.max is not None else midpoint
-                    return min(max(midpoint, low), high)
-        return None  # pragma: no cover - loop always hits the rank
+            return _bucket_quantile(self.count, self._buckets, self.min, self.max, q)
+
+    def state(self) -> HistogramState:
+        """A mergeable point-in-time snapshot of the full bucket table."""
+        with self._lock:
+            return HistogramState(self.count, self.total, self.min, self.max, self._buckets)
 
     def snapshot(self) -> dict:
         """The stable histogram shape: count/mean/min/max + p50/p95/p99."""
@@ -192,14 +322,29 @@ class MetricsRegistry:
         """Serve ``fn()`` under ``key`` in every :meth:`collect` answer."""
         self._providers.append((key, fn))
 
-    def obs_snapshot(self) -> dict:
-        """The registry's own instruments as the stable ``obs`` block."""
+    def instruments(self) -> tuple:
+        """Point-in-time copies of the three instrument tables.
+
+        What background samplers iterate: ``(counters, gauges,
+        histograms)`` as name-keyed dicts of the live instrument objects.
+        """
         with self._lock:
-            counters = {name: c.value for name, c in sorted(self._counters.items())}
+            return dict(self._counters), dict(self._gauges), dict(self._histograms)
+
+    def obs_snapshot(self) -> dict:
+        """The registry's own instruments as the stable ``obs`` block.
+
+        The process tracer's loss accounting (``trace.spans_dropped``,
+        ``trace.exports_truncated``) rides along as counters, so every
+        target's ``stats()["obs"]`` shows trace loss without a tracer API.
+        """
+        with self._lock:
+            counters = {name: c.value for name, c in self._counters.items()}
             gauges = {name: g.read() for name, g in sorted(self._gauges.items())}
             histograms = dict(sorted(self._histograms.items()))
+        counters.update(ring_counters())
         return {
-            "counters": counters,
+            "counters": dict(sorted(counters.items())),
             "gauges": gauges,
             "histograms": {name: h.snapshot() for name, h in histograms.items()},
         }

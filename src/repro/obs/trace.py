@@ -39,6 +39,7 @@ __all__ = [
     "drain",
     "enable",
     "enabled",
+    "ring_counters",
     "span",
     "spans",
 ]
@@ -153,6 +154,10 @@ class Tracer:
         self._lock = threading.Lock()
         self._spans: deque = deque(maxlen=capacity)
         self.dropped = 0
+        #: exports (spans()/drain() calls) that were missing spans the
+        #: ring had already evicted -- "the trace you read is incomplete"
+        self.exports_truncated = 0
+        self._dropped_at_export = 0
 
     def enable(self, capacity: Optional[int] = None) -> None:
         with self._lock:
@@ -179,19 +184,31 @@ class Tracer:
     def spans(self) -> List[Span]:
         """A copy of the buffered finished spans (oldest first)."""
         with self._lock:
+            self._note_export()
             return [Span(*fields) for fields in self._spans]
 
     def drain(self) -> List[Span]:
         """Pop and return every buffered span."""
         with self._lock:
+            self._note_export()
             taken = [Span(*fields) for fields in self._spans]
             self._spans.clear()
             return taken
+
+    def _note_export(self) -> None:
+        # Called under the lock by every export: if the ring evicted
+        # spans since the last export, whatever the caller reads now is
+        # missing work that really happened -- count that truncation.
+        if self.dropped > self._dropped_at_export:
+            self.exports_truncated += 1
+            self._dropped_at_export = self.dropped
 
     def clear(self) -> None:
         with self._lock:
             self._spans.clear()
             self.dropped = 0
+            self.exports_truncated = 0
+            self._dropped_at_export = 0
 
 
 #: the process-wide tracer every instrumentation point records into
@@ -331,6 +348,21 @@ def drain() -> List[Span]:
 
 def clear() -> None:
     _TRACER.clear()
+
+
+def ring_counters() -> Dict[str, int]:
+    """The ring's loss accounting as plain counters.
+
+    ``trace.spans_dropped`` is spans evicted by the bounded ring before
+    anyone exported them; ``trace.exports_truncated`` is exports
+    (``spans()``/``drain()`` calls) that were missing such spans.  The
+    metrics registry merges these into every ``stats()['obs']`` block so
+    trace loss is visible without touching the tracer API.
+    """
+    return {
+        "trace.spans_dropped": _TRACER.dropped,
+        "trace.exports_truncated": _TRACER.exports_truncated,
+    }
 
 
 def current_context() -> Optional[SpanContext]:

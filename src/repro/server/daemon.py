@@ -30,6 +30,13 @@
   to the slow-query log.  When the requester carries a trace context in
   its frame, the daemon's ``daemon.<op>`` span -- and everything the
   handler does beneath it -- stitches onto the caller's trace tree.
+* **Monitoring.**  A background sampler (default: every second) scrapes
+  the op telemetry into a bounded :class:`TimeSeriesStore`; the
+  ``metrics_export`` op renders it as OpenMetrics text (also served on
+  a plain ``--metrics-port`` HTTP endpoint alongside ``/health``), the
+  ``health`` op runs storage/closure/subscription/trace-ring checks,
+  and ``--alert-rules`` evaluates threshold and SLO burn-rate rules on
+  every tick (``alerts`` op, ``repro alerts``).
 
 The daemon can run embedded (``start()``/``stop()`` around a background
 thread -- what the tests and benches do) or in the foreground
@@ -40,6 +47,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import json
 import logging
 import threading
 import time
@@ -50,11 +58,22 @@ from typing import Dict, Optional
 from repro.api.registry import connect
 from repro.errors import (
     AuthError,
+    ConfigurationError,
     PassError,
     ProtocolError,
     UnknownEntityError,
 )
 from repro.obs import Counter, Histogram, trace
+from repro.obs.alerts import AlertEngine, load_rules
+from repro.obs.export import OPENMETRICS_CONTENT_TYPE, openmetrics
+from repro.obs.health import (
+    closure_check,
+    evaluate as evaluate_health,
+    storage_check,
+    subscription_check,
+    trace_ring_check,
+)
+from repro.obs.timeseries import TimeSeriesStore
 from repro.server import protocol
 from repro.server.protocol import (
     WIRE_VERSION,
@@ -207,6 +226,29 @@ class PassDaemon:
         has its :class:`Explain` tree re-derived and written to the
         slow-query log (``repro.server`` logger, WARNING) and kept in
         the ring served by the ``metrics`` op.  ``None`` disables it.
+    sample_interval_s:
+        Wall-clock period of the background sampler that scrapes the
+        daemon's telemetry instruments (per-tenant per-op call/error
+        counters and latency histograms, subscription counts, connection
+        count, trace-ring drops) into the in-process
+        :class:`~repro.obs.timeseries.TimeSeriesStore`.  Defaults to 1s
+        -- cheap enough that the traced ``pass://`` overhead gate holds
+        with it on.  ``None`` disables history (and alerting).
+    timeseries_retention:
+        Slots each series retains (default 600 = 10 min at 1s).
+    alert_rules:
+        Alert rules (a JSON file path, a parsed list, or
+        :class:`~repro.obs.alerts.AlertRule` objects) evaluated against
+        the time-series on every sampler tick; transitions are logged
+        and served by the ``alerts`` wire op.
+    metrics_port:
+        When set, also listen on this plain TCP port with a minimal
+        HTTP responder: ``GET /metrics`` answers the OpenMetrics text
+        exposition, ``GET /health`` the health report as JSON (503 when
+        failing) -- external scrapers need no client library.  Port 0
+        picks an ephemeral port (see :attr:`metrics_address`).  The
+        endpoint is an operator surface: it is not token-authed and
+        shows every tenant's series.
     """
 
     def __init__(
@@ -216,19 +258,42 @@ class PassDaemon:
         backend_url: str = "memory://",
         tokens: Optional[Dict[str, str]] = None,
         slow_query_ms: Optional[float] = None,
+        sample_interval_s: Optional[float] = 1.0,
+        timeseries_retention: int = 600,
+        alert_rules=None,
+        metrics_port: Optional[int] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.backend_url = backend_url
         self.tokens = dict(tokens) if tokens else None
         self.slow_query_ms = slow_query_ms
+        if sample_interval_s is not None and sample_interval_s <= 0:
+            raise ConfigurationError("sample_interval_s must be positive")
+        self.sample_interval_s = sample_interval_s
+        self.metrics_port = metrics_port
+        self.metrics_address: Optional[DaemonAddress] = None
+        self.timeseries: Optional[TimeSeriesStore] = (
+            TimeSeriesStore(interval_s=sample_interval_s, retention=timeseries_retention)
+            if sample_interval_s is not None
+            else None
+        )
+        rules = load_rules(alert_rules) if alert_rules else []
+        if rules and self.timeseries is None:
+            raise ConfigurationError("alert rules need the sampler (sample_interval_s)")
+        self.alert_engine: Optional[AlertEngine] = (
+            AlertEngine(self.timeseries, rules) if rules else None
+        )
         self.telemetry = _Telemetry()
         self.address: Optional[DaemonAddress] = None
         self._tenants: Dict[str, _Tenant] = {}
         self._connections: set = set()
         self._job_ids = itertools.count(1)
+        self._trace_check = trace_ring_check()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.base_events.Server] = None
+        self._metrics_server: Optional[asyncio.base_events.Server] = None
+        self._sampler_task: Optional[asyncio.Task] = None
         self._shutdown: Optional[asyncio.Event] = None
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
@@ -300,6 +365,16 @@ class PassDaemon:
         )
         bound = self._server.sockets[0].getsockname()
         self.address = DaemonAddress(host=bound[0], port=bound[1])
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http, self.host, self.metrics_port
+            )
+            metrics_bound = self._metrics_server.sockets[0].getsockname()
+            self.metrics_address = DaemonAddress(
+                host=metrics_bound[0], port=metrics_bound[1]
+            )
+        if self.timeseries is not None:
+            self._sampler_task = self._loop.create_task(self._sampler())
         self._started.set()
         try:
             await self._shutdown.wait()
@@ -309,6 +384,17 @@ class PassDaemon:
             await self._close_everything()
 
     async def _close_everything(self) -> None:
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            try:
+                await self._sampler_task
+            except asyncio.CancelledError:
+                pass
+            self._sampler_task = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         self._server.close()
         await self._server.wait_closed()
         for connection in list(self._connections):
@@ -325,6 +411,153 @@ class PassDaemon:
         for tenant in self._tenants.values():
             tenant.client.close()
         self._tenants.clear()
+
+    # ------------------------------------------------------------------
+    # Background sampler, health, exposition
+    # ------------------------------------------------------------------
+    async def _sampler(self) -> None:
+        """Scrape telemetry into the time-series store every interval.
+
+        Runs on the loop thread (an async task), so it reads the same
+        single-threaded telemetry state the dispatch path writes -- no
+        locks, no copies beyond the instrument snapshots themselves.
+        """
+        while True:
+            await asyncio.sleep(self.sample_interval_s)
+            try:
+                self._sample_tick(time.time())
+            except Exception:  # the sampler must never die mid-serve
+                _LOGGER.exception("sampler tick failed")
+
+    def _sample_tick(self, now: float) -> None:
+        store = self.timeseries
+        store.observe_gauge("daemon.connections", now, len(self._connections))
+        store.observe_counter(
+            "trace.spans_dropped", now, trace.ring_counters()["trace.spans_dropped"]
+        )
+        for tenant_name, count in self._subscription_counts().items():
+            store.observe_gauge(f"daemon.{tenant_name}.subscriptions", now, count)
+        for tenant_name, ops in self.telemetry._ops.items():
+            for op, (calls, errors, latency) in ops.items():
+                prefix = f"daemon.{tenant_name}.{op}"
+                store.observe_counter(prefix + ".calls", now, calls.value)
+                store.observe_counter(prefix + ".errors", now, errors.value)
+                store.observe_histogram(prefix + ".ms", now, latency.state())
+        if self.alert_engine is not None:
+            try:
+                self.alert_engine.evaluate(now)
+            except Exception:  # a bad rule must not kill sampling
+                _LOGGER.exception("alert evaluation failed")
+
+    def _subscription_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for connection in self._connections:
+            if connection.tenant is not None:
+                counts[connection.tenant.name] = counts.get(
+                    connection.tenant.name, 0
+                ) + len(connection.subscriptions)
+        return counts
+
+    @staticmethod
+    def _series_visible(name: str, scope: Optional[set]) -> bool:
+        """Tenant scoping for series names: ``daemon.<tenant>.*`` series
+        belong to that tenant; everything else (``trace.*``,
+        ``daemon.connections``) is global."""
+        if scope is None or not name.startswith("daemon."):
+            return True
+        rest = name[len("daemon."):]
+        if "." not in rest:
+            return True
+        return rest.split(".", 1)[0] in scope
+
+    def _export_text(self, scope: Optional[set] = None) -> str:
+        store = self.timeseries if self.timeseries is not None else TimeSeriesStore()
+        names = None
+        if scope is not None:
+            names = [n for n in store.names() if self._series_visible(n, scope)]
+        extra = {
+            "daemon.uptime_s": time.monotonic() - self.telemetry.started,
+            "daemon.connections": len(self._connections),
+        }
+        return openmetrics(store, extra_gauges=extra, names=names)
+
+    def _health_report(self, scope: Optional[set] = None) -> dict:
+        checks = [self._trace_check]
+        for name in sorted(self._tenants):
+            if scope is not None and name not in scope:
+                continue
+            store = getattr(self._tenants[name].client, "store", None)
+            if store is not None:
+                checks.append(storage_check(store, name=f"storage:{name}"))
+                checks.append(closure_check(store, name=f"closure:{name}"))
+
+        def visible_subscriptions():
+            out = []
+            for connection in self._connections:
+                if connection.tenant is None:
+                    continue
+                if scope is not None and connection.tenant.name not in scope:
+                    continue
+                out.extend(connection.subscriptions.values())
+            return out
+
+        checks.append(subscription_check(visible_subscriptions))
+        return evaluate_health(checks)
+
+    def _alerts_snapshot(self, scope: Optional[set] = None) -> dict:
+        engine = self.alert_engine
+        if engine is None:
+            return {"enabled": False, "reason": "no alert rules loaded"}
+        snapshot = engine.snapshot()
+        if scope is not None:
+            allowed = set()
+            for rule in engine.rules:
+                series = (
+                    [rule.series] if rule.kind == "threshold" else [rule.errors, rule.total]
+                )
+                if all(self._series_visible(s, scope) for s in series if s):
+                    allowed.add(rule.name)
+            snapshot["rules"] = [r for r in snapshot["rules"] if r["name"] in allowed]
+            snapshot["firing"] = [n for n in snapshot["firing"] if n in allowed]
+            snapshot["transitions"] = [
+                t for t in snapshot["transitions"] if t["rule"] in allowed
+            ]
+        snapshot["enabled"] = True
+        return snapshot
+
+    async def _handle_metrics_http(self, reader, writer) -> None:
+        """A deliberately tiny HTTP/1.1 responder for external scrapers."""
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            while True:  # consume headers up to the blank line
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1].split("?", 1)[0] if len(parts) >= 2 else "/"
+            if path in ("/", "/metrics"):
+                status = "200 OK"
+                content_type = OPENMETRICS_CONTENT_TYPE
+                body = self._export_text().encode("utf-8")
+            elif path == "/health":
+                report = self._health_report()
+                status = "200 OK" if report["status"] != "failing" else "503 Service Unavailable"
+                content_type = "application/json"
+                body = json.dumps(report).encode("utf-8")
+            else:
+                status = "404 Not Found"
+                content_type = "text/plain"
+                body = b"not found\n"
+            head = (
+                f"HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
 
     # ------------------------------------------------------------------
     # Tenants and auth
@@ -611,6 +844,32 @@ class PassDaemon:
                 ) + len(other.subscriptions)
         return self.telemetry.snapshot(tenants=scope, subscriptions=subscriptions)
 
+    def _handle_metrics_export(self, connection: _Connection, args: dict) -> dict:
+        scope = None if self.tokens is None else {connection.tenant.name}
+        return {
+            "content_type": OPENMETRICS_CONTENT_TYPE,
+            "text": self._export_text(scope),
+        }
+
+    def _handle_health(self, connection: _Connection, args: dict) -> dict:
+        scope = None if self.tokens is None else {connection.tenant.name}
+        return self._health_report(scope)
+
+    def _handle_alerts(self, connection: _Connection, args: dict) -> dict:
+        scope = None if self.tokens is None else {connection.tenant.name}
+        return self._alerts_snapshot(scope)
+
+    def _handle_timeseries(self, connection: _Connection, args: dict) -> dict:
+        if self.timeseries is None:
+            return {"enabled": False, "reason": "sampler disabled"}
+        scope = None if self.tokens is None else {connection.tenant.name}
+        names = None
+        if scope is not None:
+            names = [n for n in self.timeseries.names() if self._series_visible(n, scope)]
+        snapshot = self.timeseries.snapshot(names=names)
+        snapshot["enabled"] = True
+        return snapshot
+
     def _handle_refresh(self, connection: _Connection, args: dict) -> None:
         connection.tenant.client.refresh()
         return None
@@ -694,6 +953,10 @@ class PassDaemon:
         "describe_record": _handle_describe_record,
         "stats": _handle_stats,
         "metrics": _handle_metrics,
+        "metrics_export": _handle_metrics_export,
+        "health": _handle_health,
+        "alerts": _handle_alerts,
+        "timeseries": _handle_timeseries,
         "refresh": _handle_refresh,
         "supports_lineage": _handle_supports_lineage,
         "subscribe": _handle_subscribe,

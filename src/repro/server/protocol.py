@@ -19,6 +19,11 @@ re-raises the same type the server caught.  Attribute values ride the
 same tagged-JSON convention the SQLite backend persists
 (:func:`repro.core.provenance.value_to_json`), so a value round-trips
 identically through either path.
+
+Monitoring ops (``metrics``, ``metrics_export``, ``health``,
+``alerts``, ``timeseries``) return plain JSON objects and need no
+codec here; adding ops is wire-compatible, so they ride under the same
+``WIRE_VERSION``.
 """
 
 from __future__ import annotations

@@ -295,6 +295,27 @@ class RemoteClient(PassClient):
         """
         return self._call("metrics")
 
+    def metrics_export(self) -> Dict[str, object]:
+        """The daemon's OpenMetrics text exposition (``metrics_export``).
+
+        ``{"content_type": ..., "text": ...}`` -- the same document the
+        daemon's ``--metrics-port`` HTTP endpoint serves, tenant-scoped
+        on a token-authed daemon.
+        """
+        return self._call("metrics_export")
+
+    def health(self) -> Dict[str, object]:
+        """The daemon's health report (the ``health`` wire op)."""
+        return self._call("health")
+
+    def alerts(self) -> Dict[str, object]:
+        """The daemon's alert state (rules, firing set, transitions)."""
+        return self._call("alerts")
+
+    def timeseries(self) -> Dict[str, object]:
+        """The daemon's retained time-series history (``timeseries`` op)."""
+        return self._call("timeseries")
+
     def describe_record(self, pname) -> Optional[ProvenanceRecord]:
         payload = self._call("describe_record", pname=coerce_pname(pname).digest)
         return None if payload is None else protocol.record_from_wire(payload)

@@ -107,12 +107,24 @@ class SimKernel:
         the :class:`~repro.net.simulator.NetworkSimulator`'s partition
         set keeps capture-time and replay-time failure behaviour in one
         place.
+    timeseries:
+        A :class:`~repro.obs.timeseries.TimeSeriesStore` to sample the
+        per-site servers into on the **virtual** clock (virtual ms map
+        to store seconds) -- the same store schema a live daemon's
+        sampler emits on wall time, so one alert rule set and one
+        exposition format cover both.  Sampling happens *between* heap
+        pops, never through :meth:`schedule`, so the event journal and
+        replay determinism are untouched.
+    sample_interval_ms:
+        Virtual time between samples; defaults to the store's interval.
     """
 
     def __init__(
         self,
         config: Optional[SimConfig] = None,
         is_partitioned: Optional[Callable[[str], bool]] = None,
+        timeseries=None,
+        sample_interval_ms: Optional[float] = None,
     ) -> None:
         self.config = config if config is not None else SimConfig()
         self.now = 0.0
@@ -124,6 +136,21 @@ class SimKernel:
         self._seq = 0
         self._is_partitioned = is_partitioned if is_partitioned is not None else (lambda site: False)
         self._journal = hashlib.sha256() if self.config.journal else None
+        self.timeseries = timeseries
+        self._tick_hooks: List[Callable[[float], None]] = []
+        if timeseries is not None:
+            interval = (
+                sample_interval_ms
+                if sample_interval_ms is not None
+                else timeseries.interval_s * 1000.0
+            )
+            if interval <= 0:
+                raise ConfigurationError("sample interval must be positive")
+            self.sample_interval_ms: Optional[float] = interval
+            self._next_sample_ms: Optional[float] = 0.0
+        else:
+            self.sample_interval_ms = None
+            self._next_sample_ms = None
 
     # ------------------------------------------------------------------
     # Event queue
@@ -140,6 +167,10 @@ class SimKernel:
         while self._heap:
             if until is not None and self._heap[0][0] > until:
                 break
+            at = self._heap[0][0]
+            while self._next_sample_ms is not None and self._next_sample_ms <= at:
+                self._sample(self._next_sample_ms)
+                self._next_sample_ms += self.sample_interval_ms
             at, seq, label, callback = heapq.heappop(self._heap)
             self.now = at
             self.events_processed += 1
@@ -150,6 +181,39 @@ class SimKernel:
     def pending(self) -> int:
         """Events still queued."""
         return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Time-series sampling (virtual-clock mirror of the daemon sampler)
+    # ------------------------------------------------------------------
+    def add_tick_hook(self, hook: Callable[[float], None]) -> None:
+        """Run ``hook(t_ms)`` on every sample tick (workload-level series)."""
+        self._tick_hooks.append(hook)
+
+    def _sample(self, t_ms: float) -> None:
+        """One sample tick at virtual ``t_ms`` (store times are seconds)."""
+        t = t_ms / 1000.0
+        store = self.timeseries
+        if store is not None:
+            store.observe_counter("kernel.events", t, self.events_processed)
+            for site, server in self.servers.items():
+                prefix = f"site.{site}."
+                store.observe_gauge(
+                    prefix + "backlog_ms", t, max(0.0, server.free_at - t_ms)
+                )
+                store.observe_counter(prefix + "served", t, server.served)
+                store.observe_counter(prefix + "busy_ms", t, server.busy_ms)
+        for hook in self._tick_hooks:
+            hook(t_ms)
+
+    def sample_until(self, horizon_ms: float) -> None:
+        """Flush boundary samples through ``horizon_ms``, then one final
+        sample *at* the horizon so trailing activity is never unrecorded."""
+        if self._next_sample_ms is None:
+            return
+        while self._next_sample_ms <= horizon_ms:
+            self._sample(self._next_sample_ms)
+            self._next_sample_ms += self.sample_interval_ms
+        self._sample(horizon_ms)
 
     def journal_digest(self) -> Optional[str]:
         """Hash of every event processed so far (None unless journalling)."""

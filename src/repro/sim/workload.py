@@ -23,6 +23,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.distributed.base import ArchitectureModel, OperationResult
 from repro.errors import ConfigurationError, PassError
+from repro.obs.alerts import AlertEngine, load_rules
+from repro.obs.metrics import Histogram
+from repro.obs.timeseries import TimeSeriesStore
 from repro.sim.kernel import SimConfig, SimKernel
 from repro.sim.schedule import Schedule
 from repro.sim.stats import latency_summary, percentile
@@ -70,6 +73,8 @@ class SimReport:
         schedule_applied: List[str],
         journal_digest: Optional[str],
         wall_seconds: float,
+        timeseries: Optional[TimeSeriesStore] = None,
+        alerts: Optional[dict] = None,
     ) -> None:
         self.clients = clients
         self.config = config
@@ -81,6 +86,10 @@ class SimReport:
         self.schedule_applied = schedule_applied
         self.journal_digest = journal_digest
         self.wall_seconds = wall_seconds
+        #: the virtual-clock TimeSeriesStore (None unless sampling was on)
+        self.timeseries = timeseries
+        #: the alert engine's final snapshot (None unless rules were given)
+        self.alerts = alerts
 
     # ------------------------------------------------------------------
     # Derived views
@@ -128,6 +137,8 @@ class SimReport:
             "sites": self.sites,
             "schedule_applied": list(self.schedule_applied),
             "journal_digest": self.journal_digest,
+            "timeseries": self.timeseries.snapshot() if self.timeseries else None,
+            "alerts": self.alerts,
         }
 
     @staticmethod
@@ -158,6 +169,21 @@ class WorkloadRunner:
         Virtual pause after a failed operation (a publish refused by a
         partition, say) before the client retries its next one; keeps a
         fully cut-off client from spinning at one virtual instant.
+    sample_interval_ms:
+        When set, the run keeps a virtual-clock
+        :class:`~repro.obs.timeseries.TimeSeriesStore`: per-site backlog
+        / served / busy series from the kernel plus workload-level
+        ``ops.completed`` / ``ops.failed`` counters and ``op.latency_ms``
+        (overall and per kind) histogram series -- the same schema a
+        live daemon's sampler emits, exposed as
+        ``report.timeseries`` and in ``snapshot()["timeseries"]``.
+    timeseries_retention:
+        Ring length of that store (slots per series).
+    alert_rules:
+        Alert rules (path / parsed list / :class:`AlertRule` objects)
+        evaluated on every sample tick against the virtual-clock store;
+        implies sampling (default interval 1000 virtual ms).  The
+        engine's final snapshot lands in ``report.alerts``.
     """
 
     def __init__(
@@ -170,6 +196,9 @@ class WorkloadRunner:
         schedule: Optional[Schedule] = None,
         think_ms: float = 0.0,
         failure_backoff_ms: float = 10.0,
+        sample_interval_ms: Optional[float] = None,
+        timeseries_retention: int = 512,
+        alert_rules=None,
     ) -> None:
         model = getattr(model, "model", model)
         if not isinstance(model, ArchitectureModel):
@@ -187,15 +216,68 @@ class WorkloadRunner:
         self.schedule = schedule
         self.think_ms = think_ms
         self.failure_backoff_ms = failure_backoff_ms
+        self.alert_rules = load_rules(alert_rules) if alert_rules else []
+        if self.alert_rules and sample_interval_ms is None:
+            sample_interval_ms = 1000.0
+        if sample_interval_ms is not None and sample_interval_ms <= 0:
+            raise ConfigurationError("sample_interval_ms must be positive")
+        self.sample_interval_ms = sample_interval_ms
+        self.timeseries_retention = timeseries_retention
 
     def run(self) -> SimReport:
         import time as _time
 
-        kernel = SimKernel(self.config, is_partitioned=self.network.is_partitioned)
+        timeseries: Optional[TimeSeriesStore] = None
+        engine: Optional[AlertEngine] = None
+        if self.sample_interval_ms is not None:
+            timeseries = TimeSeriesStore(
+                interval_s=self.sample_interval_ms / 1000.0,
+                retention=self.timeseries_retention,
+            )
+            if self.alert_rules:
+                engine = AlertEngine(timeseries, self.alert_rules)
+        kernel = SimKernel(
+            self.config,
+            is_partitioned=self.network.is_partitioned,
+            timeseries=timeseries,
+            sample_interval_ms=self.sample_interval_ms,
+        )
         records: List[SimOpRecord] = []
         applied: List[str] = []
         if self.schedule is not None:
             applied = self.schedule.install(kernel, self.network)
+
+        # Workload-level series: cumulative op counters and latency
+        # histograms scraped on every kernel sample tick, exactly as the
+        # daemon sampler scrapes its telemetry instruments on wall time.
+        latency_all = Histogram("op.latency_ms")
+        latency_by_kind: Dict[str, Histogram] = {}
+        op_counts = {"completed": 0, "failed": 0}
+
+        def count_op(kind: str, latency_ms: float, ok: bool) -> None:
+            op_counts["completed"] += 1
+            if not ok:
+                op_counts["failed"] += 1
+            latency_all.observe(latency_ms)
+            by_kind = latency_by_kind.get(kind)
+            if by_kind is None:
+                by_kind = latency_by_kind[kind] = Histogram(f"op.{kind}.latency_ms")
+            by_kind.observe(latency_ms)
+
+        if timeseries is not None:
+            def sample_ops(t_ms: float) -> None:
+                t = t_ms / 1000.0
+                timeseries.observe_counter("ops.completed", t, op_counts["completed"])
+                timeseries.observe_counter("ops.failed", t, op_counts["failed"])
+                timeseries.observe_histogram("op.latency_ms", t, latency_all.state())
+                for kind, hist in latency_by_kind.items():
+                    timeseries.observe_histogram(
+                        f"op.{kind}.latency_ms", t, hist.state()
+                    )
+                if engine is not None:
+                    engine.evaluate(t)
+
+            kernel.add_tick_hook(sample_ops)
 
         def start_op(client: int, op_index: int) -> None:
             thunk = self.op_factory(client, op_index)
@@ -208,6 +290,7 @@ class WorkloadRunner:
                 records.append(
                     SimOpRecord(client, "error", start, start, False, note=str(error))
                 )
+                count_op("error", 0.0, False)
                 kernel.schedule(
                     start + self.failure_backoff_ms + self.think_ms,
                     lambda: start_op(client, op_index + 1),
@@ -222,6 +305,7 @@ class WorkloadRunner:
 
             def op_done(end: float, ok: bool) -> None:
                 records.append(SimOpRecord(client, trace.kind, start, end, ok))
+                count_op(trace.kind, end - start, ok)
                 backoff = 0.0 if ok else self.failure_backoff_ms
                 kernel.schedule(
                     end + self.think_ms + backoff,
@@ -247,6 +331,7 @@ class WorkloadRunner:
             + [server.free_at for server in kernel.servers.values()]
             + [0.0]
         )
+        kernel.sample_until(horizon)
         report = SimReport(
             clients=self.clients,
             config=self.config,
@@ -258,6 +343,8 @@ class WorkloadRunner:
             schedule_applied=applied,
             journal_digest=kernel.journal_digest(),
             wall_seconds=wall,
+            timeseries=timeseries,
+            alerts=engine.snapshot() if engine is not None else None,
         )
         # Surface the run on the simulator so client.stats()["sim"] sees it.
         self.network.last_sim_report = report
@@ -273,6 +360,8 @@ def simulate_publish_workload(
     config: Optional[SimConfig] = None,
     schedule: Optional[Schedule] = None,
     think_ms: float = 0.0,
+    sample_interval_ms: Optional[float] = None,
+    alert_rules=None,
 ) -> SimReport:
     """Publish ``tuple_sets`` through N concurrent clients, round-robin.
 
@@ -301,5 +390,7 @@ def simulate_publish_workload(
         config=config,
         schedule=schedule,
         think_ms=think_ms,
+        sample_interval_ms=sample_interval_ms,
+        alert_rules=alert_rules,
     )
     return runner.run()

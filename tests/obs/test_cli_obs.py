@@ -23,6 +23,27 @@ class TestServeFlags:
         args = build_parser().parse_args(["serve"])
         assert args.log_level == "info"
         assert args.slow_query_ms is None
+        assert args.metrics_port is None
+        assert args.alert_rules is None
+        assert args.sample_interval == 1.0
+
+    def test_serve_accepts_monitoring_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--metrics-port", "9101",
+                "--alert-rules", "rules.json",
+                "--sample-interval", "0.5",
+            ]
+        )
+        assert args.metrics_port == 9101
+        assert args.alert_rules == "rules.json"
+        assert args.sample_interval == 0.5
+
+    def test_serve_refuses_unreadable_alert_rules(self, capsys):
+        code = main(["serve", "--port", "0", "--alert-rules", "/nope/rules.json"])
+        assert code == 2
+        assert "cannot read alert rules" in capsys.readouterr().err
 
     def test_bad_log_level_is_refused(self, capsys):
         with pytest.raises(SystemExit):
@@ -67,6 +88,167 @@ class TestTop:
             code = main(["top", daemon.address.url, "--token", "tok", "--once"], out=out)
         assert code == 0
         assert "tenant alpha" in out.getvalue()
+
+    def test_top_json_emits_one_document_per_refresh(self):
+        with PassDaemon() as daemon:
+            out = io.StringIO()
+            code = main(
+                [
+                    "top", daemon.address.url,
+                    "--json", "--iterations", "2", "--interval", "0.01",
+                ],
+                out=out,
+            )
+        assert code == 0
+        lines = [line for line in out.getvalue().splitlines() if line.strip()]
+        assert len(lines) == 2
+        for line in lines:
+            snapshot = json.loads(line)
+            assert "tenants" in snapshot and "uptime_s" in snapshot
+
+    def test_top_survives_a_daemon_restart_mid_watch(self, capsys):
+        import threading
+
+        first = PassDaemon()
+        address = first.start()
+        port = address.port
+        result = {}
+
+        def watch():
+            out = io.StringIO()
+            result["code"] = main(
+                [
+                    "top", address.url,
+                    "--json", "--iterations", "3", "--interval", "0.2",
+                    "--reconnect-attempts", "10",
+                ],
+                out=out,
+            )
+            result["lines"] = [l for l in out.getvalue().splitlines() if l.strip()]
+
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        import time
+
+        time.sleep(0.3)  # let the first snapshot land
+        first.stop()
+        second = PassDaemon(port=port)
+        try:
+            second.start()
+            watcher.join(timeout=30)
+        finally:
+            second.stop()
+        assert not watcher.is_alive()
+        assert result["code"] == 0
+        assert len(result["lines"]) == 3
+        assert "retrying" in capsys.readouterr().err
+
+    def test_top_gives_up_after_reconnect_attempts(self, capsys):
+        daemon = PassDaemon()
+        address = daemon.start()
+        daemon.stop()  # nothing listens there any more
+        out = io.StringIO()
+        code = main(
+            [
+                "top", address.url,
+                "--iterations", "5", "--interval", "0.01",
+                "--reconnect-attempts", "0",
+            ],
+            out=out,
+        )
+        assert code in (1, 2)  # refused mid-poll or at connect
+        assert "daemon" in capsys.readouterr().err
+
+
+class TestHealthcheckCommand:
+    def test_ok_daemon_exits_zero_with_check_lines(self):
+        with PassDaemon() as daemon:
+            out = io.StringIO()
+            code = main(["healthcheck", daemon.address.url], out=out)
+        assert code == 0
+        screen = out.getvalue()
+        assert "status: ok" in screen
+        assert "storage:default" in screen
+
+    def test_json_report_round_trips(self):
+        with PassDaemon() as daemon:
+            out = io.StringIO()
+            code = main(["healthcheck", daemon.address.url, "--json"], out=out)
+        assert code == 0
+        report = json.loads(out.getvalue())
+        assert report["status"] == "ok"
+        assert report["checks"]["trace-ring"]["ok"] is True
+
+    def test_local_targets_are_probed_too(self):
+        out = io.StringIO()
+        code = main(["healthcheck", "memory://"], out=out)
+        assert code == 0
+        assert "status: ok" in out.getvalue()
+
+    def test_unreachable_daemon_exits_three(self, capsys):
+        daemon = PassDaemon()
+        address = daemon.start()
+        daemon.stop()
+        out = io.StringIO()
+        code = main(["healthcheck", address.url], out=out)
+        assert code == 3
+        assert "error" in capsys.readouterr().err
+
+
+class TestAlertsCommand:
+    RULES_JSON = json.dumps(
+        {
+            "rules": [
+                {
+                    "name": "always-on",
+                    "kind": "threshold",
+                    "series": "daemon.connections",
+                    "stat": "latest",
+                    "op": ">=",
+                    "value": 0.0,
+                }
+            ]
+        }
+    )
+
+    def test_daemon_without_rules_reports_disabled(self):
+        with PassDaemon() as daemon:
+            out = io.StringIO()
+            code = main(["alerts", daemon.address.url], out=out)
+        assert code == 0
+        assert "alerts disabled" in out.getvalue()
+
+    def test_rules_render_with_status_and_condition(self, tmp_path):
+        rules = tmp_path / "rules.json"
+        rules.write_text(self.RULES_JSON)
+        with PassDaemon(sample_interval_s=0.05, alert_rules=str(rules)) as daemon:
+            import time
+
+            time.sleep(0.3)  # a couple of sampler ticks
+            out = io.StringIO()
+            code = main(["alerts", daemon.address.url], out=out)
+        assert code == 0
+        screen = out.getvalue()
+        assert "1 rule(s)" in screen
+        assert "always-on" in screen
+        assert "latest(daemon.connections) >= 0.0" in screen
+
+    def test_json_snapshot_round_trips(self, tmp_path):
+        rules = tmp_path / "rules.json"
+        rules.write_text(self.RULES_JSON)
+        with PassDaemon(sample_interval_s=0.05, alert_rules=str(rules)) as daemon:
+            out = io.StringIO()
+            code = main(["alerts", daemon.address.url, "--json"], out=out)
+        assert code == 0
+        snapshot = json.loads(out.getvalue())
+        assert snapshot["enabled"] is True
+        assert snapshot["rules"][0]["name"] == "always-on"
+
+    def test_non_daemon_targets_are_refused(self, capsys):
+        out = io.StringIO()
+        code = main(["alerts", "memory://"], out=out)
+        assert code == 2
+        assert "not a pass:// daemon" in capsys.readouterr().err
 
 
 class TestTraceCommand:

@@ -1,0 +1,150 @@
+"""Health checks: probe builders, aggregation, and client surfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import connect
+from repro.obs import HealthCheck, evaluate, trace
+from repro.obs.health import (
+    closure_check,
+    storage_check,
+    subscription_check,
+    trace_ring_check,
+)
+
+
+def _check(ok, critical=True, name="probe"):
+    return HealthCheck(name=name, probe=lambda: (ok, "detail"), critical=critical)
+
+
+class TestEvaluate:
+    def test_all_ok(self):
+        report = evaluate([_check(True), _check(True, critical=False, name="soft")])
+        assert report["status"] == "ok"
+        assert set(report["checks"]) == {"probe", "soft"}
+        assert report["checks"]["probe"] == {
+            "ok": True,
+            "critical": True,
+            "detail": "detail",
+        }
+
+    def test_failing_critical_fails_the_report(self):
+        report = evaluate([_check(False), _check(True, critical=False, name="soft")])
+        assert report["status"] == "failing"
+
+    def test_failing_noncritical_only_degrades(self):
+        report = evaluate([_check(True), _check(False, critical=False, name="soft")])
+        assert report["status"] == "degraded"
+
+    def test_critical_failure_wins_over_degraded(self):
+        report = evaluate(
+            [_check(False, critical=False, name="soft"), _check(False, name="hard")]
+        )
+        assert report["status"] == "failing"
+
+    def test_a_raising_probe_fails_but_never_propagates(self):
+        def boom():
+            raise RuntimeError("kaput")
+
+        report = evaluate([HealthCheck(name="bad", probe=boom)])
+        assert report["status"] == "failing"
+        assert "kaput" in report["checks"]["bad"]["detail"]
+
+
+class TestBuilders:
+    def test_storage_check_on_a_live_memory_store(self):
+        with connect("memory://") as client:
+            ok, detail = storage_check(client.store).probe()
+        assert ok
+        assert "in-memory" in detail
+
+    def test_storage_check_fails_on_a_closed_sqlite_backend(self, tmp_path):
+        client = connect(f"sqlite:///{tmp_path}/pass.db")
+        check = storage_check(client.store)
+        client.close()
+        ok, detail = check.probe()
+        assert not ok
+        assert "closed" in detail
+
+    def test_closure_check_reports_strategy_and_dirty_edges(self):
+        with connect("memory://") as client:
+            ok, detail = closure_check(client.store).probe()
+        assert ok
+        assert "dirty edge(s)" in detail
+
+    def test_closure_check_fails_over_the_dirty_limit(self):
+        class FakeClosure:
+            def index_stats(self):
+                return {"strategy": "interval", "dirty_edges": 50}
+
+        class FakeStore:
+            closure = FakeClosure()
+
+        ok, detail = closure_check(FakeStore(), max_dirty_edges=10).probe()
+        assert not ok
+        assert "limit 10" in detail
+
+    def test_subscription_check_flags_drops(self):
+        class FakeSub:
+            id = "s1"
+            dropped = 3
+            queue = None
+
+        ok, detail = subscription_check(lambda: [FakeSub()]).probe()
+        assert not ok
+        assert "dropped" in detail
+
+    def test_subscription_check_flags_saturated_queues(self):
+        class FakeQueue:
+            maxsize = 10
+
+            def __len__(self):
+                return 10
+
+        class FakeSub:
+            id = "s1"
+            dropped = 0
+            queue = FakeQueue()
+
+        ok, detail = subscription_check(lambda: [FakeSub()]).probe()
+        assert not ok
+        assert "full" in detail
+
+    def test_trace_ring_check_is_stateful(self):
+        check = trace_ring_check()
+        ok, _ = check.probe()
+        assert ok
+        tracer = trace._TRACER
+        tracer.dropped += 5  # simulate ring evictions since the baseline
+        try:
+            ok, detail = check.probe()
+            assert not ok and "5 span(s)" in detail
+            # The burst was reported once; a recovered process is ok again.
+            ok, _ = check.probe()
+            assert ok
+        finally:
+            tracer.dropped -= 5
+
+
+class TestClientHealth:
+    def test_local_client_health_runs_the_standard_checks(self):
+        with connect("memory://") as client:
+            report = client.health()
+        assert report["status"] == "ok"
+        assert {"storage", "closure", "subscriptions", "trace-ring"} <= set(
+            report["checks"]
+        )
+
+    def test_model_client_health_has_at_least_the_trace_ring(self):
+        with connect("centralized://") as client:
+            report = client.health()
+        assert report["status"] == "ok"
+        assert "trace-ring" in report["checks"]
+
+    def test_check_list_is_cached_so_rate_baselines_survive(self):
+        with connect("memory://") as client:
+            client.health()
+            first = client._health_check_list
+            client.health()
+            assert client._health_check_list is first

@@ -1,0 +1,137 @@
+"""HistogramState: mergeable snapshots with bounded quantile error.
+
+The bucket layout (log base 1.1) promises quantiles within ~5% relative
+error of the true sample quantile.  These tests hold `state()` /
+`merge()` / `delta()` to the same bound: slicing a stream into
+per-interval deltas and merging the slices back must not widen the
+error, because the window quantiles the alert engine evaluates are
+computed exactly that way.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs import Histogram, HistogramState
+
+REL = 0.06  # bucket width 1.1 => <= ~5% quantile error, plus slack
+
+
+def _true_quantile(samples, q):
+    ordered = sorted(samples)
+    rank = max(1, int(round(q * len(ordered) + 0.5)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class TestState:
+    def test_state_mirrors_the_snapshot(self):
+        histogram = Histogram("ms")
+        for value in (1.0, 2.0, 4.0):
+            histogram.observe(value)
+        state = histogram.state()
+        assert state.count == 3
+        assert state.total == pytest.approx(7.0)
+        assert state.min == 1.0
+        assert state.max == 4.0
+        assert state.summary() == histogram.snapshot()
+
+    def test_empty_state(self):
+        state = HistogramState()
+        assert state.empty
+        assert state.quantile(0.5) is None
+        assert state.summary()["count"] == 0
+
+    def test_state_is_a_snapshot_not_a_view(self):
+        histogram = Histogram("ms")
+        histogram.observe(1.0)
+        state = histogram.state()
+        histogram.observe(100.0)
+        assert state.count == 1
+        assert histogram.state().count == 2
+
+
+class TestMerge:
+    @pytest.mark.parametrize("quantile", [0.5, 0.95, 0.99])
+    def test_merged_windows_stay_within_bucket_error(self, quantile):
+        """Quantiles of merged interval slices track the true sample
+        quantile as tightly as a single cumulative histogram does."""
+        rng = random.Random(7)
+        samples = []
+        merged = HistogramState()
+        for _ in range(40):  # 40 intervals x 50 observations
+            window = Histogram("w")
+            chunk = [rng.lognormvariate(1.5, 1.0) for _ in range(50)]
+            for value in chunk:
+                window.observe(value)
+            samples.extend(chunk)
+            merged = merged.merge(window.state())
+        assert merged.count == len(samples)
+        truth = _true_quantile(samples, quantile)
+        assert merged.quantile(quantile) == pytest.approx(truth, rel=REL)
+
+    def test_merge_equals_the_cumulative_histogram_exactly(self):
+        """Merging deltas reconstructs the cumulative bucket counts, so
+        the quantile answers are bit-identical, not just within error."""
+        rng = random.Random(3)
+        cumulative = Histogram("ms")
+        merged = HistogramState()
+        previous = cumulative.state()
+        for _ in range(20):
+            for _ in range(30):
+                cumulative.observe(rng.expovariate(0.2))
+            now = cumulative.state()
+            merged = merged.merge(now.delta(previous))
+            previous = now
+        for q in (0.5, 0.9, 0.95, 0.99):
+            assert merged.quantile(q) == cumulative.quantile(q)
+        assert merged.count == cumulative.state().count
+        assert merged.total == pytest.approx(cumulative.state().total)
+
+    def test_merge_keeps_min_max_envelope(self):
+        a = Histogram("a")
+        a.observe(1.0)
+        b = Histogram("b")
+        b.observe(500.0)
+        merged = a.state().merge(b.state())
+        assert merged.min == 1.0
+        assert merged.max == 500.0
+
+    def test_merge_with_empty_is_identity(self):
+        histogram = Histogram("ms")
+        histogram.observe(3.0)
+        state = histogram.state()
+        merged = state.merge(HistogramState())
+        assert merged.count == state.count
+        assert merged.quantile(0.5) == state.quantile(0.5)
+
+
+class TestDelta:
+    def test_delta_isolates_the_intervals_observations(self):
+        histogram = Histogram("ms")
+        histogram.observe(10.0)
+        earlier = histogram.state()
+        histogram.observe(20.0)
+        histogram.observe(40.0)
+        delta = histogram.state().delta(earlier)
+        assert delta.count == 2
+        assert delta.total == pytest.approx(60.0)
+        # The interval's quantiles see only the interval's two samples.
+        assert delta.quantile(0.5) == pytest.approx(20.0, rel=REL)
+        assert delta.quantile(0.99) == pytest.approx(40.0, rel=REL)
+
+    def test_delta_of_identical_states_is_empty(self):
+        histogram = Histogram("ms")
+        histogram.observe(1.0)
+        state = histogram.state()
+        assert state.delta(state).empty
+
+    def test_delta_bounds_stay_inside_the_cumulative_envelope(self):
+        histogram = Histogram("ms")
+        histogram.observe(2.0)
+        earlier = histogram.state()
+        histogram.observe(8.0)
+        delta = histogram.state().delta(earlier)
+        assert delta.min is not None and delta.min >= earlier.min
+        assert delta.max is not None and delta.max <= histogram.state().max

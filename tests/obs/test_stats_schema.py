@@ -94,6 +94,16 @@ class TestGoldenKeys:
         obs = client.stats()["obs"]
         assert set(obs) == {"counters", "gauges", "histograms"}
 
+    def test_trace_ring_counters_ride_every_obs_block(self, exercised):
+        """Ring drops and export truncation are first-class counters, so
+        a dashboard can alert on span loss from any target's stats()."""
+        _, client = exercised
+        counters = client.stats()["obs"]["counters"]
+        assert "trace.spans_dropped" in counters
+        assert "trace.exports_truncated" in counters
+        assert counters["trace.spans_dropped"] >= 0
+        assert counters["trace.exports_truncated"] >= 0
+
     def test_op_metrics_recorded_the_traffic(self, exercised):
         target, client = exercised
         obs = client.stats()["obs"]

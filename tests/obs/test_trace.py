@@ -118,6 +118,38 @@ class TestBuffer:
             tracing.enable(capacity=8192)
             tracing.clear()
 
+    def test_truncated_exports_are_counted_once_per_drop_burst(self):
+        tracing.enable(capacity=2)
+        try:
+            for index in range(5):
+                with span(f"s{index}"):
+                    pass
+            tracing.drain()  # exported after drops: one truncation
+            tracing.drain()  # no new drops since: not a truncation
+            counters = tracing.ring_counters()
+            assert counters["trace.spans_dropped"] == 3
+            assert counters["trace.exports_truncated"] == 1
+        finally:
+            tracing.enable(capacity=8192)
+            tracing.clear()
+
+    def test_ring_counters_reset_with_clear(self):
+        tracing.enable(capacity=2)
+        try:
+            for index in range(4):
+                with span(f"s{index}"):
+                    pass
+            tracing.spans()
+            tracing.clear()
+            counters = tracing.ring_counters()
+            assert counters == {
+                "trace.spans_dropped": 0,
+                "trace.exports_truncated": 0,
+            }
+        finally:
+            tracing.enable(capacity=8192)
+            tracing.clear()
+
     def test_drain_empties_spans_copies(self):
         with span("kept"):
             pass
