@@ -25,7 +25,10 @@ from a URL::
 
 The same two lines of query code run unchanged against a durable SQLite
 store or any Section IV architecture model over a simulated wide-area
-topology -- which is exactly the comparison the paper is about.  Queries
+topology -- which is exactly the comparison the paper is about.  At
+scale, ``connect("sqlite:///pass.db?shards=8")`` partitions the store by
+PName digest across N concurrent SQLite shards with group-commit writes
+and parallel scans (see ``docs/STORAGE.md``).  Queries
 are built with the :class:`~repro.api.dsl.Q` DSL (or the raw predicate
 algebra in :mod:`repro.core.query`); every operation returns a
 :class:`~repro.api.results.Result` carrying records, simulated cost and

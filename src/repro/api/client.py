@@ -446,6 +446,7 @@ class LocalClient(PassClient):
         self.metrics.register_provider(
             "backend", lambda: self.store.backend.stats.snapshot()
         )
+        self.metrics.register_provider("storage", self.store.storage_snapshot)
         self.metrics.register_provider(
             "planner",
             lambda: {

@@ -148,6 +148,15 @@ class PassStore(LineageOracle):
         # have all committed -- an observer that turns around and queries
         # the store sees the new record fully ingested, never half-way.
         self._ingest_hooks: List[Callable[[PName, ProvenanceRecord], None]] = []
+        # What happened to the persisted closure labelling on open; the
+        # sharded restore path overwrites this with its adoption report.
+        self._closure_restore_report = {
+            "mode": "none",
+            "shards": self.backend.shard_count(),
+            "adopted": 0,
+            "stale": [],
+            "reason": "no restore attempted",
+        }
         # Rebuild in-memory structures if the backend already has records
         # (e.g. a SQLite file reopened after a crash).
         self._rebuild_from_backend()
@@ -528,17 +537,42 @@ class PassStore(LineageOracle):
         be checked against reality.  Any mismatch (different strategy,
         stale snapshot, corrupt blob) falls back to the strategy's own
         lazy rebuild -- restoring is an optimization, never a must.
+
+        On a sharded backend the labelling is checkpointed per shard
+        (:mod:`repro.lineage.partition`): shards whose records did not
+        change are adopted as-is, and additions-only drift is caught up
+        incrementally instead of triggering a global recompute.
         """
+        if self.backend.shard_count() > 1:
+            from repro.lineage.partition import restore_partitioned
+
+            report = restore_partitioned(self)
+            self._closure_restore_report = report
+            return report["mode"] in ("full", "partial")
         blob = self.backend.get_index_blob(self._closure_index_key())
         if blob is None:
+            self._closure_restore_report["reason"] = "no persisted labelling"
             return False
         try:
             state = json.loads(blob.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
+            self._closure_restore_report["reason"] = "unreadable labelling blob"
             return False
         if not isinstance(state, dict):
+            self._closure_restore_report["reason"] = "unreadable labelling blob"
             return False
-        return self.closure.restore(state, self.graph.fingerprint())
+        adopted = self.closure.restore(state, self.graph.fingerprint())
+        if adopted:
+            self._closure_restore_report = {
+                "mode": "full",
+                "shards": 1,
+                "adopted": 1,
+                "stale": [],
+                "reason": None,
+            }
+        else:
+            self._closure_restore_report["reason"] = "snapshot was refused by the strategy"
+        return adopted
 
     def persist_closure_index(self) -> bool:
         """Snapshot the closure strategy's labelling into the backend.
@@ -548,6 +582,10 @@ class PassStore(LineageOracle):
         blob storage both make this a no-op, so callers can invoke it
         unconditionally (the façade does, on ``close()``).
         """
+        if self.backend.shard_count() > 1:
+            from repro.lineage.partition import persist_partitioned
+
+            return persist_partitioned(self)
         state = self.closure.snapshot(self.graph.fingerprint())
         if state is None:
             return False
@@ -569,6 +607,17 @@ class PassStore(LineageOracle):
         stats = dict(self.closure.index_stats())
         stats["persisted"] = persisted
         return stats
+
+    def storage_snapshot(self) -> dict:
+        """The frozen ``stats()["storage"]`` block for this store.
+
+        The backend's storage profile (kind, shard layout, group-commit
+        and parallel-scan counters) plus what happened to the persisted
+        closure labelling when the store was opened.
+        """
+        snapshot = self.backend.storage_stats()
+        snapshot["closure_restore"] = dict(self._closure_restore_report)
+        return snapshot
 
     # ------------------------------------------------------------------
     # Reading (de)serialisation
@@ -639,28 +688,50 @@ def _reading_value_from_json(value):
 from repro.api.registry import ConnectionSpec, register_scheme  # noqa: E402
 
 
-def _store_from_spec(spec: ConnectionSpec, backend: Optional[StorageBackend]) -> PassStore:
+def _store_from_spec(
+    spec: ConnectionSpec,
+    backend: Optional[StorageBackend],
+    default_closure: str = "labelled",
+) -> PassStore:
     return PassStore(
         backend=backend,
-        closure=spec.text("closure", "labelled"),
+        closure=spec.text("closure", default_closure),
         indexed_attributes=spec.listing("indexed"),
         site=spec.text("site", "local"),
     )
 
 
+def _spec_shards(spec: ConnectionSpec) -> int:
+    """The ``?shards=N`` connection parameter (1 = unsharded)."""
+    return spec.integer("shards", 1)
+
+
 @register_scheme("memory")
 def _connect_memory(spec: ConnectionSpec):
-    """``memory://`` -- a local in-memory PASS store."""
+    """``memory://`` -- a local in-memory PASS store (``?shards=N`` partitions it)."""
     from repro.api.client import LocalClient
+    from repro.storage.factory import make_backend
 
-    return LocalClient(_store_from_spec(spec, MemoryBackend()))
+    shards = _spec_shards(spec)
+    backend = make_backend("memory", shards=shards)
+    # A sharded store defaults to the interval strategy: its labelling is
+    # the one the partitioned per-shard checkpoint format can persist.
+    default_closure = "interval" if shards > 1 else "labelled"
+    return LocalClient(_store_from_spec(spec, backend, default_closure))
 
 
 @register_scheme("sqlite")
 def _connect_sqlite(spec: ConnectionSpec):
-    """``sqlite:///pass.db`` -- a local PASS over a durable SQLite backend."""
+    """``sqlite:///pass.db`` -- a local PASS over a durable SQLite backend.
+
+    ``?shards=N`` digest-partitions the database across N SQLite files
+    (``pass.db.shard00`` ... ``pass.db.shard0{N-1}``) with group commit
+    and parallel scans; reopen must use the same N.
+    """
     from repro.api.client import LocalClient
     from repro.storage.factory import make_backend
 
-    backend = make_backend("sqlite", path=spec.database_path())
-    return LocalClient(_store_from_spec(spec, backend))
+    shards = _spec_shards(spec)
+    backend = make_backend("sqlite", path=spec.database_path(), shards=shards)
+    default_closure = "interval" if shards > 1 else "labelled"
+    return LocalClient(_store_from_spec(spec, backend, default_closure))

@@ -1,0 +1,248 @@
+"""Partitioned persistence of the interval labelling for sharded stores.
+
+The single-blob checkpoint (``PassStore.persist_closure_index``) is
+all-or-nothing: one fingerprint over the whole graph, so one shard's
+worth of drift throws away every label.  On a digest-partitioned backend
+(:class:`~repro.storage.sharded.ShardedBackend`) that is needlessly
+coarse -- the swh-provenance flavor split applied here: keep the
+*normalized* cross-shard structure small and shared, and spread the
+*denormalized* per-node label maps across the shards that own them.
+
+Layout
+------
+* **Per-shard label blobs** (shard ``i``'s own blob store): the
+  ``down``/``up`` interval label entries of every digest homed on shard
+  ``i``, stamped with that shard's structural CRC (XOR of per-node and
+  per-edge CRCs over the records whose *child* digest lives there --
+  the per-shard decomposition of
+  :meth:`~repro.core.graph.ProvenanceGraph.fingerprint`).
+* **The boundary index** (shard 0, via the store-wide blob API): the
+  chain decomposition -- chains are the only structure reachability
+  queries share across shards -- plus the shard-count, the global
+  fingerprint and the per-shard CRC vector.
+
+Reopen then adopts what it can:
+
+* every shard CRC matches -- assemble the blobs and adopt the labelling
+  wholesale (``mode: "full"``), no rebuild at all;
+* some shards are stale but only by *additions* (provenance records are
+  content-addressed and immutable, so a digest present at snapshot time
+  can never have changed -- the snapshot's node set must be a subset of
+  the live graph): adopt the old labelling and feed the new records'
+  edges through the interval index's incremental dirty-merge, a
+  shard-local catch-up instead of a global recompute
+  (``mode: "partial"``);
+* anything else -- record *loss*, unreadable blob, shard-count change --
+  falls back to the strategy's own lazy rebuild (``mode: "rebuild"``).
+  Old labels over missing records would assert reachability through
+  data that no longer exists, so partial adoption is never attempted
+  across loss.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Dict, List
+
+from repro.storage.sharded import shard_of_digest
+
+__all__ = [
+    "boundary_blob_name",
+    "persist_partitioned",
+    "restore_partitioned",
+    "shard_blob_name",
+    "shard_fingerprints",
+]
+
+#: bump when the partitioned layout changes; restore refuses other versions
+_PARTITION_FORMAT = 1
+
+
+def boundary_blob_name(closure_name: str) -> str:
+    """The store-wide (shard 0) boundary-index blob for ``closure_name``."""
+    return f"closure:{closure_name}:boundary"
+
+
+def shard_blob_name(closure_name: str) -> str:
+    """The per-shard label blob (same name in every shard's blob store)."""
+    return f"closure:{closure_name}:labels"
+
+
+def shard_fingerprints(graph, shards: int) -> List[int]:
+    """Per-shard structural CRCs, partitioned by the child digest's shard.
+
+    XOR-combining the vector reproduces ``graph.fingerprint()["crc"]``,
+    so the per-shard stamps are exactly a decomposition of the global
+    one: a shard whose records (and their ancestry edges) did not change
+    keeps its CRC whatever happened elsewhere.
+    """
+    crcs = [0] * shards
+    for pname in graph.nodes():
+        digest = pname.digest
+        index = shard_of_digest(digest, shards)
+        crcs[index] ^= zlib.crc32(digest.encode("ascii"))
+        for parent in graph.parents_of(digest):
+            crcs[index] ^= zlib.crc32(f"{digest}->{parent}".encode("ascii"))
+    return crcs
+
+
+def _encode(document: dict) -> bytes:
+    return json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _decode(blob) -> dict:
+    if blob is None:
+        return {}
+    try:
+        document = json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return {}
+    return document if isinstance(document, dict) else {}
+
+
+def persist_partitioned(store) -> bool:
+    """Checkpoint ``store``'s closure labelling as per-shard blobs.
+
+    Returns True when a snapshot was written.  Strategies that have
+    nothing to persist (never built, non-snapshotting) make this a
+    no-op, mirroring the single-blob path.
+    """
+    backend = store.backend
+    shards = backend.shard_count()
+    state = store.closure.snapshot(store.graph.fingerprint())
+    if state is None:
+        return False
+    crcs = shard_fingerprints(store.graph, shards)
+    name = store.closure.name
+    per_shard: List[Dict[str, dict]] = [{"down": {}, "up": {}} for _ in range(shards)]
+    for side in ("down", "up"):
+        for digest, pairs in state[side].items():
+            per_shard[shard_of_digest(digest, shards)][side][digest] = pairs
+    for index in range(shards):
+        backend.put_shard_index_blob(
+            index,
+            shard_blob_name(name),
+            _encode(
+                {
+                    "format": _PARTITION_FORMAT,
+                    "shard": index,
+                    "crc": crcs[index],
+                    "down": per_shard[index]["down"],
+                    "up": per_shard[index]["up"],
+                }
+            ),
+        )
+    backend.put_index_blob(
+        boundary_blob_name(name),
+        _encode(
+            {
+                "format": _PARTITION_FORMAT,
+                "snapshot_format": state["format"],
+                "strategy": state["strategy"],
+                "shards": shards,
+                "fingerprint": state["fingerprint"],
+                "shard_crcs": crcs,
+                "chains": state["chains"],
+            }
+        ),
+    )
+    return True
+
+
+def restore_partitioned(store) -> dict:
+    """Adopt a partitioned checkpoint; returns the adoption report.
+
+    The report is the ``closure_restore`` sub-block of
+    ``stats()["storage"]``: ``mode`` (``full`` / ``partial`` /
+    ``rebuild``), ``shards``, ``adopted`` (count of clean shards),
+    ``stale`` (shard ids caught up incrementally) and ``reason`` (why a
+    rebuild was chosen, else None).
+    """
+    backend = store.backend
+    closure = store.closure
+    shards = backend.shard_count()
+
+    def rebuild(reason: str) -> dict:
+        return {
+            "mode": "rebuild",
+            "shards": shards,
+            "adopted": 0,
+            "stale": [],
+            "reason": reason,
+        }
+
+    boundary = _decode(backend.get_index_blob(boundary_blob_name(closure.name)))
+    if not boundary:
+        return rebuild("no boundary index")
+    if (
+        boundary.get("format") != _PARTITION_FORMAT
+        or boundary.get("strategy") != closure.name
+    ):
+        return rebuild("boundary index has a different format or strategy")
+    if boundary.get("shards") != shards:
+        return rebuild(
+            f"boundary index was written for shards={boundary.get('shards')}"
+        )
+    try:
+        chains = [list(chain) for chain in boundary["chains"]]
+        recorded_crcs = [int(crc) for crc in boundary["shard_crcs"]]
+    except (KeyError, TypeError, ValueError):
+        return rebuild("unreadable boundary index")
+    if len(recorded_crcs) != shards:
+        return rebuild("boundary CRC vector does not match the shard count")
+
+    # Additions-only soundness check: every snapshot digest must still be
+    # in the graph (chains cover every node the decomposition saw).
+    snapshot_digests = {digest for chain in chains for digest in chain}
+    graph_digests = {pname.digest for pname in store.graph.nodes()}
+    if not snapshot_digests <= graph_digests:
+        return rebuild("snapshot references records no longer present")
+
+    current_crcs = shard_fingerprints(store.graph, shards)
+    stale = [i for i in range(shards) if current_crcs[i] != recorded_crcs[i]]
+    merged_down: Dict[str, list] = {}
+    merged_up: Dict[str, list] = {}
+    for index in range(shards):
+        blob = _decode(backend.get_shard_index_blob(index, shard_blob_name(closure.name)))
+        if blob.get("format") != _PARTITION_FORMAT or blob.get("shard") != index:
+            return rebuild(f"shard {index} label blob missing or unreadable")
+        if int(blob.get("crc", -1)) != recorded_crcs[index]:
+            return rebuild(f"shard {index} label blob does not match the boundary index")
+        try:
+            merged_down.update(blob["down"])
+            merged_up.update(blob["up"])
+        except (KeyError, TypeError):
+            return rebuild(f"shard {index} label blob missing or unreadable")
+
+    state = {
+        "format": boundary.get("snapshot_format"),
+        "strategy": closure.name,
+        "fingerprint": boundary.get("fingerprint"),
+        "chains": chains,
+        "down": merged_down,
+        "up": merged_up,
+    }
+    # Validate the assembled snapshot against its own recorded fingerprint
+    # (the CRC vector above already tied it to the live per-shard state).
+    if not closure.restore(state, dict(boundary.get("fingerprint", {}))):
+        return rebuild("assembled snapshot was refused by the strategy")
+
+    if stale:
+        # Shard-local catch-up: only edges incident to post-snapshot
+        # digests are dirty; the interval index's incremental merge
+        # relabels just the affected region on the next query.
+        fresh = graph_digests - snapshot_digests
+        for digest in fresh:
+            for parent in store.graph.parents_of(digest):
+                closure._dirty.append((digest, parent))
+            for child in store.graph.children_of(digest):
+                if child not in fresh:
+                    closure._dirty.append((child, digest))
+    return {
+        "mode": "partial" if stale else "full",
+        "shards": shards,
+        "adopted": shards - len(stale),
+        "stale": stale,
+        "reason": None,
+    }

@@ -71,6 +71,7 @@ STATS_LOCAL_KEYS = STATS_COMMON_KEYS | {
     "backend",
     "planner",
     "closure",
+    "storage",
 }
 
 #: architecture models add the model facts and the traffic snapshot

@@ -45,7 +45,10 @@ def execute(
         plan = store.planner.plan(query, force_full_scan=force_full_scan)
         full_scan = isinstance(plan.path, FullScanPath)
         if full_scan:
-            candidates = list(store.backend.iter_records())
+            # scan_all is the backend's bulk-read entry point: sharded
+            # backends fan the scan out across shards concurrently and
+            # merge in digest order.
+            candidates = store.backend.scan_all()
             store.stats.full_scans += 1
         else:
             hits = plan.path.probe(store)

@@ -443,6 +443,20 @@ class PassDaemon:
                 store.observe_counter(prefix + ".calls", now, calls.value)
                 store.observe_counter(prefix + ".errors", now, errors.value)
                 store.observe_histogram(prefix + ".ms", now, latency.state())
+        for tenant_name, tenant in self._tenants.items():
+            tenant_store = getattr(tenant.client, "store", None)
+            if tenant_store is None:
+                continue
+            snapshot = tenant_store.storage_snapshot()
+            prefix = f"daemon.{tenant_name}.storage"
+            store.observe_gauge(prefix + ".shards", now, snapshot["shards"])
+            store.observe_gauge(prefix + ".records", now, snapshot["records"])
+            store.observe_counter(prefix + ".group_commits", now, snapshot["group_commits"])
+            store.observe_counter(prefix + ".parallel_scans", now, snapshot["parallel_scans"])
+            for entry in snapshot["per_shard"]:
+                store.observe_gauge(
+                    f"{prefix}.shard{entry['shard']:02d}.records", now, entry["records"]
+                )
         if self.alert_engine is not None:
             try:
                 self.alert_engine.evaluate(now)

@@ -1,9 +1,10 @@
-"""Storage substrates: in-memory and SQLite backends, WAL, replication."""
+"""Storage substrates: in-memory, SQLite and sharded backends, WAL, replication."""
 
 from repro.storage.backend import StorageBackend, StorageStats
 from repro.storage.factory import BACKEND_KINDS, make_backend
 from repro.storage.memory import MemoryBackend
 from repro.storage.replication import ReplicationManager
+from repro.storage.sharded import ShardedBackend, shard_of_digest
 from repro.storage.sqlite import SQLiteBackend
 from repro.storage.wal import ReplayReport, WalEntry, WriteAheadLog
 
@@ -14,6 +15,8 @@ __all__ = [
     "make_backend",
     "MemoryBackend",
     "SQLiteBackend",
+    "ShardedBackend",
+    "shard_of_digest",
     "WriteAheadLog",
     "WalEntry",
     "ReplayReport",

@@ -19,12 +19,28 @@ nothing about indexing or queries; those live above, in
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import Iterator, List, Optional, Tuple
 
 from repro.core.provenance import PName, ProvenanceRecord
+from repro.errors import StorageError
 
-__all__ = ["StorageBackend", "StorageStats"]
+__all__ = ["StorageBackend", "StorageStats", "validate_batch_payloads"]
+
+
+def validate_batch_payloads(entries) -> None:
+    """Reject a batch containing a non-bytes payload *before* any write.
+
+    Shared by every ``put_batch`` implementation so an invalid entry
+    fails the whole batch identically on all backends (no partial state).
+    """
+    for record, payload in entries:
+        if payload is not None and not isinstance(payload, (bytes, bytearray)):
+            raise StorageError(
+                f"payload for {record.pname().short} must be bytes, "
+                f"got {type(payload).__name__}"
+            )
 
 
 class StorageStats:
@@ -53,8 +69,30 @@ class StorageStats:
 class StorageBackend(ABC):
     """Interface every storage backend implements."""
 
+    #: machine-readable backend family name in ``storage_stats()["kind"]``
+    storage_kind = "abstract"
+
     def __init__(self) -> None:
         self.stats = StorageStats()
+        # Storage-engine counters behind the frozen stats()["storage"]
+        # block: group commits (batched transactions), records committed
+        # through them, and commit wall time.  Parallelism counters stay
+        # zero on single-substrate backends; the sharded backend bumps
+        # them.
+        self._group_commits = 0
+        self._batch_records = 0
+        self._commit_ms_total = 0.0
+        self._commit_ms_max = 0.0
+        self._parallel_scans = 0
+        self._parallel_probes = 0
+
+    def _note_group_commit(self, records: int, elapsed_ms: float) -> None:
+        """Account one batched commit (``put_batch``) in the storage block."""
+        self._group_commits += 1
+        self._batch_records += records
+        self._commit_ms_total += elapsed_ms
+        if elapsed_ms > self._commit_ms_max:
+            self._commit_ms_max = elapsed_ms
 
     # -- provenance records ---------------------------------------------------
     @abstractmethod
@@ -88,23 +126,45 @@ class StorageBackend(ABC):
     def iter_records(self) -> Iterator[Tuple[PName, ProvenanceRecord]]:
         """Iterate over every stored ``(PName, record)`` pair."""
 
+    def scan_all(self) -> "List[Tuple[PName, ProvenanceRecord]]":
+        """Materialize every stored pair (the executor's full-scan path).
+
+        The default just drains :meth:`iter_records`; partitioned
+        backends override it to fan the scan across shards concurrently.
+        Callers must not rely on any particular ordering -- single-file
+        backends yield insertion order, the sharded backend digest order.
+        """
+        return list(self.iter_records())
+
     @abstractmethod
     def record_count(self) -> int:
         """Number of stored provenance records."""
+
+    def shard_count(self) -> int:
+        """How many independent partitions back this store (1 = unsharded)."""
+        return 1
 
     def put_batch(self, entries: "List[Tuple[ProvenanceRecord, Optional[bytes]]]") -> None:
         """Persist several ``(record, payload)`` pairs as one batch.
 
         ``payload`` may be ``None`` for metadata-only records.  The
-        default simply loops; durable backends override it to commit the
-        whole batch in a single transaction, which is what makes the
-        façade's ``publish_many`` cheaper per tuple set than looped
-        publishes.
+        default loops; durable backends override it to commit the whole
+        batch in a single transaction, which is what makes the façade's
+        ``publish_many`` cheaper per tuple set than looped publishes.
+
+        The batch is atomic with respect to *invalid input*: every
+        payload is type-checked before anything is written, so a bad
+        entry rejects the whole batch and leaves no partial state --
+        identical visible behaviour to the transactional backends.
         """
+        entries = list(entries)
+        validate_batch_payloads(entries)
+        started = time.perf_counter()
         for record, payload in entries:
             self.put_record(record)
             if payload is not None:
                 self.put_payload(record.pname(), payload)
+        self._note_group_commit(len(entries), (time.perf_counter() - started) * 1000.0)
 
     # -- payloads (the readings themselves) ----------------------------------
     @abstractmethod
@@ -154,6 +214,39 @@ class StorageBackend(ABC):
     @abstractmethod
     def removed_pnames(self) -> List[PName]:
         """All PNames whose data was removed."""
+
+    # -- the stats()["storage"] block -----------------------------------------
+    def storage_stats(self) -> dict:
+        """The frozen ``stats()["storage"]`` block (see docs/STORAGE.md).
+
+        Same keys on every backend -- unsharded stores report
+        ``shards: 1`` and zero parallelism -- so dashboards can key on
+        the block unconditionally (golden-key suite enforced).
+        """
+        return {
+            "kind": self.storage_kind,
+            "shards": self.shard_count(),
+            "records": self.record_count(),
+            "group_commits": self._group_commits,
+            "batch_records": self._batch_records,
+            "commit_ms": {
+                "total": round(self._commit_ms_total, 3),
+                "max": round(self._commit_ms_max, 3),
+            },
+            "parallel_scans": self._parallel_scans,
+            "parallel_probes": self._parallel_probes,
+            "per_shard": self._per_shard_storage(),
+        }
+
+    def _per_shard_storage(self) -> "List[dict]":
+        """One entry per shard; the single-substrate default is shard 0."""
+        return [
+            {
+                "shard": 0,
+                "records": self.record_count(),
+                "group_commits": self._group_commits,
+            }
+        ]
 
     # -- lifecycle ---------------------------------------------------------------
     def flush(self) -> None:

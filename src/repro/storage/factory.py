@@ -1,38 +1,80 @@
 """Backend factory: construct a storage backend from a kind name.
 
 The PassClient registry (``connect("memory://")`` /
-``connect("sqlite:///pass.db")``) and anything else that configures
-storage by name goes through here, so the set of shipped backends lives
-in exactly one place.
+``connect("sqlite:///pass.db")`` / ``connect("sqlite:///pass.db?shards=8")``)
+and anything else that configures storage by name goes through here, so
+the set of shipped backends lives in exactly one place.
+
+``shards=N`` (N >= 2) on the ``memory`` and ``sqlite`` kinds builds a
+:class:`~repro.storage.sharded.ShardedBackend` partitioning the keyspace
+across N per-shard substrates of that kind.  The factory also guards the
+two reopen mistakes that would silently mis-partition data: opening an
+existing *sharded* base without ``shards=`` (or with a different count)
+and opening an existing *unsharded* database with ``shards=N`` both
+raise :class:`~repro.errors.StorageError`.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StorageError
 from repro.storage.backend import StorageBackend
 from repro.storage.memory import MemoryBackend
+from repro.storage.sharded import ShardedBackend, shard_file_name
 from repro.storage.sqlite import SQLiteBackend
 
 __all__ = ["BACKEND_KINDS", "make_backend"]
 
 #: the backend kinds make_backend understands
-BACKEND_KINDS = ("memory", "sqlite")
+BACKEND_KINDS = ("memory", "sqlite", "sharded")
 
 
-def make_backend(kind: str, path: Optional[str] = None, **options) -> StorageBackend:
+def _sharded_base_exists(path: Optional[str]) -> bool:
+    return path is not None and Path(shard_file_name(path, 0)).exists()
+
+
+def make_backend(
+    kind: str, path: Optional[str] = None, shards: int = 1, **options
+) -> StorageBackend:
     """Build a storage backend by kind name.
 
-    ``path`` only applies to durable backends (``sqlite``); extra
+    ``path`` only applies to durable backends (``sqlite``/``sharded``);
+    ``shards`` >= 2 partitions the store (see module docstring); extra
     keyword options are forwarded to the backend constructor.
     """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
     if kind == "memory":
         if path is not None:
             raise ConfigurationError("the memory backend takes no path")
+        if shards > 1:
+            return ShardedBackend(None, shards=shards, kind="memory", **options)
         return MemoryBackend(**options)
     if kind == "sqlite":
-        return SQLiteBackend(path if path is not None else ":memory:", **options)
+        db_path = path if path is not None else ":memory:"
+        if shards > 1:
+            return make_backend("sharded", path=db_path, shards=shards, **options)
+        if _sharded_base_exists(path):
+            raise StorageError(
+                f"{path!r} is the base of a sharded database "
+                f"({shard_file_name(path, 0)} exists); open it with the "
+                "shards=N it was created with"
+            )
+        return SQLiteBackend(db_path, **options)
+    if kind == "sharded":
+        db_path = path if path is not None else ":memory:"
+        if (
+            db_path != ":memory:"
+            and Path(db_path).exists()
+            and not _sharded_base_exists(db_path)
+        ):
+            raise StorageError(
+                f"{db_path!r} is an existing unsharded SQLite database; open "
+                "it without shards= (or migrate it into a sharded base first)"
+            )
+        return ShardedBackend(db_path, shards=max(2, shards), **options)
     raise ConfigurationError(
         f"unknown storage backend kind {kind!r}; known: {list(BACKEND_KINDS)}"
     )

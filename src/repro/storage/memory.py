@@ -20,6 +20,8 @@ __all__ = ["MemoryBackend"]
 class MemoryBackend(StorageBackend):
     """Stores everything in process memory."""
 
+    storage_kind = "memory"
+
     def __init__(self) -> None:
         super().__init__()
         self._records: Dict[str, ProvenanceRecord] = {}
@@ -84,6 +86,7 @@ class MemoryBackend(StorageBackend):
 
     def get_index_blob(self, name: str) -> Optional[bytes]:
         self._check_open()
+        self.stats.gets += 1
         return self._index_blobs.get(name)
 
     def delete_index_blob(self, name: str) -> bool:

@@ -25,14 +25,14 @@ Schema
 
 from __future__ import annotations
 
-import json
 import sqlite3
+import time
 from pathlib import Path
 from typing import Iterator, List, Optional, Tuple
 
 from repro.core.provenance import PName, ProvenanceRecord
 from repro.errors import CrashInjectedError, StorageError
-from repro.storage.backend import StorageBackend
+from repro.storage.backend import StorageBackend, validate_batch_payloads
 
 __all__ = ["SQLiteBackend"]
 
@@ -76,6 +76,8 @@ class SQLiteBackend(StorageBackend):
         write.  Used by the recovery experiment.
     """
 
+    storage_kind = "sqlite"
+
     def __init__(
         self,
         path: str | Path = ":memory:",
@@ -83,7 +85,10 @@ class SQLiteBackend(StorageBackend):
     ) -> None:
         super().__init__()
         self._path = str(path)
-        self._connection = sqlite3.connect(self._path)
+        # The connection is usable from any thread; the backend itself is
+        # not thread-safe, so concurrent callers (the sharded backend's
+        # commit pool) serialize access per instance.
+        self._connection = sqlite3.connect(self._path, check_same_thread=False)
         self._connection.execute("PRAGMA journal_mode=WAL")
         self._connection.execute("PRAGMA synchronous=NORMAL")
         self._connection.executescript(_SCHEMA)
@@ -139,10 +144,12 @@ class SQLiteBackend(StorageBackend):
         """
         self._check_open()
         entries = list(entries)
+        validate_batch_payloads(entries)
         for record, payload in entries:
             self._maybe_crash()
             if payload is not None:
                 self._maybe_crash()
+        started = time.perf_counter()
         with self._connection:
             self._connection.executemany(
                 "INSERT OR REPLACE INTO records (pname, body) VALUES (?, ?)",
@@ -164,6 +171,7 @@ class SQLiteBackend(StorageBackend):
                     if payload is not None
                 ],
             )
+        self._note_group_commit(len(entries), (time.perf_counter() - started) * 1000.0)
         for record, payload in entries:
             self.stats.puts += 1
             if payload is not None:

@@ -18,6 +18,7 @@ from repro.sensors.workloads import TrafficWorkload
 ALL_TARGETS = [
     "memory://",
     "sqlite://",
+    "sqlite://?shards=4",  # digest-partitioned store behind the same façade
     "centralized://",
     "distributed-db://",
     "federated://",
@@ -26,6 +27,7 @@ ALL_TARGETS = [
     "dht://",
     "locale-aware-pass://",
     "pass://",  # resolved to a live daemon by the target fixture
+    "pass+sharded://",  # a daemon whose tenant stores are sharded
 ]
 
 
@@ -53,12 +55,24 @@ def daemon_url():
         yield daemon.address.url
 
 
+@pytest.fixture(scope="module")
+def sharded_daemon_url(tmp_path_factory):
+    """A daemon serving tenants over a digest-partitioned SQLite store."""
+    from repro.server import PassDaemon
+
+    db = tmp_path_factory.mktemp("sharded-daemon") / "pass.db"
+    with PassDaemon(backend_url=f"sqlite:///{db}?shards=4") as daemon:
+        yield daemon.address.url
+
+
 @pytest.fixture(params=ALL_TARGETS, scope="module")
 def target(request, workload_sets):
     raw, derived = workload_sets
     url = request.param
     if url == "pass://":
         url = request.getfixturevalue("daemon_url")
+    elif url == "pass+sharded://":
+        url = request.getfixturevalue("sharded_daemon_url")
     client = connect(url)
     published = client.publish_many(raw + derived)
     client.refresh()  # soft state pushes its pending summaries

@@ -1,0 +1,214 @@
+"""Tests for the partitioned closure checkpoint (repro.lineage.partition)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import PassStore, ProvenanceRecord, SensorReading, Timestamp, TupleSet
+from repro.lineage.partition import (
+    boundary_blob_name,
+    restore_partitioned,
+    shard_blob_name,
+    shard_fingerprints,
+)
+from repro.storage import make_backend
+from repro.storage.sharded import shard_file_name
+
+
+def _tuple_set(index: int, ancestors=()):
+    record = ProvenanceRecord(
+        {"seq": index, "window_start": Timestamp(index), "window_end": Timestamp(index + 1)},
+        ancestors=tuple(ancestors),
+    )
+    return TupleSet([SensorReading("s1", Timestamp(index), {"v": float(index)})], record)
+
+
+def _chain_store(path, shards=4, length=30):
+    """A sharded interval store holding one derivation chain."""
+    store = PassStore(
+        backend=make_backend("sqlite", path=str(path), shards=shards),
+        closure="interval",
+    )
+    pnames = []
+    for index in range(length):
+        ancestors = [pnames[-1]] if pnames else []
+        pnames.append(store.ingest(_tuple_set(index, ancestors)))
+    return store, pnames
+
+
+class TestShardFingerprints:
+    def test_xor_of_shard_crcs_is_the_global_crc(self, tmp_path):
+        store, _ = _chain_store(tmp_path / "pass.db")
+        crcs = shard_fingerprints(store.graph, 4)
+        combined = 0
+        for crc in crcs:
+            combined ^= crc
+        assert combined == store.graph.fingerprint()["crc"]
+        store.backend.close()
+
+    def test_untouched_shards_keep_their_crc(self, tmp_path):
+        store, pnames = _chain_store(tmp_path / "pass.db")
+        before = shard_fingerprints(store.graph, 4)
+        extra = store.ingest(_tuple_set(999, [pnames[-1]]))
+        after = shard_fingerprints(store.graph, 4)
+        changed = {i for i in range(4) if before[i] != after[i]}
+        # Only the new record's home shard changed (the new edge hangs off
+        # the child digest, which is the new record's).
+        assert changed == {store.backend.shard_of(extra.digest)}
+        store.backend.close()
+
+
+class TestPersist:
+    def test_persist_writes_boundary_and_per_shard_blobs(self, tmp_path):
+        store, pnames = _chain_store(tmp_path / "pass.db")
+        store.ancestors(pnames[-1])  # force the labelling to build
+        assert store.persist_closure_index() is True
+        backend = store.backend
+        assert backend.get_index_blob(boundary_blob_name("interval")) is not None
+        for shard in range(backend.shard_count()):
+            assert (
+                backend.get_shard_index_blob(shard, shard_blob_name("interval"))
+                is not None
+            )
+        store.backend.close()
+
+    def test_unsharded_store_keeps_the_single_blob_format(self, tmp_path):
+        store = PassStore(
+            backend=make_backend("sqlite", path=str(tmp_path / "plain.db")),
+            closure="interval",
+        )
+        pname = store.ingest(_tuple_set(0))
+        child = store.ingest(_tuple_set(1, [pname]))
+        store.ancestors(child)  # force the labelling to build
+        assert store.persist_closure_index() is True
+        assert store.backend.get_index_blob("closure:interval") is not None
+        assert store.backend.get_index_blob(boundary_blob_name("interval")) is None
+        store.backend.close()
+
+
+class TestRestore:
+    def test_clean_reopen_adopts_every_shard(self, tmp_path):
+        path = tmp_path / "pass.db"
+        store, pnames = _chain_store(path)
+        expected = store.ancestors(pnames[-1])
+        store.persist_closure_index()
+        store.backend.close()
+
+        reopened = PassStore(
+            backend=make_backend("sqlite", path=str(path), shards=4),
+            closure="interval",
+        )
+        report = reopened._closure_restore_report
+        assert report["mode"] == "full"
+        assert report["adopted"] == 4 and report["stale"] == []
+        assert reopened.ancestors(pnames[-1]) == expected
+        reopened.backend.close()
+
+    def test_additions_only_drift_adopts_and_catches_up(self, tmp_path):
+        path = tmp_path / "pass.db"
+        store, pnames = _chain_store(path)
+        expected = store.ancestors(pnames[-1])
+        store.persist_closure_index()
+        # Post-checkpoint writes dirty only the new records' home shards.
+        extra = store.ingest(_tuple_set(500, [pnames[-1]]))
+        store.backend.close()
+
+        reopened = PassStore(
+            backend=make_backend("sqlite", path=str(path), shards=4),
+            closure="interval",
+        )
+        report = reopened._closure_restore_report
+        assert report["mode"] == "partial"
+        assert report["stale"] == [reopened.backend.shard_of(extra.digest)]
+        assert report["adopted"] == 4 - len(report["stale"])
+        # The caught-up labelling answers exactly like a fresh build.
+        assert reopened.ancestors(extra) == expected | {pnames[-1]}
+        assert reopened.descendants(pnames[0]) == set(pnames[1:]) | {extra}
+        reopened.backend.close()
+
+    def test_missing_shard_label_blob_forces_rebuild(self, tmp_path):
+        path = tmp_path / "pass.db"
+        store, pnames = _chain_store(path)
+        expected = store.ancestors(pnames[-1])
+        store.persist_closure_index()
+        store.backend.delete_shard_index_blob(2, shard_blob_name("interval"))
+        store.backend.close()
+
+        reopened = PassStore(
+            backend=make_backend("sqlite", path=str(path), shards=4),
+            closure="interval",
+        )
+        report = reopened._closure_restore_report
+        assert report["mode"] == "rebuild"
+        assert "shard 2" in report["reason"]
+        # The lazy rebuild still answers correctly.
+        assert reopened.ancestors(pnames[-1]) == expected
+        reopened.backend.close()
+
+    def test_record_loss_forces_rebuild(self, tmp_path):
+        path = tmp_path / "pass.db"
+        store, pnames = _chain_store(path)
+        store.ancestors(pnames[-1])  # force the labelling to build
+        store.persist_closure_index()
+        store.backend.close()
+        # Lose one shard's database file entirely: its records are gone,
+        # so adopting the old labels would assert reachability through
+        # data that no longer exists.
+        os.remove(shard_file_name(str(path), 2))
+
+        reopened = PassStore(
+            backend=make_backend("sqlite", path=str(path), shards=4),
+            closure="interval",
+        )
+        report = reopened._closure_restore_report
+        assert report["mode"] == "rebuild"
+        assert "no longer present" in report["reason"]
+        reopened.backend.close()
+
+    def test_no_checkpoint_reports_rebuild(self, tmp_path):
+        path = tmp_path / "pass.db"
+        store, _ = _chain_store(path)
+        store.backend.close()  # never persisted
+
+        reopened = PassStore(
+            backend=make_backend("sqlite", path=str(path), shards=4),
+            closure="interval",
+        )
+        report = reopened._closure_restore_report
+        assert report["mode"] == "rebuild"
+        assert report["reason"] == "no boundary index"
+        reopened.backend.close()
+
+    def test_restore_partitioned_is_importable_from_the_package(self):
+        from repro.lineage import persist_partitioned as pp
+        from repro.lineage import restore_partitioned as rp
+
+        assert pp is not None and rp is restore_partitioned
+
+
+class TestStorageSnapshot:
+    def test_snapshot_carries_the_restore_report(self, tmp_path):
+        path = tmp_path / "pass.db"
+        store, pnames = _chain_store(path)
+        store.ancestors(pnames[-1])
+        store.persist_closure_index()
+        store.backend.close()
+
+        reopened = PassStore(
+            backend=make_backend("sqlite", path=str(path), shards=4),
+            closure="interval",
+        )
+        snapshot = reopened.storage_snapshot()
+        assert snapshot["kind"] == "sharded"
+        assert snapshot["shards"] == 4
+        assert snapshot["closure_restore"]["mode"] == "full"
+        reopened.backend.close()
+
+    def test_unsharded_snapshot_reports_one_shard(self):
+        store = PassStore()
+        snapshot = store.storage_snapshot()
+        assert snapshot["kind"] == "memory"
+        assert snapshot["shards"] == 1
+        assert snapshot["closure_restore"]["mode"] == "none"

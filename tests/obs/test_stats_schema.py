@@ -20,7 +20,7 @@ from repro.obs import (
 )
 from repro.sensors.workloads import TrafficWorkload
 
-LOCAL_TARGETS = ["memory://", "sqlite://"]
+LOCAL_TARGETS = ["memory://", "sqlite://", "sqlite://?shards=4", "memory://?shards=2"]
 MODEL_TARGETS = [
     "centralized://",
     "distributed-db://",
@@ -71,6 +71,23 @@ def _expected_keys(target: str) -> frozenset:
     return STATS_MODEL_KEYS
 
 
+#: the frozen sub-schema of stats()["storage"] on every local/remote target
+STORAGE_BLOCK_KEYS = frozenset(
+    {
+        "kind",
+        "shards",
+        "records",
+        "group_commits",
+        "batch_records",
+        "commit_ms",
+        "parallel_scans",
+        "parallel_probes",
+        "per_shard",
+        "closure_restore",
+    }
+)
+
+
 class TestGoldenKeys:
     def test_documented_keys_are_present(self, exercised):
         target, client = exercised
@@ -88,6 +105,26 @@ class TestGoldenKeys:
         if target not in LOCAL_TARGETS:
             pytest.skip("exact-schema check is for local stores")
         assert set(client.stats()) == STATS_LOCAL_KEYS
+
+    def test_storage_block_keeps_its_documented_schema(self, exercised):
+        """The ``storage`` block is frozen: kind, shard layout, group-commit
+        and parallel-scan counters plus the closure adoption report --
+        identical shape whether or not the store is sharded."""
+        target, client = exercised
+        stats = client.stats()
+        if "storage" not in stats:
+            pytest.skip("architecture models carry no storage block")
+        storage = stats["storage"]
+        assert set(storage) == STORAGE_BLOCK_KEYS
+        assert set(storage["commit_ms"]) == {"total", "max"}
+        assert len(storage["per_shard"]) == storage["shards"]
+        if "shards=" in target:
+            assert storage["kind"] == "sharded"
+            assert storage["shards"] > 1
+        elif target in LOCAL_TARGETS:
+            # A non-sharded store is exactly one shard of itself.
+            assert storage["shards"] == 1
+            assert storage["per_shard"][0]["shard"] == 0
 
     def test_obs_block_has_the_registry_shape(self, exercised):
         _, client = exercised

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import ProvenanceRecord
 from repro.errors import CrashInjectedError, StorageError
-from repro.storage import MemoryBackend, SQLiteBackend
+from repro.storage import MemoryBackend, ShardedBackend, SQLiteBackend
 
 
 def _record(label: str, ancestors=()):
@@ -17,6 +17,8 @@ BACKEND_FACTORIES = {
     "memory": lambda tmp_path: MemoryBackend(),
     "sqlite": lambda tmp_path: SQLiteBackend(tmp_path / "test.db"),
     "sqlite-memory": lambda tmp_path: SQLiteBackend(":memory:"),
+    "sharded": lambda tmp_path: ShardedBackend(str(tmp_path / "sharded.db"), shards=3),
+    "sharded-memory": lambda tmp_path: ShardedBackend(None, shards=3, kind="memory"),
 }
 
 
@@ -100,6 +102,51 @@ class TestBackendContract:
         backend.close()
         with pytest.raises(StorageError):
             backend.put_record(_record("a"))
+
+    def test_index_blob_overwrite_returns_latest(self, backend):
+        assert backend.put_index_blob("closure:test", b"v1")
+        assert backend.put_index_blob("closure:test", b"v2")
+        assert backend.get_index_blob("closure:test") == b"v2"
+        assert backend.delete_index_blob("closure:test")
+        assert backend.get_index_blob("closure:test") is None
+
+    def test_put_batch_round_trip(self, backend):
+        records = [_record(label) for label in "abcde"]
+        backend.put_batch(
+            [(record, f"p{i}".encode()) for i, record in enumerate(records)]
+        )
+        assert backend.record_count() == 5
+        for i, record in enumerate(records):
+            assert backend.get_payload(record.pname()) == f"p{i}".encode()
+        snapshot = backend.storage_stats()
+        assert snapshot["group_commits"] == 1
+        assert snapshot["batch_records"] == 5
+
+    def test_put_batch_rejects_bad_payload_with_no_partial_state(self, backend):
+        """A bad entry anywhere in the batch rejects the whole batch:
+        every backend validates up front, so none stores a prefix."""
+        good, bad = _record("good"), _record("bad")
+        with pytest.raises(StorageError):
+            backend.put_batch([(good, b"fine"), (bad, "not-bytes")])
+        assert backend.record_count() == 0
+        assert not backend.has_record(good.pname())
+        assert backend.storage_stats()["group_commits"] == 0
+
+    def test_scan_all_matches_iter_records(self, backend):
+        records = [_record(label) for label in "abcdef"]
+        backend.put_batch([(record, None) for record in records])
+        scanned = {pname.digest for pname, _ in backend.scan_all()}
+        iterated = {pname.digest for pname, _ in backend.iter_records()}
+        assert scanned == iterated == {r.pname().digest for r in records}
+
+    def test_storage_stats_schema(self, backend):
+        snapshot = backend.storage_stats()
+        assert set(snapshot) == {
+            "kind", "shards", "records", "group_commits", "batch_records",
+            "commit_ms", "parallel_scans", "parallel_probes", "per_shard",
+        }
+        assert snapshot["shards"] == backend.shard_count()
+        assert len(snapshot["per_shard"]) == backend.shard_count()
 
 
 class TestSQLiteSpecific:
