@@ -61,18 +61,62 @@ def host_environment() -> dict:
     }
 
 
+#: Warn when a bench's committed headline metric moves this much in the
+#: wrong direction -- advisory, because timing on shared machines is
+#: noisy; the point is to make the regression visible in the run output
+#: before the new artifact silently overwrites the old number.
+_HEADLINE_REGRESSION_FACTOR = 0.25
+
+
+def _check_headline_regression(area: str, path: Path, document: dict) -> None:
+    """Compare the new headline metric against the committed artifact."""
+    new = document.get("headline")
+    if not isinstance(new, dict) or not path.exists():
+        return
+    try:
+        old = json.loads(path.read_text(encoding="utf-8")).get("headline")
+    except (OSError, json.JSONDecodeError):
+        return
+    if not isinstance(old, dict) or old.get("metric") != new.get("metric"):
+        return
+    try:
+        old_value, new_value = float(old["value"]), float(new["value"])
+    except (KeyError, TypeError, ValueError):
+        return
+    if old_value <= 0:
+        return
+    higher_is_better = bool(new.get("higher_is_better"))
+    change = (new_value - old_value) / old_value
+    regressed = (
+        change < -_HEADLINE_REGRESSION_FACTOR
+        if higher_is_better
+        else change > _HEADLINE_REGRESSION_FACTOR
+    )
+    if regressed:
+        print(
+            f"\nWARNING: BENCH_{area}.json headline {new['metric']!r} regressed"
+            f" {abs(change) * 100.0:.0f}% vs the committed artifact"
+            f" ({old_value:g} -> {new_value:g}); code regression or host change?",
+            file=sys.stderr,
+        )
+
+
 def write_bench_json(area: str, payload: dict) -> Path:
     """Persist one benchmark's numbers as ``results/BENCH_<area>.json``.
 
     ``payload`` should carry the bench's headline metrics (throughput,
     p50/p95/p99, gate ratios); the :func:`host_environment` stamp is
-    added so a regression can be told apart from a host change.
+    added so a regression can be told apart from a host change.  A
+    payload with a ``headline`` block (``{"metric", "value",
+    "higher_is_better"}``) is first diffed against the committed
+    artifact, warning when the metric moved >25% the wrong way.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     document = dict(payload)
     document.setdefault("area", area)
     document.setdefault("environment", host_environment())
     path = RESULTS_DIR / f"BENCH_{area}.json"
+    _check_headline_regression(area, path, document)
     path.write_text(
         json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

@@ -395,12 +395,15 @@ class PassClient(ABC):
     def refresh(self) -> None:
         """Flush any propagation the target delays (soft-state refresh); no-op elsewhere."""
 
-    def rebuild_lineage_index(self) -> Dict[str, object]:
+    def rebuild_lineage_index(self, strategy: Optional[str] = None) -> Dict[str, object]:
         """Force-rebuild the target's closure index; returns its stats.
 
         Local stores recompute and checkpoint synchronously; the remote
         client submits the daemon's async build job and polls it to
-        completion.  Targets without a rebuildable index raise
+        completion.  ``strategy`` switches the closure strategy
+        (``"labelled"`` / ``"interval"`` / ...) before rebuilding -- the
+        same plumbing the adaptive engine's auto-switch uses.  Targets
+        without a rebuildable index raise
         :class:`~repro.errors.IndexError_`.
         """
         from repro.errors import IndexError_
@@ -452,6 +455,7 @@ class LocalClient(PassClient):
             lambda: {
                 "cache": self.store.planner.cache_snapshot(),
                 "statistics": self.store.statistics.snapshot(),
+                "feedback": self.store.feedback.snapshot(),
             },
         )
         self.metrics.register_provider("closure", lambda: self.store.closure.index_stats())
@@ -571,8 +575,8 @@ class LocalClient(PassClient):
             obs_health.trace_ring_check(),
         ]
 
-    def rebuild_lineage_index(self) -> Dict[str, object]:
-        return self.store.rebuild_closure_index()
+    def rebuild_lineage_index(self, strategy: Optional[str] = None) -> Dict[str, object]:
+        return self.store.rebuild_closure_index(strategy=strategy)
 
     def close(self) -> None:
         if self._closed:

@@ -966,7 +966,13 @@ def _format_top_snapshot(snapshot: dict, previous: Optional[dict], interval: flo
     if slow:
         lines.append(f"slow queries ({len(slow)}, newest last):")
         for entry in slow[-5:]:
-            lines.append(f"  [{entry['tenant']}] {entry['duration_ms']:.3f} ms")
+            # The misestimate ratio is the "why": a big value means the
+            # planner priced the query from a stale/wrong estimate.
+            ratio = entry.get("misestimate")
+            suffix = "" if ratio is None else f"  misestimate {ratio:.2f}x"
+            lines.append(
+                f"  [{entry['tenant']}] {entry['duration_ms']:.3f} ms{suffix}"
+            )
     return "\n".join(lines)
 
 

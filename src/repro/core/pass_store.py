@@ -51,6 +51,7 @@ from repro.index.spatial_index import SpatialIndex
 from repro.index.temporal_index import TemporalIndex
 from repro.query.executor import execute as _execute_plan
 from repro.query.explain import Explain
+from repro.query.feedback import FeedbackCollector
 from repro.query.planner import QueryPlanner
 from repro.query.statistics import Statistics
 from repro.storage.backend import StorageBackend
@@ -141,6 +142,10 @@ class PassStore(LineageOracle):
         # import-independent of repro.lineage; see make_closure).
         self.graph_stats = self.statistics.graph
         self.planner = QueryPlanner(self)
+        # The estimated-vs-actual feedback loop: drift-based plan
+        # invalidation, statistics refresh scheduling, closure-strategy
+        # advice and the hot-key result cache (repro.query.feedback).
+        self.feedback = FeedbackCollector(self)
         self._abstraction_rules: List[AbstractionRule] = []
         # Post-commit ingest observers (the repro.stream engine hooks in
         # here).  Hooks fire strictly after the backend write, the graph
@@ -301,8 +306,29 @@ class PassStore(LineageOracle):
             pass
 
     def _fire_ingest_hooks(self, pname: PName, record: ProvenanceRecord) -> None:
+        # Feedback first: the result cache must be invalidated before
+        # any hook (e.g. a stream subscription) turns around and queries
+        # the store post-commit.
+        self.feedback.on_ingest(pname, record)
         for hook in list(self._ingest_hooks):
             hook(pname, record)
+        self._maybe_adapt_closure()
+
+    def _maybe_adapt_closure(self) -> None:
+        """Amortized DAG-shape check: switch ``labelled <-> interval``
+        through the same rebuild plumbing the daemon's async job uses.
+
+        Sharded backends are exempt -- their partitioned checkpoint
+        format is interval-only, so the default must stand.
+        """
+        if not self.feedback.closure_check_due():
+            return
+        if self.backend.shard_count() > 1:
+            return
+        advised = self.feedback.advise_closure(self.closure.name)
+        if advised is not None and advised != self.closure.name:
+            self.rebuild_closure_index(strategy=advised)
+            self.feedback.note_closure_switch()
 
     # ------------------------------------------------------------------
     # Basic retrieval
@@ -354,6 +380,9 @@ class PassStore(LineageOracle):
         self.backend.mark_removed(pname)
         if pname in self.graph:
             self.graph.mark_removed(pname)
+        # Cached results may pre-date the removal (include_removed=False
+        # answers change); anchors can't see removals, so drop them all.
+        self.feedback.invalidate_all()
 
     def is_removed(self, pname: PName) -> bool:
         """True when the data set's readings were removed."""
@@ -368,6 +397,9 @@ class PassStore(LineageOracle):
         record.annotate(annotation)
         self.backend.put_record(record)
         self.attribute_index.add_value(pname, f"annotation:{annotation.key}", annotation.value)
+        # Annotation mutates a stored record in place; cached result
+        # pairs may alias it, so drop them all (rare administrative op).
+        self.feedback.invalidate_all()
 
     # ------------------------------------------------------------------
     # Queries (PASS property P2)
@@ -592,7 +624,7 @@ class PassStore(LineageOracle):
         payload = json.dumps(state, sort_keys=True, separators=(",", ":")).encode("utf-8")
         return self.backend.put_index_blob(self._closure_index_key(), payload)
 
-    def rebuild_closure_index(self) -> dict:
+    def rebuild_closure_index(self, strategy: Optional[str] = None) -> dict:
         """Force-rebuild the closure index and checkpoint it; returns stats.
 
         The administrative verb behind the daemon's async build job
@@ -601,12 +633,35 @@ class PassStore(LineageOracle):
         snapshot where the strategy supports it, and report the
         resulting :meth:`ClosureStrategy.index_stats` plus whether a
         checkpoint was written.
+
+        ``strategy`` swaps the closure strategy *before* rebuilding --
+        the adaptive engine's ``labelled <-> interval`` switch and the
+        daemon's ``rebuild_index`` job both route through here, so a
+        switch is observable the same way on every connect target.
         """
+        switched_from = None
+        if strategy is not None and strategy != self.closure.name:
+            switched_from = self.closure.name
+            self.closure = make_closure(strategy, self.graph)
         self.closure.rebuild()
         persisted = self.persist_closure_index()
         stats = dict(self.closure.index_stats())
         stats["persisted"] = persisted
+        if switched_from is not None:
+            stats["switched_from"] = switched_from
         return stats
+
+    def refresh_statistics(self) -> dict:
+        """Rebuild attribute statistics and the DAG-shape summary in place.
+
+        The feedback loop schedules this on accumulated drift or ingest
+        volume; operators can call it directly.  Returns the fresh
+        statistics snapshot.
+        """
+        self.statistics.rebuild(record for _, record in self.backend.iter_records())
+        self.graph_stats.recompute(self.graph)
+        self.feedback.note_refreshed()
+        return self.statistics.snapshot()
 
     def storage_snapshot(self) -> dict:
         """The frozen ``stats()["storage"]`` block for this store.

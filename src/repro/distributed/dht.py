@@ -64,6 +64,12 @@ _RING_BITS = 32
 _RING_SIZE = 2 ** _RING_BITS
 _QUERY_REQUEST_BYTES = 192
 _POINTER_BYTES = 96
+# A digest located this many times from the same origin gets its owner's
+# location cached at that origin, so later locates go direct (one round
+# trip) instead of paying O(log n) routed hops.  Ownership in this model
+# never moves, so a cached hint can only go stale if the record itself
+# disappears -- handled by falling back to full routing.
+_HOT_KEY_THRESHOLD = 3
 
 
 def _key(text: str) -> int:
@@ -114,6 +120,11 @@ class DistributedHashTable(ArchitectureModel):
         self._attr_entries: Dict[str, Dict[str, Set[str]]] = {site: {} for site in self._sites}
         self._children: Dict[str, Set[str]] = {}
         self._data_location: Dict[str, str] = {}
+        # Hot-key location hints: origin site -> digest -> owning node.
+        self._locate_counts: Dict[Tuple[str, str], int] = {}
+        self._location_hints: Dict[str, Dict[str, str]] = {site: {} for site in self._sites}
+        self._hint_hits = 0
+        self._hints_placed = 0
 
     # ------------------------------------------------------------------
     # Ring mechanics
@@ -385,6 +396,23 @@ class DistributedHashTable(ArchitectureModel):
 
     def locate(self, pname: PName, origin_site: str) -> OperationResult:
         result = OperationResult()
+        hinted = self._location_hints[origin_site].get(pname.digest)
+        if hinted is not None:
+            # Hot-key hint: skip the overlay and ask the cached owner
+            # directly -- one round trip instead of O(log n) hops.
+            request = self.network.send(origin_site, hinted, 128, "dht-locate-direct")
+            reply = self.network.send(hinted, origin_site, _POINTER_BYTES, "dht-locate-reply")
+            self._charge(
+                result, request.latency_ms + reply.latency_ms, 2, 128 + _POINTER_BYTES, hinted
+            )
+            if pname.digest in self._records[hinted]:
+                result.add_site(hinted)
+                result.pnames = [pname]
+                result.notes.append("hot-key hint: routed directly to owner")
+                self._hint_hits += 1
+                return result
+            del self._location_hints[origin_site][pname.digest]
+            result.notes.append("hot-key hint was stale; re-routing")
         owner, latency, messages, sent = self._routed_lookup(
             origin_site, _key(pname.digest), 128, "dht-locate"
         )
@@ -392,9 +420,32 @@ class DistributedHashTable(ArchitectureModel):
         if pname.digest in self._records[owner]:
             result.add_site(owner)
             result.pnames = [pname]
+            key = (origin_site, pname.digest)
+            count = self._locate_counts.get(key, 0) + 1
+            if count >= _HOT_KEY_THRESHOLD:
+                self._locate_counts.pop(key, None)
+                self._location_hints[origin_site][pname.digest] = owner
+                self._hints_placed += 1
+                result.notes.append("hot key: owner location cached at origin")
+            else:
+                self._locate_counts[key] = count
         else:
             result.notes.append("unknown pname")
         return result
+
+    def hot_key_stats(self) -> Dict[str, object]:
+        """Diagnostics for hot-key location hints (kept out of ``stats()``)."""
+        return {
+            "threshold": _HOT_KEY_THRESHOLD,
+            "tracked": len(self._locate_counts),
+            "hints_placed": self._hints_placed,
+            "hint_hits": self._hint_hits,
+            "hints": {
+                site: dict(sorted(hints.items()))
+                for site, hints in sorted(self._location_hints.items())
+                if hints
+            },
+        }
 
     # ------------------------------------------------------------------
     # Placement / scaling diagnostics (experiments E9 and E10)

@@ -28,7 +28,7 @@ matching the centralized model on query capability.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.attributes import GeoPoint
 from repro.core.provenance import PName
@@ -49,6 +49,12 @@ __all__ = ["LocaleAwarePass"]
 _QUERY_REQUEST_BYTES = 256
 _POINTER_BYTES = 96
 _CATALOGUE_BYTES = 64
+# A digest located this many times from the same remote origin is "hot":
+# its provenance metadata gets replicated to that origin so further
+# locates (and lineage walks starting there) stay on-site.  Three repeats
+# keeps one-off probes -- everything the existing workloads do -- from
+# triggering replication.
+_HOT_KEY_THRESHOLD = 3
 
 
 class LocaleAwarePass(ArchitectureModel):
@@ -67,6 +73,14 @@ class LocaleAwarePass(ArchitectureModel):
         # everywhere is cheap; updates are piggybacked on publishes.
         self._catalogue: Dict[str, Set[str]] = {}
         self._home: Dict[str, str] = {}
+        # Hot-key placement: repeated locates of the same digest from the
+        # same origin are counted, and past _HOT_KEY_THRESHOLD the home
+        # pushes a metadata replica to the origin (paid once), after which
+        # that origin answers its own locates.
+        self._locate_counts: Dict[Tuple[str, str], int] = {}
+        self._replicas: Dict[str, Set[str]] = {}
+        self._replica_hits = 0
+        self._replicas_placed = 0
 
     # ------------------------------------------------------------------
     # Placement
@@ -266,6 +280,16 @@ class LocaleAwarePass(ArchitectureModel):
         if home is None:
             result.notes.append("unknown pname")
             return result
+        if origin_site != home and origin_site in self._replicas.get(pname.digest, set()):
+            # Hot-key replica: the origin holds this record's metadata, so
+            # the locate never leaves the site.
+            local = self.network.send(origin_site, origin_site, _POINTER_BYTES, "locate-local")
+            self._charge(result, local.latency_ms, 1, _POINTER_BYTES, origin_site)
+            result.add_site(origin_site)
+            result.notes.append("hot-key replica: answered locally")
+            result.pnames = [pname]
+            self._replica_hits += 1
+            return result
         request = self.network.send(origin_site, home, 128, "locate")
         response = self.network.send(home, origin_site, _POINTER_BYTES, "locate-response")
         self._charge(
@@ -273,7 +297,50 @@ class LocaleAwarePass(ArchitectureModel):
         )
         result.add_site(home)
         result.pnames = [pname]
+        if origin_site != home:
+            self._note_locate(pname, origin_site, home, result)
         return result
+
+    def _note_locate(
+        self, pname: PName, origin_site: str, home: str, result: OperationResult
+    ) -> None:
+        """Count a remote locate; replicate the metadata once it runs hot."""
+        key = (origin_site, pname.digest)
+        count = self._locate_counts.get(key, 0) + 1
+        if count < _HOT_KEY_THRESHOLD:
+            self._locate_counts[key] = count
+            return
+        self._locate_counts.pop(key, None)
+        record = self._stores.store(home).get_record(pname)
+        record_bytes = len(record.to_json().encode("utf-8"))
+        push = self.network.send(home, origin_site, record_bytes, "hot-key-replicate")
+        self._stores.store(origin_site).ingest_record(record)
+        self._replicas.setdefault(pname.digest, set()).add(origin_site)
+        self._charge(result, push.latency_ms, 1, record_bytes, origin_site)
+        result.notes.append("hot key: metadata replicated to origin")
+        self._replicas_placed += 1
+
+    def hot_key_stats(self) -> Dict[str, object]:
+        """Diagnostics for hot-key replication (kept out of ``stats()``).
+
+        Includes the per-site result-cache hot keys sampled from each
+        local store's feedback collector: the same signal that drives the
+        single-store result cache feeds the placement decision here.
+        """
+        return {
+            "threshold": _HOT_KEY_THRESHOLD,
+            "tracked": len(self._locate_counts),
+            "replicas_placed": self._replicas_placed,
+            "replica_hits": self._replica_hits,
+            "replicas": {
+                digest: sorted(sites) for digest, sites in sorted(self._replicas.items())
+            },
+            "site_hot_keys": {
+                site: store.feedback.hot_keys()
+                for site, store in self._stores.items()
+                if store.feedback.hot_keys()
+            },
+        }
 
     # ------------------------------------------------------------------
     # Diagnostics

@@ -42,6 +42,38 @@ def execute(
     # the traced read path at a single span per executor run -- the
     # per-phase spans measurably taxed hot queries.
     with trace.span("query.execute", attrs={"site": store.site}) as op_span:
+        feedback = getattr(store, "feedback", None)
+        result_key = None
+        if feedback is not None and not force_full_scan:
+            # Hot-key result cache: exact repeats (same shape, same
+            # constants, same options) skip planning and execution
+            # entirely.  Entries are invalidated precisely from the
+            # post-commit ingest hook, so a hit is always current.
+            result_key = feedback.result_key(query)
+            if result_key is not None:
+                cached_pairs = feedback.cached_result(result_key)
+                if cached_pairs is not None:
+                    op_span.set_attr("path", "result-cache")
+                    op_span.set_attr("rows", len(cached_pairs))
+                    explain = Explain(
+                        site=store.site,
+                        path="hot-key result cache",
+                        path_kind="result-cache",
+                        estimated_rows=len(cached_pairs),
+                        actual_rows=len(cached_pairs),
+                        rows_scanned=0,
+                        duration_ms=(time.perf_counter() - started) * 1000.0,
+                        cache_hit=True,
+                        used_index=True,
+                        shape=result_key.shape,
+                        adapted="hot-key: served from result cache",
+                    )
+                    return list(cached_pairs), explain
+            # Accumulated drift/ingest volume schedules a statistics
+            # rebuild; running it *before* planning lets the fresh
+            # histograms price this very query.
+            if feedback.refresh_due():
+                store.refresh_statistics()
         plan = store.planner.plan(query, force_full_scan=force_full_scan)
         full_scan = isinstance(plan.path, FullScanPath)
         if full_scan:
@@ -75,6 +107,12 @@ def execute(
         op_span.set_attr("path", plan.path.kind)
         op_span.set_attr("rows_scanned", len(candidates))
         op_span.set_attr("rows", len(pairs))
+        if feedback is not None and not force_full_scan:
+            feedback.observe_execution(
+                plan.shape, plan.estimated_rows, len(pairs), plan.cache_hit
+            )
+            if result_key is not None:
+                feedback.maybe_admit(result_key, pairs, len(candidates))
     explain = Explain(
         site=store.site,
         path=plan.path.describe(),
@@ -86,5 +124,6 @@ def execute(
         cache_hit=plan.cache_hit,
         used_index=not full_scan,
         shape=plan.shape,
+        adapted=plan.adapted,
     )
     return pairs, explain

@@ -39,6 +39,9 @@ class Explain:
     used_index: bool = False
     #: value-free predicate shape (the plan-cache key)
     shape: Optional[str] = None
+    #: why the adaptive engine deviated from the cached/static plan
+    #: (drift re-rank, hot-key cache hit); ``None`` when nothing adapted
+    adapted: Optional[str] = None
     notes: List[str] = field(default_factory=list)
     #: per-site explains for distributed targets
     children: List["Explain"] = field(default_factory=list)
@@ -57,6 +60,8 @@ class Explain:
             "used_index": self.used_index,
             "shape": self.shape,
         }
+        if self.adapted is not None:
+            data["adapted"] = self.adapted
         if self.notes:
             data["notes"] = list(self.notes)
         if self.children:
@@ -77,6 +82,7 @@ class Explain:
             cache_hit=payload.get("cache_hit", False),
             used_index=payload.get("used_index", False),
             shape=payload.get("shape"),
+            adapted=payload.get("adapted"),
             notes=list(payload.get("notes", [])),
             children=[cls.from_dict(child) for child in payload.get("children", [])],
         )
@@ -93,6 +99,8 @@ class Explain:
             f"{pad}  index used: {'yes' if self.used_index else 'no'}"
             f"   plan cache: {'hit' if self.cache_hit else 'miss'}",
         ]
+        if self.adapted is not None:
+            lines.append(f"{pad}  adapted: {self.adapted}")
         for note in self.notes:
             lines.append(f"{pad}  note: {note}")
         for child in self.children:

@@ -92,6 +92,9 @@ class Plan:
     #: forgotten residual must be a TypeError, not a plan that filters
     #: nothing.
     residual: Predicate
+    #: why the adaptive engine re-ranked this shape (None = nothing
+    #: adapted); carried onto the execution's Explain verbatim
+    adapted: Optional[str] = None
 
 
 @dataclass
@@ -119,6 +122,12 @@ class QueryPlanner:
     def __init__(self, store) -> None:
         self._store = store
         self._cache: "OrderedDict[str, _ShapeAnalysis]" = OrderedDict()
+        # Cumulative counters: per-entry hits die with their entry, so
+        # the snapshot must not be a sum over live entries (LRU eviction
+        # would silently deflate it).
+        self._hits = 0
+        self._evictions = 0
+        self._drift_invalidations = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -134,11 +143,24 @@ class QueryPlanner:
             )
 
         cached = self._cache.get(shape)
+        adapted: Optional[str] = None
+        if cached is not None:
+            # The feedback loop may have marked this shape: its recent
+            # executions misestimated badly enough that the cached
+            # selection is suspect.  Evict and re-rank from scratch.
+            feedback = getattr(self._store, "feedback", None)
+            drift_reason = feedback.should_replan(shape) if feedback is not None else None
+            if drift_reason is not None:
+                del self._cache[shape]
+                self._drift_invalidations += 1
+                adapted = drift_reason
+                cached = None
         if cached is not None and not self._stale(cached):
             rebuilt = self._rebuild(predicate, cached.selection)
             if rebuilt is not None:
                 path, residual = rebuilt
                 cached.hits += 1
+                self._hits += 1
                 self._cache.move_to_end(shape)
                 return Plan(
                     query, predicate, path, shape, True, path.estimate(self._store), residual
@@ -151,13 +173,30 @@ class QueryPlanner:
         self._cache.move_to_end(shape)
         while len(self._cache) > _CACHE_MAX_SHAPES:
             self._cache.popitem(last=False)
-        return Plan(query, predicate, path, shape, False, path.estimate(self._store), residual)
+            self._evictions += 1
+        return Plan(
+            query,
+            predicate,
+            path,
+            shape,
+            False,
+            path.estimate(self._store),
+            residual,
+            adapted=adapted,
+        )
 
     def cache_snapshot(self) -> dict:
-        """Plan-cache facts for ``client.stats()`` and tests."""
+        """Plan-cache facts for ``client.stats()`` and tests.
+
+        ``hits`` and ``evictions`` are cumulative over the planner's
+        lifetime -- an LRU eviction (or a drift invalidation) must not
+        erase the history of the entry it dropped.
+        """
         return {
             "entries": len(self._cache),
-            "hits": sum(entry.hits for entry in self._cache.values()),
+            "hits": self._hits,
+            "evictions": self._evictions,
+            "drift_invalidations": self._drift_invalidations,
         }
 
     # ------------------------------------------------------------------

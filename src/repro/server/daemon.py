@@ -161,12 +161,21 @@ class _Telemetry:
             errors.inc()
         latency.observe(duration_ms)
 
-    def record_slow(self, tenant: str, duration_ms: float, explain: str) -> None:
+    def record_slow(
+        self,
+        tenant: str,
+        duration_ms: float,
+        explain: str,
+        misestimate: Optional[float] = None,
+    ) -> None:
         self._slow.append(
             {
                 "tenant": tenant,
                 "duration_ms": round(duration_ms, 3),
                 "explain": explain,
+                # How far off the planner's estimate was (>= 1.0, either
+                # direction); None when the explain was unavailable.
+                "misestimate": misestimate,
             }
         )
 
@@ -457,6 +466,31 @@ class PassDaemon:
                 store.observe_gauge(
                     f"{prefix}.shard{entry['shard']:02d}.records", now, entry["records"]
                 )
+            # The adaptive engine's loop, as per-tenant series: plan-cache
+            # churn, drift invalidations, result-cache effectiveness,
+            # scheduled refreshes and closure switches.
+            cache = tenant_store.planner.cache_snapshot()
+            feedback = tenant_store.feedback.snapshot()
+            prefix = f"daemon.{tenant_name}.planner"
+            store.observe_gauge(prefix + ".cache_entries", now, cache["entries"])
+            store.observe_counter(prefix + ".cache_hits", now, cache["hits"])
+            store.observe_counter(prefix + ".cache_evictions", now, cache["evictions"])
+            store.observe_counter(
+                prefix + ".drift_invalidations", now, cache["drift_invalidations"]
+            )
+            store.observe_counter(
+                prefix + ".queries_observed", now, feedback["queries_observed"]
+            )
+            store.observe_counter(prefix + ".misestimates", now, feedback["misestimates"])
+            store.observe_counter(
+                prefix + ".stats_refreshes", now, feedback["stats_refreshes"]
+            )
+            store.observe_counter(
+                prefix + ".closure_switches", now, feedback["closure_switches"]
+            )
+            store.observe_counter(
+                prefix + ".result_cache_hits", now, feedback["result_cache"]["hits"]
+            )
         if self.alert_engine is not None:
             try:
                 self.alert_engine.evaluate(now)
@@ -734,6 +768,7 @@ class PassDaemon:
     def _log_slow_query(
         self, connection: _Connection, args: dict, duration_ms: float
     ) -> None:
+        misestimate: Optional[float] = None
         try:
             payload = args.get("query")
             explain = connection.tenant.client.explain(
@@ -741,14 +776,22 @@ class PassDaemon:
                 origin=args.get("origin"),
             )
             tree = explain.format()
+            # The estimate error is the *why* behind most slow queries:
+            # report it (symmetric, >= 1.0) next to the duration so an
+            # operator sees a stale plan without reading the whole tree.
+            ratio = (explain.estimated_rows + 1.0) / (explain.actual_rows + 1.0)
+            misestimate = round(max(ratio, 1.0 / ratio), 2)
         except Exception as error:  # never fail a request over a log line
             tree = f"(explain unavailable: {error})"
-        self.telemetry.record_slow(connection.tenant.name, duration_ms, tree)
+        self.telemetry.record_slow(
+            connection.tenant.name, duration_ms, tree, misestimate=misestimate
+        )
         _LOGGER.warning(
-            "slow query: tenant=%s duration_ms=%.3f threshold_ms=%.3f\n%s",
+            "slow query: tenant=%s duration_ms=%.3f threshold_ms=%.3f misestimate=%s\n%s",
             connection.tenant.name,
             duration_ms,
             self.slow_query_ms,
+            "n/a" if misestimate is None else f"{misestimate:.2f}x",
             tree,
         )
 
@@ -934,15 +977,17 @@ class PassDaemon:
         task_id = f"task-{next(self._job_ids)}"
         job = {"task_id": task_id, "status": "pending"}
         tenant.jobs[task_id] = job
-        self._loop.create_task(self._run_rebuild(tenant, job))
+        self._loop.create_task(self._run_rebuild(tenant, job, args.get("strategy")))
         return {"task_id": task_id, "status": "pending"}
 
-    async def _run_rebuild(self, tenant: _Tenant, job: dict) -> None:
+    async def _run_rebuild(
+        self, tenant: _Tenant, job: dict, strategy: Optional[str] = None
+    ) -> None:
         job["status"] = "running"
         # Yield once so a fast poller can genuinely observe "running".
         await asyncio.sleep(0)
         try:
-            job["stats"] = tenant.client.rebuild_lineage_index()
+            job["stats"] = tenant.client.rebuild_lineage_index(strategy=strategy)
             job["status"] = "completed"
         except Exception as error:
             job["status"] = "failed"

@@ -88,6 +88,28 @@ STORAGE_BLOCK_KEYS = frozenset(
 )
 
 
+#: the frozen sub-schema of stats()["planner"]["feedback"] wherever a
+#: planner block rides (local stores and the pass:// daemon)
+PLANNER_FEEDBACK_KEYS = frozenset(
+    {
+        "enabled",
+        "queries_observed",
+        "misestimates",
+        "drift_events",
+        "plans_invalidated",
+        "stats_refreshes",
+        "closure_switches",
+        "hot_keys",
+        "result_cache",
+    }
+)
+
+#: the frozen sub-schema of the feedback block's result_cache
+RESULT_CACHE_KEYS = frozenset(
+    {"entries", "hits", "misses", "invalidations", "evictions"}
+)
+
+
 class TestGoldenKeys:
     def test_documented_keys_are_present(self, exercised):
         target, client = exercised
@@ -125,6 +147,23 @@ class TestGoldenKeys:
             # A non-sharded store is exactly one shard of itself.
             assert storage["shards"] == 1
             assert storage["per_shard"][0]["shard"] == 0
+
+    def test_planner_feedback_block_keeps_its_documented_schema(self, exercised):
+        """The adaptive engine's feedback block is frozen: drift, refresh
+        and closure-switch counters plus the hot-key result-cache facts --
+        identical shape on every target that carries a planner."""
+        target, client = exercised
+        stats = client.stats()
+        if "planner" not in stats:
+            pytest.skip("architecture models carry no planner block")
+        feedback = stats["planner"]["feedback"]
+        assert set(feedback) == PLANNER_FEEDBACK_KEYS
+        assert set(feedback["result_cache"]) == RESULT_CACHE_KEYS
+        assert feedback["enabled"] is True
+        assert feedback["queries_observed"] >= 1
+        # The cumulative plan-cache counters ride alongside it.
+        cache = stats["planner"]["cache"]
+        assert {"entries", "hits", "evictions", "drift_invalidations"} <= set(cache)
 
     def test_obs_block_has_the_registry_shape(self, exercised):
         _, client = exercised
